@@ -1,0 +1,89 @@
+// Command kdtune runs the online-autotuned frame loop of the paper's
+// Figure 4 on one scene and algorithm, printing the per-iteration trace:
+// the configuration under test, the measured frame time, and convergence.
+//
+//	kdtune -scene Sponza -algo in-place -iters 100
+//	kdtune -scene FairyForest -algo lazy -search exhaustive
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kdtune/internal/harness"
+	"kdtune/internal/kdtree"
+	"kdtune/internal/scene"
+)
+
+func main() {
+	var (
+		sceneName = flag.String("scene", "Sponza", "scene name")
+		algoName  = flag.String("algo", "in-place", "builder: node-level|nested|in-place|lazy")
+		iters     = flag.Int("iters", 100, "max measurement cycles")
+		width     = flag.Int("width", 192, "render width (height = 3/4 width)")
+		workers   = flag.Int("workers", 0, "parallelism budget; 0 = all cores")
+		seed      = flag.Int64("seed", 1, "tuner RNG seed")
+		search    = flag.String("search", "nelder-mead", "nelder-mead|exhaustive|fixed")
+	)
+	flag.Parse()
+
+	sc, err := scene.ByName(*sceneName)
+	if err != nil {
+		fail(err)
+	}
+	var algo kdtree.Algorithm
+	found := false
+	for _, a := range kdtree.Algorithms {
+		if a.String() == *algoName {
+			algo, found = a, true
+		}
+	}
+	if !found {
+		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	rc := harness.RunConfig{
+		Scene: sc, Algorithm: algo, Workers: *workers,
+		Width: *width, MaxIterations: *iters, Seed: *seed,
+	}
+	switch *search {
+	case "nelder-mead":
+		rc.Search = harness.SearchNelderMead
+	case "exhaustive":
+		rc.Search = harness.SearchExhaustive
+		rc.ExhaustiveStrides = []int{12, 10, 2, 2}
+	case "fixed":
+		rc.Search = harness.SearchFixed
+	default:
+		fail(fmt.Errorf("unknown search %q", *search))
+	}
+
+	fmt.Printf("tuning %s with the %s builder (%s search)\n", sc, algo, *search)
+	base := harness.MeasureFixed(rc, 5)
+	fmt.Printf("base configuration C=(17,10,3,4096): median frame %v\n\n", base.Round(time.Millisecond))
+
+	res := harness.Run(rc)
+	for _, f := range res.Frames {
+		marker := ""
+		if res.ConvergedAt >= 0 && f.Iteration == res.ConvergedAt {
+			marker = "   <- converged"
+		}
+		fmt.Printf("iter %3d  frame %3d  C=(%3d,%2d,%d,%4d)  build %8s  render %8s  total %8s  speedup %.2fx%s\n",
+			f.Iteration, f.FrameIndex, f.CI, f.CB, f.S, f.R,
+			f.Build.Round(time.Millisecond), f.Render.Round(time.Millisecond),
+			f.Total.Round(time.Millisecond),
+			float64(base)/float64(f.Total), marker)
+	}
+
+	fmt.Printf("\nbest configuration C=(%d,%d,%d,%d), steady-state frame %v, speedup %.2fx\n",
+		res.BestCI, res.BestCB, res.BestS, res.BestR,
+		res.BestTotal.Round(time.Millisecond),
+		float64(base)/float64(res.BestTotal))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "kdtune: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,67 @@
+// Animation: the paper's core use case — online-autotuning the kD-tree
+// build inside an animated frame loop. The geometry changes every frame, so
+// the tree is rebuilt per frame and the tuner adapts CI/CB/S while frames
+// play (Figure 4 workflow, on the Wood Doll stand-in).
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"kdtune"
+)
+
+func main() {
+	sc, err := kdtune.SceneByName("WoodDoll")
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("scene:", sc)
+
+	// Register the Table-I parameters with the online tuner, exactly as a
+	// client application would (paper Figure 1).
+	ci, cb, s := 17, 10, 3
+	tuner := kdtune.NewTuner(kdtune.TunerOptions{Seed: 42})
+	must(tuner.RegisterNamedParameter("CI", &ci, 3, 101, 1))
+	must(tuner.RegisterNamedParameter("CB", &cb, 0, 60, 1))
+	must(tuner.RegisterNamedParameter("S", &s, 1, 8, 1))
+
+	lights := sc.Lights
+	const cycles = 60
+	for iter := 0; iter < cycles; iter++ {
+		frame := (iter / 2) % sc.Frames // each frame shown twice
+
+		tuner.Start() // applies the configuration under test to ci/cb/s
+
+		cfg := kdtune.Config{
+			Algorithm: kdtune.AlgoNested,
+			CI:        float64(ci), CB: float64(cb), S: s,
+		}
+		tris := sc.Triangles(frame)
+		tree := kdtune.Build(tris, cfg)
+		_, _ = kdtune.Render(tree, sc.View, lights,
+			kdtune.RenderOptions{Width: 96, Height: 72})
+
+		tuner.Stop() // records t_build + t_render, picks the next config
+
+		if iter%10 == 9 {
+			conv := ""
+			if tuner.Converged() {
+				conv = " (converged)"
+			}
+			fmt.Printf("cycle %2d: trying C=(CI=%d, CB=%d, S=%d)%s\n", iter+1, ci, cb, s, conv)
+		}
+	}
+
+	if best, cost, ok := tuner.Best(); ok {
+		fmt.Printf("\nafter %d cycles: best C=(CI=%d, CB=%d, S=%d), frame time %v\n",
+			tuner.Iterations(), best[0], best[1], best[2],
+			time.Duration(cost).Round(time.Millisecond))
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,60 @@
+// Quickstart: build an SAH kD-tree over a small scene, shoot a few rays,
+// and render a thumbnail — the minimal tour of the kdtune public API.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+
+	"kdtune"
+)
+
+func main() {
+	// A tiny scene: a pyramid over a ground quad.
+	tris := []kdtune.Triangle{
+		// ground
+		kdtune.Tri(kdtune.V(-2, 0, -2), kdtune.V(2, 0, -2), kdtune.V(2, 0, 2)),
+		kdtune.Tri(kdtune.V(-2, 0, -2), kdtune.V(2, 0, 2), kdtune.V(-2, 0, 2)),
+		// pyramid sides
+		kdtune.Tri(kdtune.V(-1, 0, -1), kdtune.V(1, 0, -1), kdtune.V(0, 1.5, 0)),
+		kdtune.Tri(kdtune.V(1, 0, -1), kdtune.V(1, 0, 1), kdtune.V(0, 1.5, 0)),
+		kdtune.Tri(kdtune.V(1, 0, 1), kdtune.V(-1, 0, 1), kdtune.V(0, 1.5, 0)),
+		kdtune.Tri(kdtune.V(-1, 0, 1), kdtune.V(-1, 0, -1), kdtune.V(0, 1.5, 0)),
+	}
+
+	// Build with the paper's base configuration and the in-place builder.
+	cfg := kdtune.BaseConfig(kdtune.AlgoInPlace)
+	tree := kdtune.Build(tris, cfg)
+	fmt.Println("built:", tree.Stats())
+
+	// Closest-hit query.
+	ray := kdtune.NewRay(kdtune.V(0, 0.5, -5), kdtune.V(0, 0, 1))
+	if hit, ok := kdtune.IntersectClosest(tree, ray); ok {
+		fmt.Printf("ray hit triangle %d at t=%.3f\n", hit.Tri, hit.T)
+	}
+
+	// Occlusion query (shadow ray): a point inside the pyramid looking up
+	// through the sloped east face.
+	shadow := kdtune.NewRay(kdtune.V(0.3, 0.1, 0), kdtune.V(0, 1, 0))
+	fmt.Println("point under the pyramid is shadowed:",
+		tree.Occluded(shadow, 1e-9, math.Inf(1)))
+
+	// Render a thumbnail to PPM.
+	view := kdtune.View{
+		Eye: kdtune.V(3, 2.5, -3), LookAt: kdtune.V(0, 0.4, 0),
+		Up: kdtune.V(0, 1, 0), FOV: 45,
+	}
+	im, stats := kdtune.Render(tree, view, []kdtune.Vec3{kdtune.V(4, 6, -2)},
+		kdtune.RenderOptions{Width: 160, Height: 120})
+	f, err := os.Create("quickstart.ppm")
+	if err != nil {
+		panic(err)
+	}
+	defer f.Close()
+	if err := im.WritePPM(f); err != nil {
+		panic(err)
+	}
+	fmt.Printf("rendered %d rays (%d hits) to quickstart.ppm\n",
+		stats.PrimaryRays, stats.Hits)
+}

@@ -1,0 +1,3 @@
+module kdtune
+
+go 1.22

@@ -1,0 +1,267 @@
+package autotune
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+)
+
+// Sample records one measurement cycle: the configuration (parameter
+// values, not indices) that was active and the cost observed for it.
+type Sample struct {
+	Values []int
+	Cost   float64
+}
+
+// Options configures a Tuner. The zero value selects sensible defaults.
+type Options struct {
+	// Seed initialises the random sampling phase; 0 derives a seed from
+	// the current time.
+	Seed int64
+	// SeedSamples is the size of the random sampling phase that seeds the
+	// Nelder–Mead simplex (default: 2·(d+1), at least d+1).
+	SeedSamples int
+	// Clock returns a monotonic timestamp; tests inject a fake. Defaults
+	// to time.Now-based monotonic time.
+	Clock func() time.Duration
+	// RetuneThreshold triggers a search restart when the cost measured for
+	// the converged best configuration exceeds the best known cost by this
+	// factor for RetuneWindow consecutive cycles (online adaptation to
+	// drift, §V-D4 "repeating the optimization as needed"). <=1 disables.
+	RetuneThreshold float64
+	// RetuneWindow is the number of consecutive bad cycles before a
+	// restart (default 5).
+	RetuneWindow int
+}
+
+// Tuner is the online autotuner. It is not safe for concurrent use: the
+// client calls RegisterParameter during setup, then alternates Start/Stop
+// around the region being tuned (Figure 1).
+type Tuner struct {
+	opts   Options
+	params []*Param
+	rng    *rand.Rand
+	search searcher
+
+	started    bool
+	startStamp time.Duration
+	current    []int // indices per parameter of the active configuration
+
+	iterations int
+	best       []int // indices of the best configuration seen
+	bestCost   float64
+	history    []Sample
+
+	badStreak int // consecutive over-threshold cycles after convergence
+	restarts  int
+}
+
+// New creates a tuner with the given options.
+func New(opts Options) *Tuner {
+	if opts.Clock == nil {
+		base := time.Now()
+		opts.Clock = func() time.Duration { return time.Since(base) }
+	}
+	if opts.Seed == 0 {
+		opts.Seed = time.Now().UnixNano()
+	}
+	if opts.RetuneWindow <= 0 {
+		opts.RetuneWindow = 5
+	}
+	return &Tuner{
+		opts:     opts,
+		rng:      rand.New(rand.NewSource(opts.Seed)),
+		bestCost: math.Inf(1),
+	}
+}
+
+// RegisterParameter registers the integer variable at v for tuning over the
+// closed interval [min, max] with the given stride — the paper's
+// RegisterParameter(&N, min, max, step). Must be called before the first
+// Start.
+func (t *Tuner) RegisterParameter(v *int, min, max, step int) error {
+	vals, err := intervalValues(min, max, step)
+	if err != nil {
+		return err
+	}
+	return t.register("", v, vals)
+}
+
+// RegisterNamedParameter is RegisterParameter with a diagnostic name that
+// shows up in History dumps and harness reports.
+func (t *Tuner) RegisterNamedParameter(name string, v *int, min, max, step int) error {
+	vals, err := intervalValues(min, max, step)
+	if err != nil {
+		return err
+	}
+	return t.register(name, v, vals)
+}
+
+// RegisterPow2Parameter registers a variable constrained to powers of two
+// in [min, max], as the paper's τ_R = [16, 8192] (Table II).
+func (t *Tuner) RegisterPow2Parameter(name string, v *int, min, max int) error {
+	vals, err := pow2Values(min, max)
+	if err != nil {
+		return err
+	}
+	return t.register(name, v, vals)
+}
+
+func (t *Tuner) register(name string, v *int, values []int) error {
+	if t.search != nil {
+		return fmt.Errorf("autotune: cannot register parameters after tuning started")
+	}
+	if v == nil {
+		return fmt.Errorf("autotune: nil parameter target")
+	}
+	if name == "" {
+		name = fmt.Sprintf("param%d", len(t.params))
+	}
+	t.params = append(t.params, &Param{name: name, target: v, values: values})
+	return nil
+}
+
+// Params returns the registered parameters in registration order.
+func (t *Tuner) Params() []*Param { return t.params }
+
+// ensureSearch lazily builds the searcher on first Start.
+func (t *Tuner) ensureSearch() {
+	if t.search != nil {
+		return
+	}
+	seeds := t.opts.SeedSamples
+	if seeds <= 0 {
+		seeds = 2 * (len(t.params) + 1)
+	}
+	t.search = newNelderMead(t.params, seeds, t.rng)
+}
+
+// Start begins a measurement cycle: the configuration under test is written
+// into the registered client variables and the clock starts.
+func (t *Tuner) Start() {
+	if t.started {
+		panic("autotune: Start called twice without Stop")
+	}
+	if len(t.params) == 0 {
+		panic("autotune: no parameters registered")
+	}
+	t.ensureSearch()
+	t.current = t.search.Next()
+	for i, p := range t.params {
+		p.apply(t.current[i])
+	}
+	t.started = true
+	t.startStamp = t.opts.Clock()
+}
+
+// Stop ends the measurement cycle: the elapsed time is reported to the
+// search, bookkeeping is updated, and the next configuration is chosen (it
+// becomes visible to the client at the next Start).
+func (t *Tuner) Stop() {
+	elapsed := t.opts.Clock() - t.startStamp
+	t.StopWithCost(float64(elapsed))
+}
+
+// StopWithCost is Stop with an externally supplied cost value, for clients
+// whose objective is not wall-clock time (and for deterministic tests).
+func (t *Tuner) StopWithCost(cost float64) {
+	if !t.started {
+		panic("autotune: Stop called without Start")
+	}
+	t.started = false
+	t.iterations++
+
+	values := t.currentValues()
+	t.history = append(t.history, Sample{Values: values, Cost: cost})
+
+	wasConverged := t.search.Converged()
+	t.search.Report(t.current, cost)
+
+	if cost < t.bestCost {
+		t.bestCost = cost
+		t.best = append(t.best[:0], t.current...)
+	}
+
+	// Drift detection: once converged, persistent degradation of the best
+	// configuration triggers a re-tune.
+	if wasConverged && t.opts.RetuneThreshold > 1 {
+		if cost > t.bestCost*t.opts.RetuneThreshold {
+			t.badStreak++
+			if t.badStreak >= t.opts.RetuneWindow {
+				t.Retune()
+			}
+		} else {
+			t.badStreak = 0
+		}
+	}
+}
+
+// currentValues maps the active index vector to parameter values.
+func (t *Tuner) currentValues() []int {
+	vals := make([]int, len(t.current))
+	for i, p := range t.params {
+		vals[i] = p.values[t.current[i]]
+	}
+	return vals
+}
+
+// Converged reports whether the search has settled on a configuration.
+func (t *Tuner) Converged() bool {
+	return t.search != nil && t.search.Converged()
+}
+
+// Iterations returns the number of completed measurement cycles.
+func (t *Tuner) Iterations() int { return t.iterations }
+
+// Restarts returns how many drift-triggered re-tunes have happened.
+func (t *Tuner) Restarts() int { return t.restarts }
+
+// Best returns the parameter values and cost of the best configuration
+// measured so far. ok is false before the first completed cycle.
+func (t *Tuner) Best() (values []int, cost float64, ok bool) {
+	if t.best == nil {
+		return nil, 0, false
+	}
+	values = make([]int, len(t.best))
+	for i, p := range t.params {
+		values[i] = p.values[t.best[i]]
+	}
+	return values, t.bestCost, true
+}
+
+// ApplyBest writes the best known configuration into the client variables,
+// e.g. after tuning is declared finished.
+func (t *Tuner) ApplyBest() bool {
+	if t.best == nil {
+		return false
+	}
+	for i, p := range t.params {
+		p.apply(t.best[i])
+	}
+	return true
+}
+
+// History returns all measurement cycles in order. The returned slice is
+// shared; callers must not modify it.
+func (t *Tuner) History() []Sample { return t.history }
+
+// Retune restarts the search around the incumbent best configuration —
+// online adaptation when the measuring context K changes (new scene,
+// changed system load).
+func (t *Tuner) Retune() {
+	if t.search == nil || t.best == nil {
+		return
+	}
+	if nm, ok := t.search.(*nelderMead); ok {
+		seeds := t.opts.SeedSamples
+		if seeds <= 0 {
+			seeds = 2 * (len(t.params) + 1)
+		}
+		nm.restart(t.best, seeds)
+	}
+	t.badStreak = 0
+	t.restarts++
+	// The incumbent's recorded cost may reflect a stale context.
+	t.bestCost = math.Inf(1)
+}

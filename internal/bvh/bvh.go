@@ -1,0 +1,303 @@
+// Package bvh implements a binned-SAH Bounding Volume Hierarchy over
+// triangle soups. The paper's related work contrasts kD-tree tuning with
+// BVH-based approaches (Ganestam & Doggett tune a BVH ray tracer towards a
+// performance target, §II); this package provides that comparison structure
+// so the benchmark suite can put the tuned kD-trees next to the other
+// standard acceleration structure.
+//
+// Unlike kD-trees, a BVH partitions primitives (each referenced exactly
+// once, no duplication) while letting sibling boxes overlap; builds are
+// cheaper and memory is predictable, traversal typically touches more
+// nodes. BenchmarkKDTreeVsBVH measures exactly that trade-off.
+package bvh
+
+import (
+	"math"
+
+	"kdtune/internal/parallel"
+	"kdtune/internal/vecmath"
+)
+
+// node is one flattened BVH node. Leaves store a primitive range into
+// Tree.prims; inner nodes store the index of their right child (the left
+// child is the next node in the array: DFS layout).
+type node struct {
+	bounds vecmath.AABB
+	right  int32 // inner: index of right child; leaf: -1
+	start  int32 // leaf: first primitive
+	count  int32 // leaf: primitive count
+}
+
+// Tree is an immutable BVH over a triangle slice.
+type Tree struct {
+	tris  []vecmath.Triangle
+	prims []int32 // triangle indices, permuted so leaves are contiguous
+	nodes []node
+}
+
+// Config controls construction.
+type Config struct {
+	// MaxLeaf is the leaf-size cutoff (default 4).
+	MaxLeaf int
+	// Bins is the per-axis bin count for the SAH split search (default 16).
+	Bins int
+	// Workers is the parallelism budget for subtree tasks; <=0 = all.
+	Workers int
+}
+
+func (c Config) normalized() Config {
+	if c.MaxLeaf < 1 {
+		c.MaxLeaf = 4
+	}
+	if c.Bins < 2 {
+		c.Bins = 16
+	}
+	return c
+}
+
+// buildRef is a primitive reference with cached bounds and centroid.
+type buildRef struct {
+	tri      int32
+	bounds   vecmath.AABB
+	centroid vecmath.Vec3
+}
+
+// Build constructs a binned-SAH BVH.
+func Build(tris []vecmath.Triangle, cfg Config) *Tree {
+	cfg = cfg.normalized()
+	refs := make([]buildRef, 0, len(tris))
+	for i, tr := range tris {
+		b := tr.Bounds()
+		if !b.Min.IsFinite() || !b.Max.IsFinite() {
+			continue
+		}
+		refs = append(refs, buildRef{tri: int32(i), bounds: b, centroid: b.Center()})
+	}
+	t := &Tree{tris: tris}
+	if len(refs) == 0 {
+		return t
+	}
+	b := &builder{tree: t, cfg: cfg, pool: parallel.NewPool(cfg.Workers)}
+	root := b.recurse(refs)
+	b.flatten(root)
+	return t
+}
+
+// buildNode is the pointer-shaped node used during (parallel) construction.
+type buildNode struct {
+	bounds      vecmath.AABB
+	left, right *buildNode
+	refs        []buildRef // leaf only
+}
+
+type builder struct {
+	tree *Tree
+	cfg  Config
+	pool *parallel.Pool
+}
+
+func (b *builder) recurse(refs []buildRef) *buildNode {
+	bounds := vecmath.EmptyAABB()
+	cb := vecmath.EmptyAABB() // centroid bounds drive the split search
+	for _, r := range refs {
+		bounds = bounds.Union(r.bounds)
+		cb = cb.Extend(r.centroid)
+	}
+	n := &buildNode{bounds: bounds}
+	if len(refs) <= b.cfg.MaxLeaf {
+		n.refs = refs
+		return n
+	}
+
+	axis := cb.LongestAxis()
+	lo, hi := cb.Min.Axis(axis), cb.Max.Axis(axis)
+	if hi <= lo {
+		n.refs = refs
+		return n
+	}
+
+	// Binned SAH over centroid positions.
+	bins := b.cfg.Bins
+	type bin struct {
+		count  int
+		bounds vecmath.AABB
+	}
+	bs := make([]bin, bins)
+	for i := range bs {
+		bs[i].bounds = vecmath.EmptyAABB()
+	}
+	binOf := func(r buildRef) int {
+		i := int(float64(bins) * (r.centroid.Axis(axis) - lo) / (hi - lo))
+		if i < 0 {
+			return 0
+		}
+		if i >= bins {
+			return bins - 1
+		}
+		return i
+	}
+	for _, r := range refs {
+		i := binOf(r)
+		bs[i].count++
+		bs[i].bounds = bs[i].bounds.Union(r.bounds)
+	}
+
+	// Sweep bin boundaries for the cheapest SAH partition.
+	bestCost := math.Inf(1)
+	bestSplit := -1
+	leftAcc := make([]bin, bins)
+	acc := bin{bounds: vecmath.EmptyAABB()}
+	for i := 0; i < bins; i++ {
+		acc.count += bs[i].count
+		acc.bounds = acc.bounds.Union(bs[i].bounds)
+		leftAcc[i] = acc
+	}
+	racc := bin{bounds: vecmath.EmptyAABB()}
+	for i := bins - 1; i > 0; i-- {
+		racc.count += bs[i].count
+		racc.bounds = racc.bounds.Union(bs[i].bounds)
+		l := leftAcc[i-1]
+		if l.count == 0 || racc.count == 0 {
+			continue
+		}
+		cost := l.bounds.SurfaceArea()*float64(l.count) + racc.bounds.SurfaceArea()*float64(racc.count)
+		if cost < bestCost {
+			bestCost = cost
+			bestSplit = i
+		}
+	}
+	// Compare against leaving a leaf (SAH with unit costs). Oversized
+	// nodes are always split so construction keeps making progress.
+	leafCost := bounds.SurfaceArea() * float64(len(refs))
+	if bestSplit < 0 || (bestCost >= leafCost && len(refs) <= 4*b.cfg.MaxLeaf) {
+		n.refs = refs
+		return n
+	}
+
+	left := make([]buildRef, 0, len(refs)/2)
+	right := make([]buildRef, 0, len(refs)/2)
+	for _, r := range refs {
+		if binOf(r) < bestSplit {
+			left = append(left, r)
+		} else {
+			right = append(right, r)
+		}
+	}
+	if len(left) == 0 || len(right) == 0 {
+		// Degenerate (identical centroids): split by median index.
+		mid := len(refs) / 2
+		left, right = refs[:mid], refs[mid:]
+	}
+
+	done := make(chan struct{})
+	b.pool.Spawn(func() {
+		defer close(done)
+		n.left = b.recurse(left)
+	})
+	n.right = b.recurse(right)
+	<-done
+	return n
+}
+
+// flatten lays the pointer tree into the arrays (left child immediately
+// follows its parent).
+func (b *builder) flatten(root *buildNode) {
+	t := b.tree
+	var walk func(bn *buildNode) int32
+	walk = func(bn *buildNode) int32 {
+		idx := int32(len(t.nodes))
+		t.nodes = append(t.nodes, node{bounds: bn.bounds, right: -1})
+		if bn.refs != nil {
+			start := int32(len(t.prims))
+			for _, r := range bn.refs {
+				t.prims = append(t.prims, r.tri)
+			}
+			t.nodes[idx].start = start
+			t.nodes[idx].count = int32(len(bn.refs))
+			return idx
+		}
+		walk(bn.left)
+		t.nodes[idx].right = walk(bn.right)
+		return idx
+	}
+	walk(root)
+}
+
+// Hit mirrors the kD-tree hit record.
+type Hit struct {
+	T    float64
+	Tri  int
+	U, V float64
+}
+
+// Intersect returns the closest intersection in (tMin, tMax).
+func (t *Tree) Intersect(r vecmath.Ray, tMin, tMax float64) (Hit, bool) {
+	best := Hit{T: math.Inf(1)}
+	found := false
+	if len(t.nodes) == 0 {
+		return best, false
+	}
+	var stackArr [64]int32
+	stack := append(stackArr[:0], 0)
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[idx]
+		limit := tMax
+		if found && best.T < limit {
+			limit = best.T
+		}
+		if _, _, ok := n.bounds.IntersectRay(r, tMin, limit); !ok {
+			continue
+		}
+		if n.right < 0 && n.count > 0 {
+			for i := n.start; i < n.start+n.count; i++ {
+				ti := t.prims[i]
+				if th, u, v, hit := t.tris[ti].IntersectRay(r, tMin, tMax); hit && th < best.T {
+					best = Hit{T: th, Tri: int(ti), U: u, V: v}
+					found = true
+				}
+			}
+			continue
+		}
+		if n.right >= 0 {
+			stack = append(stack, idx+1, n.right)
+		}
+	}
+	if !found {
+		return Hit{}, false
+	}
+	return best, true
+}
+
+// Occluded reports whether anything blocks r in (tMin, tMax).
+func (t *Tree) Occluded(r vecmath.Ray, tMin, tMax float64) bool {
+	if len(t.nodes) == 0 {
+		return false
+	}
+	var stackArr [64]int32
+	stack := append(stackArr[:0], 0)
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[idx]
+		if _, _, ok := n.bounds.IntersectRay(r, tMin, tMax); !ok {
+			continue
+		}
+		if n.right < 0 && n.count > 0 {
+			for i := n.start; i < n.start+n.count; i++ {
+				if _, _, _, hit := t.tris[t.prims[i]].IntersectRay(r, tMin, tMax); hit {
+					return true
+				}
+			}
+			continue
+		}
+		if n.right >= 0 {
+			stack = append(stack, idx+1, n.right)
+		}
+	}
+	return false
+}
+
+// NumNodes returns the flattened node count.
+func (t *Tree) NumNodes() int { return len(t.nodes) }

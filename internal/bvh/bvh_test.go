@@ -1,0 +1,113 @@
+package bvh
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+func randomTriangles(r *rand.Rand, n int, extent, size float64) []vecmath.Triangle {
+	tris := make([]vecmath.Triangle, n)
+	for i := range tris {
+		c := vecmath.V(r.Float64()*extent, r.Float64()*extent, r.Float64()*extent)
+		tris[i] = vecmath.Tri(
+			c.Add(vecmath.V(r.NormFloat64()*size, r.NormFloat64()*size, r.NormFloat64()*size)),
+			c.Add(vecmath.V(r.NormFloat64()*size, r.NormFloat64()*size, r.NormFloat64()*size)),
+			c.Add(vecmath.V(r.NormFloat64()*size, r.NormFloat64()*size, r.NormFloat64()*size)),
+		)
+	}
+	return tris
+}
+
+func bruteClosest(tris []vecmath.Triangle, r vecmath.Ray, tMin, tMax float64) (Hit, bool) {
+	best := Hit{T: math.Inf(1)}
+	found := false
+	for i, tr := range tris {
+		if th, u, v, hit := tr.IntersectRay(r, tMin, tMax); hit && th < best.T {
+			best = Hit{T: th, Tri: i, U: u, V: v}
+			found = true
+		}
+	}
+	return best, found
+}
+
+func TestBVHMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(140))
+	tris := randomTriangles(r, 800, 10, 0.25)
+	tree := Build(tris, Config{Workers: 4})
+	for i := 0; i < 400; i++ {
+		o := vecmath.V(r.Float64()*20-5, r.Float64()*20-5, -4)
+		ray := vecmath.NewRay(o, vecmath.V(r.NormFloat64()*0.3, r.NormFloat64()*0.3, 1))
+		want, wantHit := bruteClosest(tris, ray, 1e-9, math.Inf(1))
+		got, gotHit := tree.Intersect(ray, 1e-9, math.Inf(1))
+		if wantHit != gotHit {
+			t.Fatalf("ray %d: hit mismatch", i)
+		}
+		if wantHit && math.Abs(got.T-want.T) > 1e-9*(1+want.T) {
+			t.Fatalf("ray %d: %v vs %v", i, got.T, want.T)
+		}
+	}
+}
+
+func TestBVHOccluded(t *testing.T) {
+	r := rand.New(rand.NewSource(141))
+	tris := randomTriangles(r, 400, 8, 0.3)
+	tree := Build(tris, Config{Workers: 2})
+	for i := 0; i < 300; i++ {
+		o := vecmath.V(r.Float64()*16-4, r.Float64()*16-4, r.Float64()*16-4)
+		p := vecmath.V(r.Float64()*8, r.Float64()*8, r.Float64()*8)
+		ray := vecmath.Towards(o, p)
+		_, want := bruteClosest(tris, ray, 1e-9, 1)
+		if got := tree.Occluded(ray, 1e-9, 1); got != want {
+			t.Fatalf("ray %d: occlusion %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestBVHEdgeCases(t *testing.T) {
+	if tree := Build(nil, Config{}); tree.NumNodes() != 0 {
+		t.Fatal("empty scene should have no nodes")
+	}
+	empty := Build(nil, Config{})
+	if _, ok := empty.Intersect(vecmath.NewRay(vecmath.V(0, 0, -1), vecmath.V(0, 0, 1)), 0, 10); ok {
+		t.Fatal("hit in empty BVH")
+	}
+	if empty.Occluded(vecmath.NewRay(vecmath.V(0, 0, -1), vecmath.V(0, 0, 1)), 0, 10) {
+		t.Fatal("occlusion in empty BVH")
+	}
+	one := []vecmath.Triangle{vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0))}
+	tree := Build(one, Config{})
+	h, ok := tree.Intersect(vecmath.NewRay(vecmath.V(0.2, 0.2, -1), vecmath.V(0, 0, 1)), 0, 10)
+	if !ok || h.Tri != 0 || math.Abs(h.T-1) > 1e-12 {
+		t.Fatalf("single triangle: %+v %v", h, ok)
+	}
+	// Identical centroids (stacked coincident triangles) must terminate.
+	var stacked []vecmath.Triangle
+	for i := 0; i < 100; i++ {
+		stacked = append(stacked, one[0])
+	}
+	if Build(stacked, Config{}) == nil {
+		t.Fatal("stacked build failed")
+	}
+}
+
+func TestBVHNoDuplication(t *testing.T) {
+	// A BVH references each primitive exactly once.
+	r := rand.New(rand.NewSource(142))
+	tris := randomTriangles(r, 1000, 10, 0.3)
+	tree := Build(tris, Config{Workers: 4})
+	seen := map[int32]int{}
+	for _, p := range tree.prims {
+		seen[p]++
+	}
+	if len(seen) != len(tris) {
+		t.Fatalf("BVH references %d distinct triangles, want %d", len(seen), len(tris))
+	}
+	for ti, c := range seen {
+		if c != 1 {
+			t.Fatalf("triangle %d referenced %d times", ti, c)
+		}
+	}
+}

@@ -1,0 +1,298 @@
+package harness
+
+import (
+	"fmt"
+	"time"
+
+	"kdtune/internal/autotune"
+	"kdtune/internal/kdtree"
+	"kdtune/internal/render"
+	"kdtune/internal/scene"
+)
+
+// Table II tuning ranges.
+const (
+	CIMin, CIMax = 3, 101
+	CBMin, CBMax = 0, 60
+	SMin, SMax   = 1, 8
+	RMin, RMax   = 16, 8192
+)
+
+// Search selects how configurations are chosen during a run.
+type Search int
+
+// The three configuration policies compared in the paper.
+const (
+	SearchFixed      Search = iota // keep the provided base configuration
+	SearchNelderMead               // AtuneRT: random seeding + Nelder-Mead
+	SearchExhaustive               // grid walk (§V-D4)
+)
+
+// RunConfig describes one tuning/measurement run of the Figure 4 workflow.
+type RunConfig struct {
+	Scene     *scene.Scene
+	Algorithm kdtree.Algorithm
+	Search    Search
+
+	Workers       int   // parallelism budget (platform simulation); <=0 = all
+	Width, Height int   // render resolution (default 192x144)
+	Seed          int64 // tuner RNG seed
+
+	// MaxIterations bounds the number of frames processed. For static
+	// scenes the loop additionally stops PostConverge frames after the
+	// tuner converges (the paper repeats until convergence).
+	MaxIterations int
+	PostConverge  int
+
+	// RepeatFrames repeats every animation frame this many times, the
+	// paper's trick for dynamic scenes whose sequences are too short for
+	// convergence ("we artificially extend the sequence by repeating every
+	// frame 5 times").
+	RepeatFrames int
+
+	// ExhaustiveStrides coarsens the §V-D4 grid (per parameter: CI, CB, S,
+	// R). nil = full grid.
+	ExhaustiveStrides []int
+
+	// Base is the configuration used by SearchFixed and as the speedup
+	// reference; zero-value selects kdtree.BaseConfig(Algorithm).
+	Base kdtree.Config
+
+	// RetuneThreshold/RetuneWindow enable the tuner's drift detection
+	// (restart the search when the converged configuration degrades), for
+	// scenes whose context shifts mid-run — e.g. camera paths. Zero
+	// disables, matching the paper's main experiments.
+	RetuneThreshold float64
+	RetuneWindow    int
+}
+
+// FrameRecord is the measurement of one frame (one Start/Stop cycle).
+type FrameRecord struct {
+	Iteration    int
+	FrameIndex   int
+	CI, CB, S, R int
+	Build        time.Duration
+	Render       time.Duration
+	Total        time.Duration
+}
+
+// RunResult aggregates a run.
+type RunResult struct {
+	Config                       RunConfig
+	Frames                       []FrameRecord
+	ConvergedAt                  int // iteration index of convergence, -1 if never
+	BestCI, BestCB, BestS, BestR int
+	BestTotal                    time.Duration
+}
+
+// normalize fills RunConfig defaults.
+func (rc RunConfig) normalize() RunConfig {
+	if rc.Width <= 0 {
+		rc.Width = 192
+	}
+	if rc.Height <= 0 {
+		rc.Height = rc.Width * 3 / 4
+	}
+	if rc.MaxIterations <= 0 {
+		rc.MaxIterations = 150
+	}
+	if rc.PostConverge <= 0 {
+		rc.PostConverge = 10
+	}
+	if rc.RepeatFrames <= 0 {
+		if rc.Scene != nil && rc.Scene.IsDynamic() {
+			rc.RepeatFrames = 5 // §V-C
+		} else {
+			rc.RepeatFrames = 1
+		}
+	}
+	if rc.Base.CI == 0 {
+		rc.Base = kdtree.BaseConfig(rc.Algorithm)
+	}
+	rc.Base.Algorithm = rc.Algorithm
+	rc.Base.Workers = rc.Workers
+	return rc
+}
+
+// Run executes the Figure 4 workflow: per frame, apply the configuration
+// under test, rebuild the kD-tree for the frame's geometry, render, and
+// report total frame time (m_a = t_c + t_r) to the search.
+func Run(rc RunConfig) *RunResult {
+	rc = rc.normalize()
+	res := &RunResult{Config: rc, ConvergedAt: -1}
+
+	// The tuned program variables, initialised to the base configuration.
+	ci, cb, s, r := int(rc.Base.CI), int(rc.Base.CB), rc.Base.S, rc.Base.R
+
+	var tuner *autotune.Tuner
+	registerParams := func(t *autotune.Tuner) error {
+		if err := t.RegisterNamedParameter("CI", &ci, CIMin, CIMax, 1); err != nil {
+			return err
+		}
+		if err := t.RegisterNamedParameter("CB", &cb, CBMin, CBMax, 1); err != nil {
+			return err
+		}
+		if err := t.RegisterNamedParameter("S", &s, SMin, SMax, 1); err != nil {
+			return err
+		}
+		if rc.Algorithm.HasR() {
+			return t.RegisterPow2Parameter("R", &r, RMin, RMax)
+		}
+		return nil
+	}
+	switch rc.Search {
+	case SearchNelderMead:
+		tuner = autotune.New(autotune.Options{
+			Seed:            rc.Seed,
+			RetuneThreshold: rc.RetuneThreshold,
+			RetuneWindow:    rc.RetuneWindow,
+		})
+		if err := registerParams(tuner); err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+	case SearchExhaustive:
+		var err error
+		tuner, err = autotune.NewExhaustiveTuner(autotune.Options{Seed: rc.Seed}, registerParams, rc.ExhaustiveStrides)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+	}
+
+	frameSeq := frameSequence(rc)
+	postLeft := rc.PostConverge
+	for iter := 0; iter < rc.MaxIterations; iter++ {
+		frame := frameSeq(iter)
+
+		if tuner != nil {
+			tuner.Start()
+		}
+		cfg := kdtree.Config{
+			Algorithm: rc.Algorithm,
+			CI:        float64(ci),
+			CB:        float64(cb),
+			S:         s,
+			R:         r,
+			Workers:   rc.Workers,
+		}
+
+		tris := rc.Scene.Triangles(frame)
+		t0 := time.Now()
+		tree := kdtree.Build(tris, cfg)
+		tBuild := time.Since(t0)
+		_, _ = render.Render(tree, rc.Scene.ViewAt(frame), rc.Scene.Lights, render.Options{
+			Width: rc.Width, Height: rc.Height, Workers: rc.Workers,
+		})
+		total := time.Since(t0)
+
+		if tuner != nil {
+			tuner.Stop()
+		}
+		res.Frames = append(res.Frames, FrameRecord{
+			Iteration: iter, FrameIndex: frame,
+			CI: ci, CB: cb, S: s, R: r,
+			Build: tBuild, Render: total - tBuild, Total: total,
+		})
+
+		if tuner != nil && tuner.Converged() {
+			if res.ConvergedAt < 0 {
+				res.ConvergedAt = iter
+			}
+			// For static scenes, keep measuring a little longer for stable
+			// post-convergence numbers, then stop; dynamic scenes keep
+			// running to the iteration budget (the context keeps changing).
+			// An exhausted exhaustive grid has nothing left to explore
+			// either way.
+			contextChanges := rc.Scene.IsDynamic() || rc.Scene.CameraPath != nil
+			if !contextChanges || rc.Search == SearchExhaustive {
+				postLeft--
+				if postLeft <= 0 {
+					break
+				}
+			}
+		}
+	}
+
+	if tuner != nil {
+		if best, _, ok := tuner.Best(); ok {
+			res.BestCI, res.BestCB, res.BestS = best[0], best[1], best[2]
+			if rc.Algorithm.HasR() {
+				res.BestR = best[3]
+			} else {
+				res.BestR = rc.Base.R
+			}
+		}
+	} else {
+		res.BestCI, res.BestCB, res.BestS, res.BestR = ci, cb, s, r
+	}
+	res.BestTotal = res.SteadyStateTime()
+	return res
+}
+
+// frameSequence maps iteration index to animation frame following §V-C:
+// static scenes repeat frame 0; dynamic scenes walk the sequence with each
+// frame repeated RepeatFrames times, wrapping around.
+func frameSequence(rc RunConfig) func(iter int) int {
+	if !rc.Scene.IsDynamic() && rc.Scene.CameraPath == nil {
+		return func(int) int { return 0 }
+	}
+	total := rc.Scene.Frames * rc.RepeatFrames
+	return func(iter int) int {
+		return (iter % total) / rc.RepeatFrames
+	}
+}
+
+// BestConfig assembles the run's best-found parameters into a build
+// configuration.
+func (r *RunResult) BestConfig() kdtree.Config {
+	return kdtree.Config{
+		Algorithm: r.Config.Algorithm,
+		CI:        float64(r.BestCI),
+		CB:        float64(r.BestCB),
+		S:         r.BestS,
+		R:         r.BestR,
+		Workers:   r.Config.Workers,
+	}
+}
+
+// SteadyStateTime returns the median frame time of the run's last third —
+// the post-convergence behaviour, robust to the exploration phase and to
+// measurement outliers.
+func (r *RunResult) SteadyStateTime() time.Duration {
+	if len(r.Frames) == 0 {
+		return 0
+	}
+	tail := r.Frames[len(r.Frames)*2/3:]
+	ds := make([]time.Duration, len(tail))
+	for i, f := range tail {
+		ds[i] = f.Total
+	}
+	return MedianDuration(ds)
+}
+
+// SpeedupTrace returns, per iteration, base/t_i — the convergence curve of
+// Figure 8 for a single run (callers average traces across repetitions).
+func (r *RunResult) SpeedupTrace(base time.Duration) []float64 {
+	out := make([]float64, len(r.Frames))
+	for i, f := range r.Frames {
+		if f.Total > 0 {
+			out[i] = float64(base) / float64(f.Total)
+		}
+	}
+	return out
+}
+
+// MeasureFixed measures the scene/algorithm under a fixed configuration:
+// the denominator of every speedup in the paper. It renders `frames` frames
+// (cycling animation frames for dynamic scenes) and returns the median
+// frame time.
+func MeasureFixed(rc RunConfig, frames int) time.Duration {
+	rc = rc.normalize()
+	rc.Search = SearchFixed
+	rc.MaxIterations = frames
+	res := Run(rc)
+	ds := make([]time.Duration, len(res.Frames))
+	for i, f := range res.Frames {
+		ds[i] = f.Total
+	}
+	return MedianDuration(ds)
+}

@@ -1,0 +1,82 @@
+// Package harness drives the paper's evaluation (§V): the ray-caster tuning
+// workflow of Figure 4, and one experiment driver per table and figure of
+// the paper, each returning structured results plus a text formatter that
+// prints the same rows/series the paper reports.
+package harness
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// Summary is a five-number box-plot summary (plus mean), the statistic
+// behind the paper's Figures 7 and 9.
+type Summary struct {
+	Min, Q1, Median, Q3, Max float64
+	Mean                     float64
+	N                        int
+}
+
+// Summarize computes the five-number summary of xs (which it sorts in
+// place). Quartiles use linear interpolation between order statistics.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sort.Float64s(xs)
+	q := func(p float64) float64 {
+		if len(xs) == 1 {
+			return xs[0]
+		}
+		pos := p * float64(len(xs)-1)
+		lo := int(math.Floor(pos))
+		hi := int(math.Ceil(pos))
+		frac := pos - float64(lo)
+		return xs[lo]*(1-frac) + xs[hi]*frac
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	return Summary{
+		Min: xs[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: xs[len(xs)-1],
+		Mean: mean, N: len(xs),
+	}
+}
+
+// String renders the summary as "min/q1/med/q3/max".
+func (s Summary) String() string {
+	return fmt.Sprintf("min %.4g | q1 %.4g | med %.4g | q3 %.4g | max %.4g (n=%d)",
+		s.Min, s.Q1, s.Median, s.Q3, s.Max, s.N)
+}
+
+// Normalize01 linearly maps v from [lo, hi] to [0, 100], the scale used in
+// Figure 7 ("parameter ranges have been normalized to [0, 100]").
+func Normalize01(v, lo, hi float64) float64 {
+	if hi <= lo {
+		return 0
+	}
+	return 100 * (v - lo) / (hi - lo)
+}
+
+// NormalizeLog2 maps a power-of-two value from [lo, hi] to [0, 100] on a
+// log2 scale, appropriate for the R parameter whose grid is exponential.
+func NormalizeLog2(v, lo, hi float64) float64 {
+	if v <= 0 || hi <= lo || lo <= 0 {
+		return 0
+	}
+	return 100 * (math.Log2(v) - math.Log2(lo)) / (math.Log2(hi) - math.Log2(lo))
+}
+
+// MedianDuration returns the median of a duration slice (sorting a copy).
+func MedianDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), ds...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[len(cp)/2]
+}

@@ -1,0 +1,176 @@
+package kdtree
+
+import (
+	"kdtune/internal/parallel"
+	"kdtune/internal/sah"
+	"kdtune/internal/vecmath"
+)
+
+// Build constructs an SAH kD-tree over tris with the given configuration,
+// dispatching to the algorithm selected in cfg. The triangle slice is
+// retained by reference; degenerate triangles are kept in leaves (they are
+// harmless: intersection tests reject them) but contribute bounds like any
+// other primitive only if finite.
+func Build(tris []vecmath.Triangle, cfg Config) *Tree {
+	cfg = cfg.normalized(len(tris))
+	ctx := newBuildCtx(tris, cfg)
+
+	var root *buildNode
+	switch cfg.Algorithm {
+	case AlgoNodeLevel:
+		root = ctx.buildNodeLevel()
+	case AlgoNested:
+		root = ctx.buildNested()
+	case AlgoInPlace:
+		root = ctx.buildBreadthFirst(false)
+	case AlgoLazy:
+		root = ctx.buildBreadthFirst(true)
+	case AlgoMedian:
+		root = ctx.buildMedian()
+	case AlgoSortOnce:
+		root = ctx.buildSortOnce()
+	default:
+		root = ctx.buildNodeLevel()
+	}
+
+	return flatten(root, tris, cfg, ctx.counters.snapshot(cfg.Algorithm, len(tris)))
+}
+
+// item pairs a triangle index with the triangle's bounds restricted to the
+// node currently holding it. Builders thread []item through the recursion
+// so each partition step can reuse the already-narrowed boxes.
+type item struct {
+	tri    int32
+	bounds vecmath.AABB
+}
+
+// buildCtx is the per-build shared state: immutable inputs plus the task
+// pool and statistics counters.
+type buildCtx struct {
+	tris     []vecmath.Triangle
+	cfg      Config
+	params   sah.Params
+	pool     *parallel.Pool
+	counters buildCounters
+	spawnCap int // recursion depth below which subtree tasks are spawned
+}
+
+func newBuildCtx(tris []vecmath.Triangle, cfg Config) *buildCtx {
+	return &buildCtx{
+		tris:     tris,
+		cfg:      cfg,
+		params:   cfg.sahParams(),
+		pool:     parallel.NewPool(cfg.Workers),
+		spawnCap: cfg.spawnDepth(),
+	}
+}
+
+// rootItems computes the world bounds and the initial item list (skipping
+// triangles without finite bounds).
+func (c *buildCtx) rootItems() ([]item, vecmath.AABB) {
+	items := make([]item, 0, len(c.tris))
+	bounds := vecmath.EmptyAABB()
+	for i, tr := range c.tris {
+		b := tr.Bounds()
+		if !b.Min.IsFinite() || !b.Max.IsFinite() {
+			continue
+		}
+		items = append(items, item{tri: int32(i), bounds: b})
+		bounds = bounds.Union(b)
+	}
+	return items, bounds
+}
+
+// makeLeaf materialises a leaf buildNode and records statistics.
+func (c *buildCtx) makeLeaf(items []item, bounds vecmath.AABB, depth int) *buildNode {
+	tris := make([]int32, len(items))
+	for i, it := range items {
+		tris[i] = it.tri
+	}
+	c.counters.noteLeaf(len(tris), depth)
+	return &buildNode{bounds: bounds, tris: tris, leaf: true}
+}
+
+// makeDeferred materialises a suspended node (lazy builder).
+func (c *buildCtx) makeDeferred(items []item, bounds vecmath.AABB, depth int) *buildNode {
+	tris := make([]int32, len(items))
+	for i, it := range items {
+		tris[i] = it.tri
+	}
+	c.counters.noteDeferred(depth)
+	return &buildNode{bounds: bounds, tris: tris, deferred: true}
+}
+
+// childBounds returns the bounds of item it inside child box, either by
+// re-clipping the source triangle (perfect splits) or by box intersection.
+func (c *buildCtx) childBounds(it item, child vecmath.AABB) (vecmath.AABB, bool) {
+	if c.cfg.UseClipping {
+		return vecmath.ClipTriangleBounds(c.tris[it.tri], child)
+	}
+	b := it.bounds.Intersect(child)
+	if b.IsEmpty() {
+		return b, false
+	}
+	return b, true
+}
+
+// partition splits items across the two child boxes of a split plane.
+// Primitives overlapping both sides are duplicated (the (Nl+Nr−Nb)·CB term
+// of equation 1); primitives lying exactly on the plane go left.
+func (c *buildCtx) partition(items []item, split sah.Split, parent vecmath.AABB) (left, right []item, lb, rb vecmath.AABB) {
+	lb, rb = parent.Split(split.Axis, split.Pos)
+	left = make([]item, 0, split.NL)
+	right = make([]item, 0, split.NR)
+	for _, it := range items {
+		lo := it.bounds.Min.Axis(split.Axis)
+		hi := it.bounds.Max.Axis(split.Axis)
+		switch {
+		case hi <= split.Pos && lo < split.Pos, lo == hi && lo == split.Pos:
+			// Entirely left, or planar on the split plane.
+			if b, ok := c.childBounds(it, lb); ok {
+				left = append(left, item{it.tri, b})
+			}
+		case lo >= split.Pos:
+			if b, ok := c.childBounds(it, rb); ok {
+				right = append(right, item{it.tri, b})
+			}
+		default:
+			// Straddler: duplicate into both children.
+			if b, ok := c.childBounds(it, lb); ok {
+				left = append(left, item{it.tri, b})
+			}
+			if b, ok := c.childBounds(it, rb); ok {
+				right = append(right, item{it.tri, b})
+			}
+		}
+	}
+	return left, right, lb, rb
+}
+
+// itemBoxes extracts the bounds column of items for the split-search APIs.
+func itemBoxes(items []item) []vecmath.AABB {
+	boxes := make([]vecmath.AABB, len(items))
+	for i, it := range items {
+		boxes[i] = it.bounds
+	}
+	return boxes
+}
+
+// decideSplit runs the event sweep and applies the SAH termination rule
+// (equation 2). A nil result means "make a leaf".
+func (c *buildCtx) decideSplitSweep(items []item, bounds vecmath.AABB, depth int) (sah.Split, bool) {
+	if len(items) <= 1 || depth >= c.cfg.MaxDepth {
+		return sah.Split{}, false
+	}
+	// The event sort dominates the sweep; give the full worker budget to
+	// the topmost (huge) nodes where few subtree tasks exist yet.
+	workers := 1
+	if len(items) >= 32768 {
+		workers = c.cfg.Workers
+	}
+	split, ok := sah.FindBestSplitSweepWorkers(c.params, bounds, itemBoxes(items), workers)
+	if !ok || c.params.ShouldTerminate(len(items), split) {
+		return sah.Split{}, false
+	}
+	return split, true
+}

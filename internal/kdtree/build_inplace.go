@@ -1,0 +1,270 @@
+package kdtree
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kdtune/internal/parallel"
+	"kdtune/internal/sah"
+	"kdtune/internal/vecmath"
+)
+
+// levelNode is one active node of the breadth-first frontier. Its items
+// live in a contiguous range of the level's item array.
+type levelNode struct {
+	bn     *buildNode // tree node under construction
+	bounds vecmath.AABB
+	start  int // item range [start, end) in the level array
+	end    int
+	depth  int
+}
+
+// buildBreadthFirst implements the in-place parallel algorithm of §IV-C and
+// its lazy variant of §IV-D. The tree is built one level at a time:
+//
+//  1. For every node of the frontier the best split is found by binning its
+//     primitives — parallel across nodes, and within large nodes parallel
+//     across primitives (parallel histogram + merge).
+//  2. Every (triangle, node) pair is reassigned to the children —
+//     embarrassingly parallel across pairs, with duplication for
+//     straddlers; offsets come from per-node prefix sums.
+//
+// Once the frontier is wide enough to keep every worker busy with S
+// subtrees each (the S parameter), the remaining nodes are finished as
+// independent subtree tasks — the paper's lazy variant describes exactly
+// this structure ("parallelized across the primitives in the top-level
+// nodes and across subtrees in the lower levels").
+//
+// When lazy is true, nodes holding fewer than R primitives are suspended
+// instead of subdivided; they expand on first ray contact (§IV-D).
+func (c *buildCtx) buildBreadthFirst(lazy bool) *buildNode {
+	items, bounds := c.rootItems()
+	if len(items) == 0 {
+		return nil
+	}
+
+	root := &buildNode{bounds: bounds}
+	frontier := []levelNode{{bn: root, bounds: bounds, start: 0, end: len(items), depth: 0}}
+	switchWidth := c.cfg.S * c.cfg.Workers
+
+	for len(frontier) > 0 {
+		if len(frontier) >= switchWidth {
+			// Enough subtrees for every worker: finish each node as an
+			// independent task.
+			var wg sync.WaitGroup
+			for _, ln := range frontier {
+				ln := ln
+				sub := items[ln.start:ln.end:ln.end]
+				wg.Add(1)
+				c.pool.Spawn(func() {
+					defer wg.Done()
+					c.finishSubtree(ln.bn, sub, ln.bounds, ln.depth, lazy)
+				})
+			}
+			wg.Wait()
+			return root
+		}
+		frontier, items = c.processLevel(frontier, items, lazy)
+	}
+	return root
+}
+
+// finishSubtree completes one frontier node depth-first (sweep-based
+// recursion), honouring the lazy threshold.
+func (c *buildCtx) finishSubtree(bn *buildNode, items []item, bounds vecmath.AABB, depth int, lazy bool) {
+	if lazy && len(items) < c.cfg.R {
+		d := c.makeDeferred(items, bounds, depth)
+		*bn = *d
+		return
+	}
+	split, ok := c.decideSplitSweep(items, bounds, depth)
+	if !ok {
+		*bn = *c.makeLeaf(items, bounds, depth)
+		return
+	}
+	left, right, lb, rb := c.partition(items, split, bounds)
+	if len(left) == len(items) && len(right) == len(items) {
+		*bn = *c.makeLeaf(items, bounds, depth)
+		return
+	}
+	c.counters.noteInner()
+	bn.bounds = bounds
+	bn.axis = split.Axis
+	bn.pos = split.Pos
+	bn.left = &buildNode{}
+	bn.right = &buildNode{}
+	c.finishSubtree(bn.left, left, lb, depth+1, lazy)
+	c.finishSubtree(bn.right, right, rb, depth+1, lazy)
+}
+
+// levelDecision is the per-node outcome of the split-search phase.
+type levelDecision struct {
+	split sah.Split
+	doit  bool
+}
+
+// processLevel performs one breadth-first step over the whole frontier and
+// returns the next frontier plus its item array.
+func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) ([]levelNode, []item) {
+	workers := c.cfg.Workers
+
+	// Phase 1: best split per node. Parallel across nodes; within a node
+	// the histogram is built by per-worker private BinSets merged at the
+	// end (the parallel prefix structure of Choi et al.).
+	decisions := make([]levelDecision, len(frontier))
+	parallel.ForEach(len(frontier), workers, func(ni int) {
+		ln := frontier[ni]
+		sub := items[ln.start:ln.end]
+		if lazy && len(sub) < c.cfg.R {
+			return // suspend below
+		}
+		if len(sub) <= 1 || ln.depth >= c.cfg.MaxDepth {
+			return
+		}
+		split, ok := c.binnedSplitMaybeParallel(sub, ln.bounds)
+		if !ok || c.params.ShouldTerminate(len(sub), split) {
+			return
+		}
+		decisions[ni] = levelDecision{split: split, doit: true}
+	})
+
+	// Phase 2: classify every (triangle, node) pair and compute per-node
+	// child sizes, then scatter into the next level's item array.
+	type childPlan struct {
+		leftStart, rightStart int // offsets into the next item array
+		nl, nr                int
+	}
+	plans := make([]childPlan, len(frontier))
+	counts := make([][2]atomic.Int64, len(frontier))
+
+	parallel.ForEach(len(frontier), workers, func(ni int) {
+		if !decisions[ni].doit {
+			return
+		}
+		ln := frontier[ni]
+		split := decisions[ni].split
+		lb, rb := ln.bounds.Split(split.Axis, split.Pos)
+		sub := items[ln.start:ln.end]
+		parallel.ForGrain(len(sub), workers, 4096, func(lo, hi int) {
+			var nl, nr int64
+			for i := lo; i < hi; i++ {
+				gl, gr := c.classify(sub[i], split, lb, rb)
+				if gl {
+					nl++
+				}
+				if gr {
+					nr++
+				}
+			}
+			counts[ni][0].Add(nl)
+			counts[ni][1].Add(nr)
+		})
+	})
+
+	next := 0
+	for ni := range frontier {
+		if !decisions[ni].doit {
+			continue
+		}
+		plans[ni].nl = int(counts[ni][0].Load())
+		plans[ni].nr = int(counts[ni][1].Load())
+		plans[ni].leftStart = next
+		next += plans[ni].nl
+		plans[ni].rightStart = next
+		next += plans[ni].nr
+	}
+
+	nextItems := make([]item, next)
+	nextFrontier := make([]levelNode, 0, 2*len(frontier))
+	var cursors []struct{ l, r atomic.Int64 }
+	cursors = make([]struct{ l, r atomic.Int64 }, len(frontier))
+
+	parallel.ForEach(len(frontier), workers, func(ni int) {
+		ln := frontier[ni]
+		sub := items[ln.start:ln.end]
+		if !decisions[ni].doit {
+			return
+		}
+		split := decisions[ni].split
+		lb, rb := ln.bounds.Split(split.Axis, split.Pos)
+		plan := plans[ni]
+		parallel.ForGrain(len(sub), workers, 4096, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				it := sub[i]
+				gl, gr := c.classify(it, split, lb, rb)
+				if gl {
+					b, _ := c.childBounds(it, lb)
+					dst := plan.leftStart + int(cursors[ni].l.Add(1)-1)
+					nextItems[dst] = item{it.tri, b}
+				}
+				if gr {
+					b, _ := c.childBounds(it, rb)
+					dst := plan.rightStart + int(cursors[ni].r.Add(1)-1)
+					nextItems[dst] = item{it.tri, b}
+				}
+			}
+		})
+	})
+
+	// Phase 3: materialise tree nodes and the next frontier; leaves and
+	// suspended nodes terminate here.
+	for ni, ln := range frontier {
+		sub := items[ln.start:ln.end]
+		if !decisions[ni].doit {
+			if lazy && len(sub) >= 1 && len(sub) < c.cfg.R && ln.depth < c.cfg.MaxDepth && len(sub) > 1 {
+				*ln.bn = *c.makeDeferred(sub, ln.bounds, ln.depth)
+			} else {
+				*ln.bn = *c.makeLeaf(sub, ln.bounds, ln.depth)
+			}
+			continue
+		}
+		plan := plans[ni]
+		// A split that duplicates everything into both children makes no
+		// progress; bail to a leaf exactly like the recursive builders.
+		if plan.nl == len(sub) && plan.nr == len(sub) {
+			*ln.bn = *c.makeLeaf(sub, ln.bounds, ln.depth)
+			continue
+		}
+		split := decisions[ni].split
+		lb, rb := ln.bounds.Split(split.Axis, split.Pos)
+		c.counters.noteInner()
+		ln.bn.axis = split.Axis
+		ln.bn.pos = split.Pos
+		ln.bn.left = &buildNode{bounds: lb}
+		ln.bn.right = &buildNode{bounds: rb}
+		nextFrontier = append(nextFrontier,
+			levelNode{bn: ln.bn.left, bounds: lb, start: plan.leftStart, end: plan.leftStart + plan.nl, depth: ln.depth + 1},
+			levelNode{bn: ln.bn.right, bounds: rb, start: plan.rightStart, end: plan.rightStart + plan.nr, depth: ln.depth + 1},
+		)
+	}
+	return nextFrontier, nextItems
+}
+
+// classify reports whether an item lands in the left and/or right child,
+// mirroring the sequential partition rules (planar primitives go left).
+// The childBounds check is included so clipped-away straddler halves do not
+// get phantom slots.
+func (c *buildCtx) classify(it item, split sah.Split, lb, rb vecmath.AABB) (goesLeft, goesRight bool) {
+	lo := it.bounds.Min.Axis(split.Axis)
+	hi := it.bounds.Max.Axis(split.Axis)
+	if lo < split.Pos || (lo == hi && lo == split.Pos) {
+		if _, ok := c.childBounds(it, lb); ok {
+			goesLeft = true
+		}
+	}
+	if hi > split.Pos {
+		if _, ok := c.childBounds(it, rb); ok {
+			goesRight = true
+		}
+	}
+	return goesLeft, goesRight
+}
+
+// binnedSplitMaybeParallel picks the split for one frontier node, using
+// intra-node parallelism only when the node is large enough to amortise it.
+func (c *buildCtx) binnedSplitMaybeParallel(sub []item, bounds vecmath.AABB) (sah.Split, bool) {
+	if len(sub) < nestedSequentialCutoff {
+		return sah.FindBestSplitBinned(c.params, bounds, itemBoxes(sub), c.cfg.Bins)
+	}
+	return c.parallelBestSplit(sub, bounds)
+}

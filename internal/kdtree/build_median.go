@@ -1,0 +1,77 @@
+package kdtree
+
+import (
+	"sync"
+
+	"kdtune/internal/vecmath"
+)
+
+// AlgoMedian is the classic non-SAH baseline: spatial-median splitting on
+// the longest axis, terminating on a fixed leaf size. It ignores CI/CB (no
+// cost model) and exists to quantify what the SAH — and therefore tuning
+// the SAH's parameters — buys. It is not part of the paper's four variants
+// but is the standard strawman in the kD-tree literature (cf. Wald–Havran
+// §2) and backs the BenchmarkMedianVsSAH ablation.
+const AlgoMedian Algorithm = 100
+
+// medianLeafSize is the fixed termination threshold of the baseline.
+const medianLeafSize = 16
+
+// buildMedian recursively splits at the spatial median of the longest axis,
+// parallelised with the same subtree-task scheme as the node-level builder.
+func (c *buildCtx) buildMedian() *buildNode {
+	items, bounds := c.rootItems()
+	if len(items) == 0 {
+		return nil
+	}
+	return c.recurseMedian(items, bounds, 0)
+}
+
+func (c *buildCtx) recurseMedian(items []item, bounds vecmath.AABB, depth int) *buildNode {
+	if len(items) <= medianLeafSize || depth >= c.cfg.MaxDepth {
+		return c.makeLeaf(items, bounds, depth)
+	}
+	axis := bounds.LongestAxis()
+	pos := (bounds.Min.Axis(axis) + bounds.Max.Axis(axis)) / 2
+	lb, rb := bounds.Split(axis, pos)
+
+	left := make([]item, 0, len(items)/2)
+	right := make([]item, 0, len(items)/2)
+	for _, it := range items {
+		lo := it.bounds.Min.Axis(axis)
+		hi := it.bounds.Max.Axis(axis)
+		if lo < pos || (lo == hi && lo == pos) {
+			if b, ok := c.childBounds(it, lb); ok {
+				left = append(left, item{it.tri, b})
+			}
+		}
+		if hi > pos {
+			if b, ok := c.childBounds(it, rb); ok {
+				right = append(right, item{it.tri, b})
+			}
+		}
+	}
+	if len(left) == len(items) && len(right) == len(items) {
+		return c.makeLeaf(items, bounds, depth)
+	}
+
+	c.counters.noteInner()
+	n := &buildNode{bounds: bounds, axis: axis, pos: pos}
+	if depth < c.spawnCap {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		c.pool.Spawn(func() {
+			defer wg.Done()
+			n.left = c.recurseMedian(left, lb, depth+1)
+		})
+		c.pool.Spawn(func() {
+			defer wg.Done()
+			n.right = c.recurseMedian(right, rb, depth+1)
+		})
+		wg.Wait()
+	} else {
+		n.left = c.recurseMedian(left, lb, depth+1)
+		n.right = c.recurseMedian(right, rb, depth+1)
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package kdtree
+
+import (
+	"sync"
+
+	"kdtune/internal/parallel"
+	"kdtune/internal/sah"
+	"kdtune/internal/vecmath"
+)
+
+// nestedSequentialCutoff is the node size below which the nested builder
+// stops parallelising within nodes and falls back to the plain node-level
+// recursion: for small primitive lists the fork-join and scan overhead
+// exceeds the work (Choi et al. make the same transition from their
+// "nested" to per-subtree processing once enough parallelism exists across
+// subtrees).
+const nestedSequentialCutoff = 2048
+
+// buildNested implements the nested parallel algorithm of §IV-B: subtree
+// tasks exactly as in the node-level variant, plus parallel processing of
+// the primitive list inside a node. The per-node work — histogramming
+// primitive extents and partitioning the list — is expressed as parallel
+// passes over primitive chunks followed by short serialised merges, the
+// "sequence of parallel prefix operations" structure of the original
+// algorithm.
+func (c *buildCtx) buildNested() *buildNode {
+	items, bounds := c.rootItems()
+	if len(items) == 0 {
+		return nil
+	}
+	return c.recurseNested(items, bounds, 0)
+}
+
+func (c *buildCtx) recurseNested(items []item, bounds vecmath.AABB, depth int) *buildNode {
+	if len(items) < nestedSequentialCutoff {
+		return c.recurseNodeLevel(items, bounds, depth)
+	}
+	if depth >= c.cfg.MaxDepth {
+		return c.makeLeaf(items, bounds, depth)
+	}
+
+	split, ok := c.parallelBestSplit(items, bounds)
+	if !ok || c.params.ShouldTerminate(len(items), split) {
+		return c.makeLeaf(items, bounds, depth)
+	}
+
+	left, right, lb, rb := c.parallelPartition(items, split, bounds)
+	if len(left) == len(items) && len(right) == len(items) {
+		return c.makeLeaf(items, bounds, depth)
+	}
+
+	c.counters.noteInner()
+	n := &buildNode{bounds: bounds, axis: split.Axis, pos: split.Pos}
+	if depth < c.spawnCap {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		c.pool.Spawn(func() {
+			defer wg.Done()
+			n.left = c.recurseNested(left, lb, depth+1)
+		})
+		c.pool.Spawn(func() {
+			defer wg.Done()
+			n.right = c.recurseNested(right, rb, depth+1)
+		})
+		wg.Wait()
+	} else {
+		n.left = c.recurseNested(left, lb, depth+1)
+		n.right = c.recurseNested(right, rb, depth+1)
+	}
+	return n
+}
+
+// parallelBestSplit evaluates the binned SAH split search with per-worker
+// private histograms merged at the barrier (parallel histogram + scan).
+func (c *buildCtx) parallelBestSplit(items []item, bounds vecmath.AABB) (sah.Split, bool) {
+	workers := c.cfg.Workers
+	sets := make([]*sah.BinSet, workers)
+	n := len(items)
+	chunk := (n + workers - 1) / workers
+	parallel.For(n, workers, func(lo, hi int) {
+		bs := sah.NewBinSet(bounds, c.cfg.Bins)
+		for i := lo; i < hi; i++ {
+			bs.Add(items[i].bounds)
+		}
+		sets[lo/chunk] = bs
+	})
+	total := sah.NewBinSet(bounds, c.cfg.Bins)
+	for _, bs := range sets {
+		if bs != nil {
+			total.Merge(bs)
+		}
+	}
+	return total.BestSplit(c.params)
+}
+
+// sideFlag classifies one item against a split plane.
+type sideFlag uint8
+
+const (
+	sideLeft sideFlag = 1 << iota
+	sideRight
+)
+
+// parallelPartition distributes items into the two children using the
+// classic three-phase structure: a parallel classification pass computing
+// per-item output counts, exclusive prefix scans turning the counts into
+// write offsets, and a parallel scatter pass.
+func (c *buildCtx) parallelPartition(items []item, split sah.Split, parent vecmath.AABB) (left, right []item, lb, rb vecmath.AABB) {
+	lb, rb = parent.Split(split.Axis, split.Pos)
+	n := len(items)
+	workers := c.cfg.Workers
+
+	flags := make([]sideFlag, n)
+	leftCount := make([]int, n)
+	rightCount := make([]int, n)
+	// childBoxes caches the narrowed bounds computed during classification
+	// so the scatter pass does not redo the (potentially expensive)
+	// clipping.
+	type narrowed struct{ l, r vecmath.AABB }
+	boxes := make([]narrowed, n)
+
+	parallel.For(n, workers, func(loIdx, hiIdx int) {
+		for i := loIdx; i < hiIdx; i++ {
+			it := items[i]
+			lo := it.bounds.Min.Axis(split.Axis)
+			hi := it.bounds.Max.Axis(split.Axis)
+			goesLeft := lo < split.Pos || (lo == hi && lo == split.Pos)
+			goesRight := hi > split.Pos
+			if goesLeft {
+				if b, ok := c.childBounds(it, lb); ok {
+					flags[i] |= sideLeft
+					leftCount[i] = 1
+					boxes[i].l = b
+				}
+			}
+			if goesRight {
+				if b, ok := c.childBounds(it, rb); ok {
+					flags[i] |= sideRight
+					rightCount[i] = 1
+					boxes[i].r = b
+				}
+			}
+		}
+	})
+
+	nl := parallel.ExclusiveScan(leftCount, leftCount, workers)
+	nr := parallel.ExclusiveScan(rightCount, rightCount, workers)
+	left = make([]item, nl)
+	right = make([]item, nr)
+
+	parallel.For(n, workers, func(loIdx, hiIdx int) {
+		for i := loIdx; i < hiIdx; i++ {
+			if flags[i]&sideLeft != 0 {
+				left[leftCount[i]] = item{items[i].tri, boxes[i].l}
+			}
+			if flags[i]&sideRight != 0 {
+				right[rightCount[i]] = item{items[i].tri, boxes[i].r}
+			}
+		}
+	})
+	return left, right, lb, rb
+}

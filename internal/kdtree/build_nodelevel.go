@@ -1,0 +1,55 @@
+package kdtree
+
+import (
+	"sync"
+
+	"kdtune/internal/vecmath"
+)
+
+// buildNodeLevel implements the node-level parallel algorithm of §IV-A: the
+// Wald–Havran recursion, with the two child subtrees of an inner node
+// handed to the task pool ("OpenMP tasks for every recursive call") while
+// the recursion is shallower than the spawn budget derived from S.
+func (c *buildCtx) buildNodeLevel() *buildNode {
+	items, bounds := c.rootItems()
+	if len(items) == 0 {
+		return nil
+	}
+	return c.recurseNodeLevel(items, bounds, 0)
+}
+
+func (c *buildCtx) recurseNodeLevel(items []item, bounds vecmath.AABB, depth int) *buildNode {
+	split, ok := c.decideSplitSweep(items, bounds, depth)
+	if !ok {
+		return c.makeLeaf(items, bounds, depth)
+	}
+	left, right, lb, rb := c.partition(items, split, bounds)
+
+	// Guard against degenerate splits that make no progress (all primitives
+	// duplicated into both children with no empty-space gain): they would
+	// recurse forever below the SAH's radar.
+	if len(left) == len(items) && len(right) == len(items) {
+		return c.makeLeaf(items, bounds, depth)
+	}
+
+	c.counters.noteInner()
+	n := &buildNode{bounds: bounds, axis: split.Axis, pos: split.Pos}
+
+	if depth < c.spawnCap {
+		var wg sync.WaitGroup
+		wg.Add(2)
+		c.pool.Spawn(func() {
+			defer wg.Done()
+			n.left = c.recurseNodeLevel(left, lb, depth+1)
+		})
+		c.pool.Spawn(func() {
+			defer wg.Done()
+			n.right = c.recurseNodeLevel(right, rb, depth+1)
+		})
+		wg.Wait()
+	} else {
+		n.left = c.recurseNodeLevel(left, lb, depth+1)
+		n.right = c.recurseNodeLevel(right, rb, depth+1)
+	}
+	return n
+}

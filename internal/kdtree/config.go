@@ -1,0 +1,127 @@
+package kdtree
+
+import (
+	"fmt"
+	"math"
+
+	"kdtune/internal/parallel"
+)
+
+// Algorithm selects one of the paper's four parallel construction variants.
+type Algorithm int
+
+// The four construction algorithms of §IV.
+const (
+	AlgoNodeLevel Algorithm = iota // §IV-A node-level parallel
+	AlgoNested                     // §IV-B nested parallel
+	AlgoInPlace                    // §IV-C in-place (breadth-first) parallel
+	AlgoLazy                       // §IV-D lazy construction
+)
+
+// Algorithms lists all four variants in paper order, for harness sweeps.
+var Algorithms = []Algorithm{AlgoNodeLevel, AlgoNested, AlgoInPlace, AlgoLazy}
+
+// String returns the name used in the paper's figures.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoNodeLevel:
+		return "node-level"
+	case AlgoNested:
+		return "nested"
+	case AlgoInPlace:
+		return "in-place"
+	case AlgoLazy:
+		return "lazy"
+	case AlgoMedian:
+		return "median"
+	case AlgoSortOnce:
+		return "sort-once"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// HasR reports whether the algorithm uses the lazy resolution parameter R
+// (Table Ib vs Table Ia).
+func (a Algorithm) HasR() bool { return a == AlgoLazy }
+
+// Config carries everything a build needs. The tunable fields mirror
+// Table I:
+//
+//	CI — cost of intersecting a triangle        (τ_CI = [3, 101])
+//	CB — cost of duplicating a primitive        (τ_CB = [0, 60])
+//	S  — max. number of subtrees per thread     (τ_S  = [1, 8])
+//	R  — minimal resolution of a node, lazy only (τ_R = [16, 8192], pow2)
+//
+// CT is fixed to 10 (§IV-A). The remaining fields configure the substrate
+// rather than the cost model and are not tuned in the paper's experiments.
+type Config struct {
+	Algorithm Algorithm
+
+	CI float64 // SAH triangle intersection cost
+	CB float64 // SAH duplication cost
+	S  int     // max subtrees per thread (task spawn budget)
+	R  int     // lazy minimal node resolution (primitives)
+
+	Workers int // parallelism budget; <=0 means GOMAXPROCS
+
+	// Bins is the per-axis bin count for the binned split search used by
+	// the nested, in-place and lazy variants; <2 selects sah.DefaultBins.
+	Bins int
+
+	// MaxDepth caps recursion; <=0 selects the usual 8 + 1.3*log2(N).
+	MaxDepth int
+
+	// UseClipping enables Wald–Havran "perfect split" re-clipping of
+	// triangles to node bounds during partitioning; when false, primitive
+	// boxes are merely intersected with node bounds (cheaper, looser).
+	UseClipping bool
+}
+
+// BaseConfig returns the paper's manually crafted base configuration
+// C_base = (CI, CB, S, R) = (17, 10, 3, 2^12) for the given algorithm
+// (§V-C), with substrate defaults filled in.
+func BaseConfig(a Algorithm) Config {
+	return Config{
+		Algorithm: a,
+		CI:        17,
+		CB:        10,
+		S:         3,
+		R:         1 << 12,
+	}
+}
+
+// normalized fills defaults and clamps nonsense so builders can trust the
+// values.
+func (c Config) normalized(numTris int) Config {
+	if c.Workers <= 0 {
+		c.Workers = parallel.DefaultWorkers()
+	}
+	if c.CI <= 0 {
+		c.CI = 17
+	}
+	if c.CB < 0 {
+		c.CB = 0
+	}
+	if c.S < 1 {
+		c.S = 1
+	}
+	if c.R < 1 {
+		c.R = 1 << 12
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 8 + int(1.3*math.Log2(float64(numTris)+1))
+	}
+	return c
+}
+
+// spawnDepth derives the task-spawning depth limit from S: spawning stops
+// once the recursion can have produced at least S subtrees per worker, i.e.
+// at the first depth d with 2^d >= S*Workers (§IV-A).
+func (c Config) spawnDepth() int {
+	target := c.S * c.Workers
+	d := 0
+	for (1 << d) < target {
+		d++
+	}
+	return d
+}

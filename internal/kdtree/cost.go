@@ -1,0 +1,45 @@
+package kdtree
+
+import (
+	"kdtune/internal/sah"
+	"kdtune/internal/vecmath"
+)
+
+// SAHCost evaluates the cost model's estimate of the expected cost of
+// shooting a random ray through the tree:
+//
+//	cost = Σ_inner  P(node) · CT  +  Σ_leaf  P(leaf) · N_leaf · CI
+//
+// with P(x) = A(x)/A(root), the surface-area probability of §III-B.
+// Suspended lazy subtrees are charged as leaves over their primitive sets
+// (their current, unexpanded state). The value is what the greedy builder
+// minimises step by step; Validate-style tests use the invariant that a
+// built tree never estimates worse than the single-leaf tree.
+func (t *Tree) SAHCost(p sah.Params) float64 {
+	rootArea := t.bounds.SurfaceArea()
+	if rootArea <= 0 || len(t.nodes) == 0 {
+		return 0
+	}
+	return t.costNode(t.root, t.bounds, p) / rootArea
+}
+
+// costNode returns the un-normalised cost contribution (area-weighted) of
+// the subtree at idx occupying region.
+func (t *Tree) costNode(idx int32, region vecmath.AABB, p sah.Params) float64 {
+	n := &t.nodes[idx]
+	area := region.SurfaceArea()
+	switch n.kind {
+	case kindInner:
+		lb, rb := region.Split(n.axis, n.pos)
+		return p.CT*area + t.costNode(n.left, lb, p) + t.costNode(n.right, rb, p)
+	case kindLeaf:
+		return area * p.LeafCost(int(n.triCount))
+	default: // deferred
+		d := t.deferred[n.deferred]
+		if sub := d.sub.Load(); sub != nil {
+			// Already expanded: charge the real subtree.
+			return sub.costNode(sub.root, region, p)
+		}
+		return area * p.LeafCost(len(d.tris))
+	}
+}

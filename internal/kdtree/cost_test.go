@@ -1,0 +1,99 @@
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"kdtune/internal/sah"
+)
+
+func TestSAHCostNeverWorseThanSingleLeaf(t *testing.T) {
+	// Each split is only taken when equation (2) says it is profitable, so
+	// by induction the finished tree's estimated cost can never exceed the
+	// single-leaf estimate N·CI.
+	r := rand.New(rand.NewSource(80))
+	tris := randomTriangles(r, 2000, 10, 0.2)
+	for _, a := range Algorithms {
+		cfg := testConfig(a)
+		tree := Build(tris, cfg)
+		p := sah.Params{CT: sah.FixedCT, CI: cfg.CI, CB: cfg.CB}
+		cost := tree.SAHCost(p)
+		leaf := p.LeafCost(len(tris))
+		if cost <= 0 {
+			t.Fatalf("%v: non-positive tree cost %v", a, cost)
+		}
+		if cost > leaf {
+			t.Fatalf("%v: tree cost %v exceeds single-leaf cost %v", a, cost, leaf)
+		}
+		// A real scene should be drastically cheaper than the flat leaf.
+		if cost > leaf/4 {
+			t.Errorf("%v: tree cost %v suspiciously close to leaf cost %v", a, cost, leaf)
+		}
+	}
+}
+
+func TestSAHCostRespondsToCI(t *testing.T) {
+	// Raising CI makes leaves more expensive relative to traversal, so the
+	// builder subdivides deeper; the deeper tree must carry more nodes.
+	r := rand.New(rand.NewSource(81))
+	tris := randomTriangles(r, 1500, 10, 0.2)
+
+	cheap := testConfig(AlgoNodeLevel)
+	cheap.CI = 3
+	costly := testConfig(AlgoNodeLevel)
+	costly.CI = 101
+
+	tCheap := Build(tris, cheap)
+	tCostly := Build(tris, costly)
+	if tCostly.Stats().NumNodes <= tCheap.Stats().NumNodes {
+		t.Fatalf("CI=101 tree (%d nodes) should be deeper than CI=3 tree (%d nodes)",
+			tCostly.Stats().NumNodes, tCheap.Stats().NumNodes)
+	}
+}
+
+func TestSAHCostEmptyScene(t *testing.T) {
+	tree := Build(nil, testConfig(AlgoInPlace))
+	if c := tree.SAHCost(sah.DefaultParams()); c != 0 {
+		t.Fatalf("empty scene cost = %v", c)
+	}
+}
+
+func TestHighCBReducesDuplication(t *testing.T) {
+	// The CB knob exists to discourage splits that duplicate straddling
+	// primitives; cranking it must not increase the duplication factor.
+	r := rand.New(rand.NewSource(82))
+	tris := randomTriangles(r, 1500, 10, 0.8) // large tris straddle a lot
+	lo := testConfig(AlgoNodeLevel)
+	lo.CB = 0
+	hi := testConfig(AlgoNodeLevel)
+	hi.CB = 60
+	dupLo := Build(tris, lo).Stats().DuplicationFactor()
+	dupHi := Build(tris, hi).Stats().DuplicationFactor()
+	if dupHi > dupLo+1e-9 {
+		t.Fatalf("CB=60 duplication %.3f exceeds CB=0 duplication %.3f", dupHi, dupLo)
+	}
+}
+
+func TestSAHCostCountsDeferredAsLeaves(t *testing.T) {
+	r := rand.New(rand.NewSource(83))
+	tris := randomTriangles(r, 3000, 10, 0.15)
+	cfg := testConfig(AlgoLazy)
+	cfg.R = 512
+	lazy := Build(tris, cfg)
+	if lazy.NumDeferred() == 0 {
+		t.Skip("no deferred nodes at this R")
+	}
+	p := sah.Params{CT: sah.FixedCT, CI: cfg.CI, CB: cfg.CB}
+	before := lazy.SAHCost(p)
+	lazy.ExpandAll()
+	after := lazy.SAHCost(p)
+	// Expansion subdivides the deferred regions, so the estimated cost
+	// must improve (or stay equal if every deferred node became a leaf).
+	if after > before+1e-9 {
+		t.Fatalf("expansion worsened estimated cost: %v -> %v", before, after)
+	}
+	if after >= before {
+		t.Fatalf("expansion of %d deferred nodes did not reduce cost (%v -> %v)",
+			lazy.NumDeferred(), before, after)
+	}
+}

@@ -1,0 +1,99 @@
+package kdtree
+
+import (
+	"fmt"
+
+	"kdtune/internal/vecmath"
+)
+
+// DebugDescend walks from the root to the leaf containing point p (points
+// exactly on a split plane follow the left child, matching the builders'
+// planar convention) and returns the leaf's triangle indices plus a
+// description of the last few splits. Debugging/diagnostic aid.
+func DebugDescend(t *Tree, p vecmath.Vec3) ([]int32, string) {
+	idx := t.root
+	chain := ""
+	for {
+		n := &t.nodes[idx]
+		switch n.kind {
+		case kindInner:
+			side := "L"
+			next := n.left
+			if p.Axis(n.axis) > n.pos {
+				side = "R"
+				next = n.right
+			}
+			chain += fmt.Sprintf("[%v=%.10g %s]", n.axis, n.pos, side)
+			if len(chain) > 400 {
+				chain = chain[len(chain)-400:]
+			}
+			idx = next
+		case kindLeaf:
+			return t.leafTris[n.triStart : n.triStart+n.triCount], chain
+		case kindDeferred:
+			d := t.deferred[n.deferred]
+			sub := t.expandDeferred(d)
+			return DebugDescend(sub, p)
+		}
+	}
+}
+
+// DebugIntersect mirrors Intersect but reports whether the given triangle
+// index was ever tested during traversal and with what result.
+func DebugIntersect(t *Tree, r vecmath.Ray, tMin, tMax float64, watch int32) (tested bool, result string) {
+	t0, t1, ok := t.bounds.IntersectRay(r, tMin, tMax)
+	if !ok {
+		return false, "bounds miss"
+	}
+	var stack []stackEntry
+	node := t.root
+	curMin, curMax := t0, t1
+	result = "never reached"
+	for {
+		n := &t.nodes[node]
+		switch n.kind {
+		case kindInner:
+			axis := n.axis
+			o := r.Origin.Axis(axis)
+			d := r.Dir.Axis(axis)
+			near, far := n.left, n.right
+			if o > n.pos || (o == n.pos && d < 0) {
+				near, far = far, near
+			}
+			if d == 0 {
+				if o == n.pos {
+					stack = append(stack, stackEntry{far, curMin, curMax})
+				}
+				node = near
+				continue
+			}
+			tSplit := (n.pos - o) / d
+			switch {
+			case tSplit > curMax || tSplit < 0:
+				node = near
+			case tSplit < curMin:
+				node = far
+			default:
+				stack = append(stack, stackEntry{far, tSplit, curMax})
+				node = near
+				curMax = tSplit
+			}
+			continue
+		case kindLeaf:
+			for i := n.triStart; i < n.triStart+n.triCount; i++ {
+				if t.leafTris[i] == watch {
+					tested = true
+					th, _, _, hit := t.tris[watch].IntersectRay(r, tMin, tMax)
+					result = fmt.Sprintf("tested in leaf, interval [%.12g %.12g], hit=%v t=%.17g", curMin, curMax, hit, th)
+				}
+			}
+		case kindDeferred:
+		}
+		if len(stack) == 0 {
+			return tested, result
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node, curMin, curMax = top.node, top.tMin, top.tMax
+	}
+}

@@ -1,0 +1,38 @@
+package kdtree
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+// FuzzReadTree asserts the binary deserialiser rejects arbitrary garbage
+// without panicking and that anything it accepts is safe to query.
+func FuzzReadTree(f *testing.F) {
+	r := rand.New(rand.NewSource(130))
+	tree := Build(randomTriangles(r, 40, 5, 0.3), testConfig(AlgoNodeLevel))
+	var buf bytes.Buffer
+	if err := tree.Serialize(&buf); err != nil {
+		f.Fatal(err)
+	}
+	good := buf.Bytes()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("KDTN"))
+	f.Add(good[:len(good)-5])
+	flipped := append([]byte(nil), good...)
+	flipped[len(flipped)/2] ^= 0xFF
+	f.Add(flipped)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tree, err := ReadTree(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		probe := vecmath.NewRay(vecmath.V(-10, 0.1, 0.2), vecmath.V(1, 0.01, 0.02))
+		tree.Intersect(probe, 0, 1e18)
+		tree.Occluded(probe, 0, 1e18)
+	})
+}

@@ -1,0 +1,102 @@
+package kdtree
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// TreeShape summarises the distribution of leaf sizes and leaf depths of a
+// (fully expanded) tree — the quantities the SAH parameters CI/CB steer:
+// raising CI deepens trees and shrinks leaves, raising CB merges straddler
+// regions into bigger leaves. Harness reports print these next to tuned
+// configurations to make the parameter effects visible.
+type TreeShape struct {
+	LeafSizes  map[int]int // leaf primitive count -> number of leaves
+	LeafDepths map[int]int // leaf depth -> number of leaves
+}
+
+// Shape walks the tree (expanding lazy subtrees) and tallies leaf sizes and
+// depths.
+func (t *Tree) Shape() TreeShape {
+	t.ExpandAll()
+	s := TreeShape{LeafSizes: map[int]int{}, LeafDepths: map[int]int{}}
+	t.shapeNode(t.root, 0, &s)
+	return s
+}
+
+func (t *Tree) shapeNode(idx int32, depth int, s *TreeShape) {
+	n := &t.nodes[idx]
+	switch n.kind {
+	case kindInner:
+		t.shapeNode(n.left, depth+1, s)
+		t.shapeNode(n.right, depth+1, s)
+	case kindLeaf:
+		s.LeafSizes[int(n.triCount)]++
+		s.LeafDepths[depth]++
+	case kindDeferred:
+		sub := t.deferred[n.deferred].sub.Load()
+		subShape := sub.Shape()
+		for size, c := range subShape.LeafSizes {
+			s.LeafSizes[size] += c
+		}
+		for d, c := range subShape.LeafDepths {
+			s.LeafDepths[depth+d] += c
+		}
+	}
+}
+
+// MedianLeafSize returns the median primitive count over leaves (0 for an
+// empty tree).
+func (s TreeShape) MedianLeafSize() int {
+	return medianOfHistogram(s.LeafSizes)
+}
+
+// MedianLeafDepth returns the median leaf depth.
+func (s TreeShape) MedianLeafDepth() int {
+	return medianOfHistogram(s.LeafDepths)
+}
+
+func medianOfHistogram(h map[int]int) int {
+	total := 0
+	keys := make([]int, 0, len(h))
+	for k, c := range h {
+		total += c
+		keys = append(keys, k)
+	}
+	if total == 0 {
+		return 0
+	}
+	sort.Ints(keys)
+	seen := 0
+	for _, k := range keys {
+		seen += h[k]
+		if seen > total/2 {
+			return k
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Print renders a compact two-line histogram summary.
+func (s TreeShape) Print(w io.Writer) {
+	fmt.Fprintf(w, "leaf sizes:  median %d, histogram %s\n", s.MedianLeafSize(), histString(s.LeafSizes))
+	fmt.Fprintf(w, "leaf depths: median %d, histogram %s\n", s.MedianLeafDepth(), histString(s.LeafDepths))
+}
+
+func histString(h map[int]int) string {
+	keys := make([]int, 0, len(h))
+	for k := range h {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	out := ""
+	for i, k := range keys {
+		if i >= 12 {
+			out += fmt.Sprintf(" ...(+%d more)", len(keys)-i)
+			break
+		}
+		out += fmt.Sprintf(" %d:%d", k, h[k])
+	}
+	return out
+}

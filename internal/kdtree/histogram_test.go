@@ -1,0 +1,72 @@
+package kdtree
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestShapeAccountsForEveryLeaf(t *testing.T) {
+	r := rand.New(rand.NewSource(150))
+	tris := randomTriangles(r, 1500, 10, 0.2)
+	for _, a := range Algorithms {
+		tree := Build(tris, testConfig(a))
+		tree.ExpandAll()
+		shape := tree.Shape()
+		leaves := 0
+		refs := 0
+		for size, c := range shape.LeafSizes {
+			leaves += c
+			refs += size * c
+		}
+		depthLeaves := 0
+		for _, c := range shape.LeafDepths {
+			depthLeaves += c
+		}
+		if leaves != depthLeaves {
+			t.Fatalf("%v: size histogram has %d leaves, depth histogram %d", a, leaves, depthLeaves)
+		}
+		if leaves == 0 || refs < len(tris) {
+			t.Fatalf("%v: implausible shape: %d leaves, %d refs", a, leaves, refs)
+		}
+	}
+}
+
+func TestShapeRespondsToCI(t *testing.T) {
+	r := rand.New(rand.NewSource(151))
+	tris := randomTriangles(r, 1500, 10, 0.2)
+	lo := testConfig(AlgoNodeLevel)
+	lo.CI = 3
+	hi := testConfig(AlgoNodeLevel)
+	hi.CI = 101
+	sLo := Build(tris, lo).Shape()
+	sHi := Build(tris, hi).Shape()
+	if sHi.MedianLeafSize() > sLo.MedianLeafSize() {
+		t.Fatalf("CI=101 median leaf %d should not exceed CI=3 median leaf %d",
+			sHi.MedianLeafSize(), sLo.MedianLeafSize())
+	}
+}
+
+func TestMedianOfHistogram(t *testing.T) {
+	if m := medianOfHistogram(map[int]int{1: 3, 5: 1}); m != 1 {
+		t.Fatalf("median = %d, want 1", m)
+	}
+	if m := medianOfHistogram(map[int]int{2: 1, 7: 5}); m != 7 {
+		t.Fatalf("median = %d, want 7", m)
+	}
+	if medianOfHistogram(nil) != 0 {
+		t.Fatal("empty histogram median should be 0")
+	}
+}
+
+func TestShapePrint(t *testing.T) {
+	r := rand.New(rand.NewSource(152))
+	tris := randomTriangles(r, 300, 8, 0.2)
+	var buf bytes.Buffer
+	Build(tris, testConfig(AlgoInPlace)).Shape().Print(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "leaf sizes") || !strings.Contains(out, "leaf depths") {
+		t.Fatalf("Print output wrong:\n%s", out)
+	}
+}

@@ -1,0 +1,61 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdtune/internal/sah"
+	"kdtune/internal/vecmath"
+)
+
+func TestMedianBuilderValidates(t *testing.T) {
+	r := rand.New(rand.NewSource(90))
+	tris := randomTriangles(r, 2000, 10, 0.2)
+	tree := Build(tris, testConfig(AlgoMedian))
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().Algorithm.String() != "median" {
+		t.Fatalf("algorithm name: %v", tree.Stats().Algorithm)
+	}
+}
+
+func TestMedianTraversalMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(91))
+	tris := randomTriangles(r, 600, 10, 0.25)
+	tree := Build(tris, testConfig(AlgoMedian))
+	for i := 0; i < 200; i++ {
+		o := vecmath.V(r.Float64()*20-5, r.Float64()*20-5, -4)
+		ray := vecmath.NewRay(o, vecmath.V(r.NormFloat64()*0.2, r.NormFloat64()*0.2, 1))
+		want, wantHit := bruteForceClosest(tris, ray, 1e-9, math.Inf(1))
+		got, gotHit := tree.Intersect(ray, 1e-9, math.Inf(1))
+		if wantHit != gotHit || (wantHit && math.Abs(got.T-want.T) > 1e-9*(1+want.T)) {
+			t.Fatalf("median tree mismatch on ray %d", i)
+		}
+	}
+}
+
+func TestSAHBeatsMedianOnCost(t *testing.T) {
+	// The point of the SAH (and of tuning its parameters): on non-uniform
+	// geometry the SAH tree's expected traversal cost beats naive spatial
+	// median splitting. Clustered geometry makes the gap obvious.
+	r := rand.New(rand.NewSource(92))
+	var tris []vecmath.Triangle
+	for c := 0; c < 4; c++ {
+		cx := vecmath.V(r.Float64()*40, r.Float64()*40, r.Float64()*40)
+		for i := 0; i < 400; i++ {
+			p := cx.Add(vecmath.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64()))
+			d := vecmath.V(r.NormFloat64()*0.1, r.NormFloat64()*0.1, r.NormFloat64()*0.1)
+			e := vecmath.V(r.NormFloat64()*0.1, r.NormFloat64()*0.1, r.NormFloat64()*0.1)
+			tris = append(tris, vecmath.Tri(p, p.Add(d), p.Add(e)))
+		}
+	}
+	p := sah.DefaultParams()
+	sahTree := Build(tris, testConfig(AlgoNodeLevel))
+	medTree := Build(tris, testConfig(AlgoMedian))
+	cs, cm := sahTree.SAHCost(p), medTree.SAHCost(p)
+	if cs >= cm {
+		t.Fatalf("SAH tree cost %v not better than median tree cost %v", cs, cm)
+	}
+}

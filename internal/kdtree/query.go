@@ -1,0 +1,105 @@
+package kdtree
+
+import (
+	"math"
+	"sort"
+
+	"kdtune/internal/vecmath"
+)
+
+// The paper's introduction motivates kD-trees with "fast range or nearest
+// neighbor queries on multidimensional data" beyond ray tracing; this file
+// provides both query kinds over the same trees the builders produce.
+// Suspended lazy subtrees are expanded on demand, exactly as for rays.
+
+// RangeQuery returns the indices of all triangles whose bounds overlap the
+// query box, in ascending order without duplicates (straddling primitives
+// are referenced by several leaves).
+func (t *Tree) RangeQuery(box vecmath.AABB) []int {
+	if !box.Overlaps(t.bounds) {
+		return nil
+	}
+	seen := map[int32]struct{}{}
+	t.rangeNode(t.root, t.bounds, box, seen)
+	out := make([]int, 0, len(seen))
+	for ti := range seen {
+		out = append(out, int(ti))
+	}
+	sort.Ints(out)
+	return out
+}
+
+func (t *Tree) rangeNode(idx int32, region, box vecmath.AABB, seen map[int32]struct{}) {
+	n := &t.nodes[idx]
+	switch n.kind {
+	case kindInner:
+		lb, rb := region.Split(n.axis, n.pos)
+		if box.Min.Axis(n.axis) <= n.pos {
+			t.rangeNode(n.left, lb, box, seen)
+		}
+		if box.Max.Axis(n.axis) >= n.pos {
+			t.rangeNode(n.right, rb, box, seen)
+		}
+	case kindLeaf:
+		for i := n.triStart; i < n.triStart+n.triCount; i++ {
+			ti := t.leafTris[i]
+			if t.tris[ti].Bounds().Overlaps(box) {
+				seen[ti] = struct{}{}
+			}
+		}
+	case kindDeferred:
+		d := t.deferred[n.deferred]
+		sub := t.expandDeferred(d)
+		sub.rangeNode(sub.root, sub.bounds, box, seen)
+	}
+}
+
+// NearestNeighbor returns the triangle closest to point p (by Euclidean
+// distance to the triangle surface) and that distance. ok is false for
+// empty scenes. The search is branch-and-bound: children are visited
+// near-side first and subtrees farther than the incumbent are pruned.
+func (t *Tree) NearestNeighbor(p vecmath.Vec3) (tri int, dist float64, ok bool) {
+	best := math.Inf(1)
+	bestTri := -1
+	t.nnNode(t.root, t.bounds, p, &bestTri, &best)
+	if bestTri < 0 {
+		return 0, 0, false
+	}
+	return bestTri, best, true
+}
+
+func (t *Tree) nnNode(idx int32, region vecmath.AABB, p vecmath.Vec3, bestTri *int, best *float64) {
+	if vecmath.DistToBox(p, region) >= *best {
+		return
+	}
+	n := &t.nodes[idx]
+	switch n.kind {
+	case kindInner:
+		lb, rb := region.Split(n.axis, n.pos)
+		// Descend into the side containing p first: it tightens the bound
+		// fastest and lets the other side be pruned more often.
+		if p.Axis(n.axis) <= n.pos {
+			t.nnNode(n.left, lb, p, bestTri, best)
+			t.nnNode(n.right, rb, p, bestTri, best)
+		} else {
+			t.nnNode(n.right, rb, p, bestTri, best)
+			t.nnNode(n.left, lb, p, bestTri, best)
+		}
+	case kindLeaf:
+		for i := n.triStart; i < n.triStart+n.triCount; i++ {
+			ti := t.leafTris[i]
+			tr := t.tris[ti]
+			if tr.IsDegenerate() {
+				continue
+			}
+			if d := vecmath.DistToTriangle(p, tr); d < *best {
+				*best = d
+				*bestTri = int(ti)
+			}
+		}
+	case kindDeferred:
+		d := t.deferred[n.deferred]
+		sub := t.expandDeferred(d)
+		sub.nnNode(sub.root, sub.bounds, p, bestTri, best)
+	}
+}

@@ -1,0 +1,112 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+func bruteRange(tris []vecmath.Triangle, box vecmath.AABB) map[int]bool {
+	out := map[int]bool{}
+	for i, tr := range tris {
+		if tr.Bounds().Overlaps(box) {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func TestRangeQueryMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(70))
+	tris := randomTriangles(r, 800, 10, 0.3)
+	for _, a := range Algorithms {
+		tree := Build(tris, testConfig(a))
+		for q := 0; q < 100; q++ {
+			c := vecmath.V(r.Float64()*10, r.Float64()*10, r.Float64()*10)
+			d := vecmath.V(r.Float64()*2, r.Float64()*2, r.Float64()*2)
+			box := vecmath.NewAABB(c.Sub(d), c.Add(d))
+			want := bruteRange(tris, box)
+			got := tree.RangeQuery(box)
+			if len(got) != len(want) {
+				t.Fatalf("%v query %d: got %d tris, want %d", a, q, len(got), len(want))
+			}
+			prev := -1
+			for _, ti := range got {
+				if !want[ti] {
+					t.Fatalf("%v query %d: stray triangle %d", a, q, ti)
+				}
+				if ti <= prev {
+					t.Fatalf("%v query %d: result not sorted/unique", a, q)
+				}
+				prev = ti
+			}
+		}
+	}
+}
+
+func TestRangeQueryOutsideBounds(t *testing.T) {
+	r := rand.New(rand.NewSource(71))
+	tris := randomTriangles(r, 100, 5, 0.2)
+	tree := Build(tris, testConfig(AlgoInPlace))
+	far := vecmath.NewAABB(vecmath.V(100, 100, 100), vecmath.V(101, 101, 101))
+	if got := tree.RangeQuery(far); len(got) != 0 {
+		t.Fatalf("far query returned %d triangles", len(got))
+	}
+}
+
+func TestRangeQueryWholeScene(t *testing.T) {
+	r := rand.New(rand.NewSource(72))
+	tris := randomTriangles(r, 300, 6, 0.2)
+	tree := Build(tris, testConfig(AlgoLazy))
+	got := tree.RangeQuery(tree.Bounds().Grow(1))
+	if len(got) != len(tris) {
+		t.Fatalf("whole-scene query returned %d of %d", len(got), len(tris))
+	}
+}
+
+func TestNearestNeighborMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(73))
+	tris := randomTriangles(r, 500, 10, 0.25)
+	for _, a := range Algorithms {
+		tree := Build(tris, testConfig(a))
+		for q := 0; q < 100; q++ {
+			p := vecmath.V(r.Float64()*14-2, r.Float64()*14-2, r.Float64()*14-2)
+			_, gotD, ok := tree.NearestNeighbor(p)
+			if !ok {
+				t.Fatalf("%v: no neighbor found", a)
+			}
+			wantD := math.Inf(1)
+			for _, tr := range tris {
+				if tr.IsDegenerate() {
+					continue
+				}
+				if d := vecmath.DistToTriangle(p, tr); d < wantD {
+					wantD = d
+				}
+			}
+			if math.Abs(gotD-wantD) > 1e-9*(1+wantD) {
+				t.Fatalf("%v query %d: NN dist %v, brute %v", a, q, gotD, wantD)
+			}
+		}
+	}
+}
+
+func TestNearestNeighborEmptyScene(t *testing.T) {
+	tree := Build(nil, testConfig(AlgoNodeLevel))
+	if _, _, ok := tree.NearestNeighbor(vecmath.V(0, 0, 0)); ok {
+		t.Fatal("nearest neighbor in empty scene")
+	}
+}
+
+func TestNearestNeighborOnSurface(t *testing.T) {
+	tris := []vecmath.Triangle{
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+	}
+	tree := Build(tris, testConfig(AlgoNodeLevel))
+	ti, d, ok := tree.NearestNeighbor(vecmath.V(0.25, 0.25, 0))
+	if !ok || ti != 0 || d > 1e-12 {
+		t.Fatalf("on-surface NN: tri %d dist %v ok %v", ti, d, ok)
+	}
+}

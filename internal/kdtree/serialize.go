@@ -1,0 +1,315 @@
+package kdtree
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"kdtune/internal/vecmath"
+)
+
+// Binary tree serialisation. A downstream user who tunes a static scene
+// once can persist the finished tree and skip construction on later runs —
+// the offline complement to the paper's online tuning. The format is
+// little-endian, versioned, and self-contained (geometry travels with the
+// structure). Lazy trees are expanded before writing: a file is a poor
+// place for an unexpanded promise.
+//
+// Layout:
+//
+//	magic "KDTN" | u32 version
+//	u64 numTris | numTris * 9 float64 (vertices)
+//	bounds: 6 float64
+//	u64 numNodes | nodes (kind u8, axis u8, pos f64, left u32, right u32,
+//	                      triStart u32, triCount u32)
+//	u64 numLeafTris | numLeafTris * u32
+//	root u32
+//	config: algorithm u32, CI f64, CB f64, S u32, R u32
+
+const (
+	serialMagic   = "KDTN"
+	serialVersion = 1
+)
+
+// Serialize writes the tree to w. Lazy trees are fully expanded first.
+func (t *Tree) Serialize(w io.Writer) error {
+	t.ExpandAll()
+	flat := t
+	if len(t.deferred) > 0 {
+		// Inline the expanded subtrees into one flat arena.
+		flat = t.inlineDeferred()
+	}
+
+	bw := bufio.NewWriter(w)
+	writeU32 := func(v uint32) { binary.Write(bw, binary.LittleEndian, v) }
+	writeU64 := func(v uint64) { binary.Write(bw, binary.LittleEndian, v) }
+	writeF64 := func(v float64) { binary.Write(bw, binary.LittleEndian, math.Float64bits(v)) }
+	writeVec := func(v vecmath.Vec3) { writeF64(v.X); writeF64(v.Y); writeF64(v.Z) }
+
+	bw.WriteString(serialMagic)
+	writeU32(serialVersion)
+
+	writeU64(uint64(len(flat.tris)))
+	for _, tr := range flat.tris {
+		writeVec(tr.A)
+		writeVec(tr.B)
+		writeVec(tr.C)
+	}
+	writeVec(flat.bounds.Min)
+	writeVec(flat.bounds.Max)
+
+	writeU64(uint64(len(flat.nodes)))
+	for _, n := range flat.nodes {
+		bw.WriteByte(byte(n.kind))
+		bw.WriteByte(byte(n.axis))
+		writeF64(n.pos)
+		writeU32(uint32(n.left))
+		writeU32(uint32(n.right))
+		writeU32(uint32(n.triStart))
+		writeU32(uint32(n.triCount))
+	}
+	writeU64(uint64(len(flat.leafTris)))
+	for _, ti := range flat.leafTris {
+		writeU32(uint32(ti))
+	}
+	writeU32(uint32(flat.root))
+
+	writeU32(uint32(flat.cfg.Algorithm))
+	writeF64(flat.cfg.CI)
+	writeF64(flat.cfg.CB)
+	writeU32(uint32(flat.cfg.S))
+	writeU32(uint32(flat.cfg.R))
+	return bw.Flush()
+}
+
+// inlineDeferred rewrites a lazy tree (with every deferred node already
+// expanded) into a single flat arena with no deferred entries.
+func (t *Tree) inlineDeferred() *Tree {
+	out := &Tree{tris: t.tris, bounds: t.bounds, cfg: t.cfg, stats: t.stats}
+	out.root = out.graft(t, t.root)
+	return out
+}
+
+// graft copies node idx of src (and its subtree) into out, flattening
+// deferred subtrees as it goes, and returns the new index.
+func (out *Tree) graft(src *Tree, idx int32) int32 {
+	n := src.nodes[idx]
+	switch n.kind {
+	case kindInner:
+		ni := int32(len(out.nodes))
+		out.nodes = append(out.nodes, node{kind: kindInner, axis: n.axis, pos: n.pos})
+		li := out.graft(src, n.left)
+		ri := out.graft(src, n.right)
+		out.nodes[ni].left = li
+		out.nodes[ni].right = ri
+		return ni
+	case kindLeaf:
+		start := int32(len(out.leafTris))
+		out.leafTris = append(out.leafTris, src.leafTris[n.triStart:n.triStart+n.triCount]...)
+		ni := int32(len(out.nodes))
+		out.nodes = append(out.nodes, node{kind: kindLeaf, triStart: start, triCount: n.triCount})
+		return ni
+	default: // deferred (already expanded)
+		sub := src.deferred[n.deferred].sub.Load()
+		return out.graft(sub, sub.root)
+	}
+}
+
+// ReadTree deserialises a tree written by WriteTo, validating structure
+// bounds as it reads.
+func ReadTree(r io.Reader) (*Tree, error) {
+	br := bufio.NewReader(r)
+	magic := make([]byte, 4)
+	if _, err := io.ReadFull(br, magic); err != nil {
+		return nil, fmt.Errorf("kdtree: reading magic: %w", err)
+	}
+	if string(magic) != serialMagic {
+		return nil, fmt.Errorf("kdtree: bad magic %q", magic)
+	}
+	var version uint32
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != serialVersion {
+		return nil, fmt.Errorf("kdtree: unsupported version %d", version)
+	}
+
+	readU32 := func() (uint32, error) {
+		var v uint32
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readU64 := func() (uint64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return v, err
+	}
+	readF64 := func() (float64, error) {
+		var v uint64
+		err := binary.Read(br, binary.LittleEndian, &v)
+		return math.Float64frombits(v), err
+	}
+	readVec := func() (vecmath.Vec3, error) {
+		x, err := readF64()
+		if err != nil {
+			return vecmath.Vec3{}, err
+		}
+		y, err := readF64()
+		if err != nil {
+			return vecmath.Vec3{}, err
+		}
+		z, err := readF64()
+		return vecmath.V(x, y, z), err
+	}
+
+	numTris, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	const maxCount = 1 << 31
+	if numTris > maxCount {
+		return nil, fmt.Errorf("kdtree: implausible triangle count %d", numTris)
+	}
+	t := &Tree{tris: make([]vecmath.Triangle, numTris)}
+	for i := range t.tris {
+		a, err := readVec()
+		if err != nil {
+			return nil, err
+		}
+		b, err := readVec()
+		if err != nil {
+			return nil, err
+		}
+		c, err := readVec()
+		if err != nil {
+			return nil, err
+		}
+		t.tris[i] = vecmath.Tri(a, b, c)
+	}
+	if t.bounds.Min, err = readVec(); err != nil {
+		return nil, err
+	}
+	if t.bounds.Max, err = readVec(); err != nil {
+		return nil, err
+	}
+
+	numNodes, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if numNodes > maxCount {
+		return nil, fmt.Errorf("kdtree: implausible node count %d", numNodes)
+	}
+	t.nodes = make([]node, numNodes)
+	for i := range t.nodes {
+		kind, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		axis, err := br.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		if nodeKind(kind) == kindDeferred {
+			return nil, fmt.Errorf("kdtree: node %d: serialised trees cannot contain deferred nodes", i)
+		}
+		if nodeKind(kind) > kindDeferred || axis > 2 {
+			return nil, fmt.Errorf("kdtree: node %d: corrupt kind/axis %d/%d", i, kind, axis)
+		}
+		pos, err := readF64()
+		if err != nil {
+			return nil, err
+		}
+		left, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		right, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		triStart, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		triCount, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if nodeKind(kind) == kindInner {
+			// The writer emits DFS order: children strictly follow their
+			// parent. Enforcing that on read guarantees the node graph is
+			// acyclic, so corrupt input can never hang traversal.
+			if uint64(left) >= numNodes || int(left) <= i {
+				return nil, fmt.Errorf("kdtree: node %d: left child %d violates DFS order", i, left)
+			}
+			if uint64(right) >= numNodes || int(right) <= i {
+				return nil, fmt.Errorf("kdtree: node %d: right child %d violates DFS order", i, right)
+			}
+		}
+		t.nodes[i] = node{
+			kind: nodeKind(kind), axis: vecmath.Axis(axis), pos: pos,
+			left: int32(left), right: int32(right),
+			triStart: int32(triStart), triCount: int32(triCount),
+		}
+	}
+
+	numLeafTris, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if numLeafTris > maxCount {
+		return nil, fmt.Errorf("kdtree: implausible leaf reference count %d", numLeafTris)
+	}
+	t.leafTris = make([]int32, numLeafTris)
+	for i := range t.leafTris {
+		v, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if uint64(v) >= numTris {
+			return nil, fmt.Errorf("kdtree: leaf reference %d out of range", v)
+		}
+		t.leafTris[i] = int32(v)
+	}
+	for i, n := range t.nodes {
+		if n.kind == kindLeaf && uint64(n.triStart)+uint64(n.triCount) > numLeafTris {
+			return nil, fmt.Errorf("kdtree: node %d: leaf range out of bounds", i)
+		}
+	}
+
+	root, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if uint64(root) >= numNodes {
+		return nil, fmt.Errorf("kdtree: root %d out of range", root)
+	}
+	t.root = int32(root)
+
+	algo, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	ci, err := readF64()
+	if err != nil {
+		return nil, err
+	}
+	cb, err := readF64()
+	if err != nil {
+		return nil, err
+	}
+	s, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	rr, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	t.cfg = Config{Algorithm: Algorithm(algo), CI: ci, CB: cb, S: int(s), R: int(rr)}
+	t.stats = BuildStats{Algorithm: Algorithm(algo), NumTris: int(numTris), NumNodes: int(numNodes)}
+	return t, nil
+}

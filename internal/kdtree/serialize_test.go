@@ -1,0 +1,130 @@
+package kdtree
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+func TestSerializeRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(95))
+	tris := randomTriangles(r, 1000, 10, 0.2)
+	for _, a := range Algorithms {
+		orig := Build(tris, testConfig(a))
+		var buf bytes.Buffer
+		if err := orig.Serialize(&buf); err != nil {
+			t.Fatalf("%v: write: %v", a, err)
+		}
+		back, err := ReadTree(&buf)
+		if err != nil {
+			t.Fatalf("%v: read: %v", a, err)
+		}
+		if len(back.Triangles()) != len(tris) {
+			t.Fatalf("%v: triangle count changed", a)
+		}
+		// Deserialised tree must answer rays identically.
+		for i := 0; i < 200; i++ {
+			o := vecmath.V(r.Float64()*20-5, r.Float64()*20-5, -4)
+			ray := vecmath.NewRay(o, vecmath.V(r.NormFloat64()*0.2, r.NormFloat64()*0.2, 1))
+			h1, ok1 := orig.Intersect(ray, 1e-9, math.Inf(1))
+			h2, ok2 := back.Intersect(ray, 1e-9, math.Inf(1))
+			if ok1 != ok2 || (ok1 && math.Abs(h1.T-h2.T) > 1e-12) {
+				t.Fatalf("%v: ray %d differs after round trip", a, i)
+			}
+		}
+	}
+}
+
+func TestSerializeLazyInlinesDeferred(t *testing.T) {
+	r := rand.New(rand.NewSource(96))
+	tris := randomTriangles(r, 2000, 10, 0.15)
+	cfg := testConfig(AlgoLazy)
+	cfg.R = 128
+	tree := Build(tris, cfg)
+	if tree.NumDeferred() == 0 {
+		t.Fatal("precondition: lazy tree has no deferred nodes")
+	}
+	var buf bytes.Buffer
+	if err := tree.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumDeferred() != 0 {
+		t.Fatal("deserialised tree still has deferred nodes")
+	}
+	// And it still answers queries correctly.
+	for i := 0; i < 100; i++ {
+		o := vecmath.V(-2, r.Float64()*10, r.Float64()*10)
+		ray := vecmath.NewRay(o, vecmath.V(1, r.NormFloat64()*0.2, r.NormFloat64()*0.2))
+		want, wantHit := bruteForceClosest(tris, ray, 1e-9, math.Inf(1))
+		got, gotHit := back.Intersect(ray, 1e-9, math.Inf(1))
+		if wantHit != gotHit || (wantHit && math.Abs(got.T-want.T) > 1e-9*(1+want.T)) {
+			t.Fatalf("ray %d wrong after lazy round trip", i)
+		}
+	}
+}
+
+func TestReadTreeRejectsCorruptInput(t *testing.T) {
+	r := rand.New(rand.NewSource(97))
+	tris := randomTriangles(r, 50, 5, 0.2)
+	tree := Build(tris, testConfig(AlgoNodeLevel))
+	var buf bytes.Buffer
+	if err := tree.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("XXXX"), good[4:]...),
+		"bad version": append(append([]byte{}, good[:4]...), 0xFF, 0xFF, 0xFF, 0xFF),
+		"truncated":   good[:len(good)/2],
+		"tiny":        good[:6],
+	}
+	for name, data := range cases {
+		if _, err := ReadTree(bytes.NewReader(data)); err == nil {
+			t.Errorf("%s: corrupt input accepted", name)
+		}
+	}
+}
+
+func TestSerializeEmptyTree(t *testing.T) {
+	tree := Build(nil, testConfig(AlgoInPlace))
+	var buf bytes.Buffer
+	if err := tree.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := back.Intersect(vecmath.NewRay(vecmath.V(0, 0, -1), vecmath.V(0, 0, 1)), 0, 10); ok {
+		t.Fatal("empty tree hit something")
+	}
+}
+
+func TestSerializePreservesConfig(t *testing.T) {
+	r := rand.New(rand.NewSource(98))
+	tris := randomTriangles(r, 100, 5, 0.2)
+	cfg := testConfig(AlgoNested)
+	cfg.CI = 42
+	cfg.CB = 7
+	tree := Build(tris, cfg)
+	var buf bytes.Buffer
+	if err := tree.Serialize(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTree(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.cfg.CI != 42 || back.cfg.CB != 7 || back.cfg.Algorithm != AlgoNested {
+		t.Fatalf("config drifted: %+v", back.cfg)
+	}
+}

@@ -1,0 +1,107 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"kdtune/internal/sah"
+	"kdtune/internal/vecmath"
+)
+
+func TestSortOnceValidates(t *testing.T) {
+	r := rand.New(rand.NewSource(110))
+	tris := randomTriangles(r, 3000, 10, 0.2)
+	tree := Build(tris, testConfig(AlgoSortOnce))
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if tree.Stats().Algorithm.String() != "sort-once" {
+		t.Fatalf("name: %v", tree.Stats().Algorithm)
+	}
+}
+
+func TestSortOnceTraversalMatchesBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(111))
+	tris := randomTriangles(r, 800, 10, 0.25)
+	tree := Build(tris, testConfig(AlgoSortOnce))
+	for i := 0; i < 400; i++ {
+		o := vecmath.V(r.Float64()*20-5, r.Float64()*20-5, -4)
+		ray := vecmath.NewRay(o, vecmath.V(r.NormFloat64()*0.3, r.NormFloat64()*0.3, 1))
+		want, wantHit := bruteForceClosest(tris, ray, 1e-9, math.Inf(1))
+		got, gotHit := tree.Intersect(ray, 1e-9, math.Inf(1))
+		if wantHit != gotHit || (wantHit && math.Abs(got.T-want.T) > 1e-9*(1+want.T)) {
+			t.Fatalf("sort-once mismatch on ray %d", i)
+		}
+	}
+}
+
+func TestSortOnceMatchesPerNodeSweepTree(t *testing.T) {
+	// Same cost model, same candidate planes: the sort-once engine must
+	// choose splits of identical quality to the per-node-sort engine. Tree
+	// shapes can differ on cost ties, so compare SAH cost, not topology.
+	r := rand.New(rand.NewSource(112))
+	tris := randomTriangles(r, 2000, 10, 0.2)
+	p := sah.DefaultParams()
+	a := Build(tris, testConfig(AlgoNodeLevel)).SAHCost(p)
+	b := Build(tris, testConfig(AlgoSortOnce)).SAHCost(p)
+	if math.Abs(a-b) > 0.05*a {
+		t.Fatalf("sort-once tree cost %v deviates from per-node-sort cost %v", b, a)
+	}
+}
+
+func TestSortOnceParallelDeterministicQuality(t *testing.T) {
+	r := rand.New(rand.NewSource(113))
+	tris := randomTriangles(r, 2000, 10, 0.2)
+	p := sah.DefaultParams()
+	var costs []float64
+	for _, workers := range []int{1, 4, 16} {
+		cfg := testConfig(AlgoSortOnce)
+		cfg.Workers = workers
+		costs = append(costs, Build(tris, cfg).SAHCost(p))
+	}
+	if costs[0] != costs[1] || costs[1] != costs[2] {
+		t.Fatalf("tree quality varies with worker count: %v", costs)
+	}
+}
+
+func TestSortOnceWithClipping(t *testing.T) {
+	r := rand.New(rand.NewSource(114))
+	tris := randomTriangles(r, 500, 10, 1.2) // big straddling triangles
+	cfg := testConfig(AlgoSortOnce)
+	cfg.UseClipping = true
+	tree := Build(tris, cfg)
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		o := vecmath.V(r.Float64()*24-7, r.Float64()*24-7, -6)
+		ray := vecmath.NewRay(o, vecmath.V(r.NormFloat64()*0.1, r.NormFloat64()*0.1, 1))
+		want, wantHit := bruteForceClosest(tris, ray, 1e-9, math.Inf(1))
+		got, gotHit := tree.Intersect(ray, 1e-9, math.Inf(1))
+		if wantHit != gotHit || (wantHit && math.Abs(got.T-want.T) > 1e-9*(1+want.T)) {
+			t.Fatalf("clipped sort-once mismatch on ray %d", i)
+		}
+	}
+}
+
+func TestSortOnceEdgeCases(t *testing.T) {
+	// Empty, single triangle, coplanar grid.
+	if tree := Build(nil, testConfig(AlgoSortOnce)); tree == nil {
+		t.Fatal("nil tree")
+	}
+	one := []vecmath.Triangle{vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0))}
+	tree := Build(one, testConfig(AlgoSortOnce))
+	if _, ok := tree.Intersect(vecmath.NewRay(vecmath.V(0.2, 0.2, -1), vecmath.V(0, 0, 1)), 0, 10); !ok {
+		t.Fatal("single-triangle hit missed")
+	}
+	var grid []vecmath.Triangle
+	for i := 0; i < 8; i++ {
+		x := float64(i)
+		grid = append(grid, vecmath.Tri(vecmath.V(x, 0, 0), vecmath.V(x+1, 0, 0), vecmath.V(x, 1, 0)))
+	}
+	tree = Build(grid, testConfig(AlgoSortOnce))
+	if err := tree.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,90 @@
+package kdtree
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// BuildStats summarises a finished construction. The counters are filled by
+// the builders through buildCounters (atomics, since subtrees build
+// concurrently) and frozen into this snapshot at flatten time.
+type BuildStats struct {
+	Algorithm  Algorithm
+	NumTris    int // input triangles
+	NumNodes   int // total nodes (inner + leaf + deferred)
+	NumLeaves  int
+	NumInner   int
+	NumDefer   int // suspended subtrees (lazy)
+	LeafRefs   int // triangle references across all leaves (>= NumTris with duplication)
+	MaxDepth   int
+	EmptyLeafs int
+}
+
+// DuplicationFactor returns LeafRefs / NumTris, the reference blow-up caused
+// by straddling primitives (1.0 = no duplication). Returns 0 for empty
+// scenes.
+func (s BuildStats) DuplicationFactor() float64 {
+	if s.NumTris == 0 {
+		return 0
+	}
+	return float64(s.LeafRefs) / float64(s.NumTris)
+}
+
+// String renders a one-line summary.
+func (s BuildStats) String() string {
+	return fmt.Sprintf("%s: %d tris, %d nodes (%d inner, %d leaves, %d deferred), depth %d, dup %.2fx",
+		s.Algorithm, s.NumTris, s.NumNodes, s.NumInner, s.NumLeaves, s.NumDefer,
+		s.MaxDepth, s.DuplicationFactor())
+}
+
+// buildCounters collects statistics concurrently during construction.
+type buildCounters struct {
+	leaves     atomic.Int64
+	inner      atomic.Int64
+	deferred   atomic.Int64
+	leafRefs   atomic.Int64
+	emptyLeafs atomic.Int64
+	maxDepth   atomic.Int64
+}
+
+func (c *buildCounters) noteLeaf(refs, depth int) {
+	c.leaves.Add(1)
+	c.leafRefs.Add(int64(refs))
+	if refs == 0 {
+		c.emptyLeafs.Add(1)
+	}
+	c.noteDepth(depth)
+}
+
+func (c *buildCounters) noteInner() { c.inner.Add(1) }
+
+func (c *buildCounters) noteDeferred(depth int) {
+	c.deferred.Add(1)
+	c.noteDepth(depth)
+}
+
+func (c *buildCounters) noteDepth(depth int) {
+	for {
+		cur := c.maxDepth.Load()
+		if int64(depth) <= cur || c.maxDepth.CompareAndSwap(cur, int64(depth)) {
+			return
+		}
+	}
+}
+
+func (c *buildCounters) snapshot(algo Algorithm, numTris int) BuildStats {
+	leaves := int(c.leaves.Load())
+	inner := int(c.inner.Load())
+	def := int(c.deferred.Load())
+	return BuildStats{
+		Algorithm:  algo,
+		NumTris:    numTris,
+		NumNodes:   leaves + inner + def,
+		NumLeaves:  leaves,
+		NumInner:   inner,
+		NumDefer:   def,
+		LeafRefs:   int(c.leafRefs.Load()),
+		MaxDepth:   int(c.maxDepth.Load()),
+		EmptyLeafs: int(c.emptyLeafs.Load()),
+	}
+}

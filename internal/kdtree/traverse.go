@@ -1,0 +1,254 @@
+package kdtree
+
+import (
+	"math"
+
+	"kdtune/internal/vecmath"
+)
+
+// Hit describes the closest ray-triangle intersection found by Intersect.
+type Hit struct {
+	T    float64 // parametric distance along the ray (units of |Dir|)
+	Tri  int     // index into Tree.Triangles()
+	U, V float64 // barycentric coordinates of the hit point
+}
+
+// traversalStackDepth bounds the explicit traversal stack. kD-trees built
+// with the default depth cap never exceed ~64 levels; the stack grows
+// dynamically past this only in pathological cases.
+const traversalStackDepth = 64
+
+// stackEntry is a postponed far-child visit.
+type stackEntry struct {
+	node       int32
+	tMin, tMax float64
+}
+
+// Intersect finds the closest intersection of r with the scene in the
+// parametric interval (tMin, tMax). It is safe for concurrent use; on lazy
+// trees the first ray to reach a suspended node expands it (all other rays
+// block on that node until the subtree exists).
+//
+// The traversal is the standard front-to-back kD-tree walk (Ericson, RTCD
+// pp. 319–321): descend towards the near child, push the far child with its
+// clipped parametric interval, and terminate as soon as a hit closer than
+// the entry distance of the next pending subtree is known.
+func (t *Tree) Intersect(r vecmath.Ray, tMin, tMax float64) (Hit, bool) {
+	t0, t1, ok := t.bounds.IntersectRay(r, tMin, tMax)
+	if !ok {
+		return Hit{}, false
+	}
+	return t.intersectRange(r, t0, t1, tMin, tMax)
+}
+
+// intersectRange walks the tree over the traversal interval [curMin,
+// curMax] (already clipped to the tree bounds); candidate hits are accepted
+// anywhere in the caller's original open interval (tMin, tMax), which
+// matters for triangles that poke out of the node being traversed and for
+// flat scenes whose bounds have zero extent.
+func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) (Hit, bool) {
+	var stackArr [traversalStackDepth]stackEntry
+	stack := stackArr[:0]
+
+	best := Hit{T: math.Inf(1)}
+	found := false
+	node := t.root
+
+	for {
+		if found && best.T < curMin {
+			// Everything left to visit is farther than the known hit.
+			break
+		}
+		n := &t.nodes[node]
+		switch n.kind {
+		case kindInner:
+			axis := n.axis
+			o := r.Origin.Axis(axis)
+			d := r.Dir.Axis(axis)
+
+			near, far := n.left, n.right
+			if o > n.pos || (o == n.pos && d < 0) {
+				near, far = far, near
+			}
+
+			if d == 0 {
+				if o == n.pos {
+					// The ray lies exactly in the split plane: it grazes
+					// the boundary faces of BOTH children, and planar
+					// primitives on the plane live in only one of them.
+					stack = append(stack, stackEntry{far, curMin, curMax})
+				}
+				// Otherwise the ray stays strictly on the near side.
+				node = near
+				continue
+			}
+			tSplit := (n.pos - o) / d
+			// Boundary comparisons are strict: a hit exactly on the split
+			// plane (tSplit == curMin or curMax) lies in the degenerate
+			// interval of one child, and planar primitives live in exactly
+			// one of them — both children must be visited or the hit is
+			// lost (found by differential testing against the BVH).
+			switch {
+			case tSplit > curMax || tSplit < 0:
+				node = near
+			case tSplit < curMin:
+				node = far
+			default:
+				stack = append(stack, stackEntry{far, tSplit, curMax})
+				node = near
+				curMax = tSplit
+			}
+			continue
+
+		case kindLeaf:
+			for i := n.triStart; i < n.triStart+n.triCount; i++ {
+				ti := t.leafTris[i]
+				tr := t.tris[ti]
+				if th, u, v, hit := tr.IntersectRay(r, tMin, tMax); hit && th < best.T {
+					best = Hit{T: th, Tri: int(ti), U: u, V: v}
+					found = true
+				}
+			}
+
+		case kindDeferred:
+			d := t.deferred[n.deferred]
+			sub := t.expandDeferred(d)
+			if h, hit := sub.intersectRange(r, curMin, curMax, tMin, tMax); hit && h.T < best.T {
+				best = h
+				found = true
+			}
+		}
+
+		// Pop the next pending subtree.
+		if len(stack) == 0 {
+			break
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node, curMin, curMax = top.node, top.tMin, top.tMax
+	}
+	if !found {
+		return Hit{}, false
+	}
+	return best, true
+}
+
+// Occluded reports whether any triangle blocks r within (tMin, tMax) — the
+// any-hit query used for shadow rays. It shares the traversal of Intersect
+// but exits on the first hit.
+func (t *Tree) Occluded(r vecmath.Ray, tMin, tMax float64) bool {
+	t0, t1, ok := t.bounds.IntersectRay(r, tMin, tMax)
+	if !ok {
+		return false
+	}
+	return t.occludedRange(r, t0, t1, tMin, tMax)
+}
+
+func (t *Tree) occludedRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) bool {
+	var stackArr [traversalStackDepth]stackEntry
+	stack := stackArr[:0]
+	node := t.root
+
+	for {
+		n := &t.nodes[node]
+		switch n.kind {
+		case kindInner:
+			axis := n.axis
+			o := r.Origin.Axis(axis)
+			d := r.Dir.Axis(axis)
+			near, far := n.left, n.right
+			if o > n.pos || (o == n.pos && d < 0) {
+				near, far = far, near
+			}
+			if d == 0 {
+				if o == n.pos {
+					// In-plane ray: grazes both children (see Intersect).
+					stack = append(stack, stackEntry{far, curMin, curMax})
+				}
+				node = near
+				continue
+			}
+			tSplit := (n.pos - o) / d
+			// Boundary comparisons are strict: a hit exactly on the split
+			// plane (tSplit == curMin or curMax) lies in the degenerate
+			// interval of one child, and planar primitives live in exactly
+			// one of them — both children must be visited or the hit is
+			// lost (found by differential testing against the BVH).
+			switch {
+			case tSplit > curMax || tSplit < 0:
+				node = near
+			case tSplit < curMin:
+				node = far
+			default:
+				stack = append(stack, stackEntry{far, tSplit, curMax})
+				node = near
+				curMax = tSplit
+			}
+			continue
+
+		case kindLeaf:
+			for i := n.triStart; i < n.triStart+n.triCount; i++ {
+				tr := t.tris[t.leafTris[i]]
+				if _, _, _, hit := tr.IntersectRay(r, tMin, tMax); hit {
+					return true
+				}
+			}
+
+		case kindDeferred:
+			d := t.deferred[n.deferred]
+			sub := t.expandDeferred(d)
+			if sub.occludedRange(r, curMin, curMax, tMin, tMax) {
+				return true
+			}
+		}
+
+		if len(stack) == 0 {
+			return false
+		}
+		top := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		node, curMin, curMax = top.node, top.tMin, top.tMax
+	}
+}
+
+// expandDeferred builds the suspended subtree on first use. The sync.Once
+// plays the role of the paper's OpenMP critical section: concurrent rays
+// reaching the same node serialise here, every other node stays contention
+// free.
+func (t *Tree) expandDeferred(d *deferredNode) *Tree {
+	d.once.Do(func() {
+		// Expand with the sequential sweep recursion; the node holds fewer
+		// than R primitives by construction, so per-node parallelism is not
+		// worth spawning (and rays are already parallel across pixels).
+		cfg := t.cfg
+		cfg.Algorithm = AlgoNodeLevel
+		cfg.Workers = 1
+		cfg = cfg.normalized(len(t.tris))
+
+		ctx := newBuildCtx(t.tris, cfg)
+		items := make([]item, 0, len(d.tris))
+		for _, ti := range d.tris {
+			b := t.tris[ti].Bounds().Intersect(d.bounds)
+			if b.IsEmpty() {
+				// Can only happen for degenerate input; such triangles
+				// cannot intersect rays inside this node anyway.
+				continue
+			}
+			items = append(items, item{ti, b})
+		}
+		root := ctx.recurseNodeLevel(items, d.bounds, 0)
+		sub := flatten(root, t.tris, cfg, ctx.counters.snapshot(AlgoNodeLevel, len(items)))
+		sub.bounds = d.bounds
+		d.sub.Store(sub)
+	})
+	return d.sub.Load()
+}
+
+// ExpandAll forces expansion of every suspended subtree. Used by validation
+// and by benchmarks that want to charge full construction cost up front.
+func (t *Tree) ExpandAll() {
+	for _, d := range t.deferred {
+		sub := t.expandDeferred(d)
+		sub.ExpandAll()
+	}
+}

@@ -1,0 +1,192 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kdtune/internal/vecmath"
+)
+
+// twoSlabScene: two parallel quads at z=1 and z=3, guaranteed split on Z.
+func twoSlabScene() []vecmath.Triangle {
+	q := func(z float64) []vecmath.Triangle {
+		return []vecmath.Triangle{
+			vecmath.Tri(vecmath.V(0, 0, z), vecmath.V(2, 0, z), vecmath.V(2, 2, z)),
+			vecmath.Tri(vecmath.V(0, 0, z), vecmath.V(2, 2, z), vecmath.V(0, 2, z)),
+		}
+	}
+	return append(q(1), q(3)...)
+}
+
+func TestTraversalFrontToBack(t *testing.T) {
+	tree := Build(twoSlabScene(), testConfig(AlgoNodeLevel))
+	// Ray from front must hit the z=1 slab, from behind the z=3 slab.
+	h, ok := tree.Intersect(vecmath.NewRay(vecmath.V(1, 1, -1), vecmath.V(0, 0, 1)), 0, 100)
+	if !ok || math.Abs(h.T-2) > 1e-12 {
+		t.Fatalf("front ray: %+v %v", h, ok)
+	}
+	h, ok = tree.Intersect(vecmath.NewRay(vecmath.V(1, 1, 5), vecmath.V(0, 0, -1)), 0, 100)
+	if !ok || math.Abs(h.T-2) > 1e-12 {
+		t.Fatalf("back ray: %+v %v", h, ok)
+	}
+}
+
+func TestTraversalRayAlongSplitPlane(t *testing.T) {
+	// A ray travelling exactly in a potential split plane between the two
+	// slabs must still see whichever slab it is aimed at.
+	tree := Build(twoSlabScene(), testConfig(AlgoInPlace))
+	h, ok := tree.Intersect(vecmath.NewRay(vecmath.V(1, -1, 2), vecmath.V(0, 1, 0.999999)), 0, 100)
+	_ = h
+	_ = ok // direction nearly within the gap plane: must not panic or loop
+	// An axis-parallel ray in the gap hits nothing.
+	if _, ok := tree.Intersect(vecmath.NewRay(vecmath.V(1, 1, 2), vecmath.V(0, 1, 0)), 0, 100); ok {
+		t.Fatal("gap ray reported a hit")
+	}
+}
+
+func TestTraversalOriginOnSplitPlane(t *testing.T) {
+	tree := Build(twoSlabScene(), testConfig(AlgoNodeLevel))
+	// Origin exactly at z=2 (inside the gap, plausibly on the split):
+	// direction decides which side is visited.
+	h, ok := tree.Intersect(vecmath.NewRay(vecmath.V(1, 1, 2), vecmath.V(0, 0, 1)), 0, 100)
+	if !ok || math.Abs(h.T-1) > 1e-12 {
+		t.Fatalf("forward from gap: %+v %v", h, ok)
+	}
+	h, ok = tree.Intersect(vecmath.NewRay(vecmath.V(1, 1, 2), vecmath.V(0, 0, -1)), 0, 100)
+	if !ok || math.Abs(h.T-1) > 1e-12 {
+		t.Fatalf("backward from gap: %+v %v", h, ok)
+	}
+}
+
+func TestTraversalInvertedInterval(t *testing.T) {
+	tree := Build(twoSlabScene(), testConfig(AlgoNodeLevel))
+	if _, ok := tree.Intersect(vecmath.NewRay(vecmath.V(1, 1, -1), vecmath.V(0, 0, 1)), 10, 5); ok {
+		t.Fatal("inverted interval produced a hit")
+	}
+	if tree.Occluded(vecmath.NewRay(vecmath.V(1, 1, -1), vecmath.V(0, 0, 1)), 10, 5) {
+		t.Fatal("inverted interval reported occlusion")
+	}
+}
+
+func TestTraversalGrazingBounds(t *testing.T) {
+	// Rays that only touch the scene bounds' corner/edge must terminate
+	// without phantom hits.
+	tree := Build(twoSlabScene(), testConfig(AlgoNested))
+	b := tree.Bounds()
+	corner := b.Max
+	r := vecmath.NewRay(corner.Add(vecmath.V(1, 1, 0)), vecmath.V(-1, -1, 0))
+	tree.Intersect(r, 0, math.Inf(1)) // must not hang
+}
+
+func TestQuickTraversalNeverFalsePositive(t *testing.T) {
+	// Property: any hit the tree reports is a genuine triangle hit at the
+	// reported distance (cross-check against direct intersection).
+	r := rand.New(rand.NewSource(120))
+	tris := randomTriangles(r, 400, 10, 0.3)
+	tree := Build(tris, testConfig(AlgoLazy))
+	f := func(ox, oy, oz, dx, dy, dz int16) bool {
+		o := vecmath.V(float64(ox)/1000, float64(oy)/1000, float64(oz)/1000).Scale(20)
+		d := vecmath.V(float64(dx), float64(dy), float64(dz))
+		if d.Len2() == 0 {
+			return true
+		}
+		ray := vecmath.NewRay(o, d)
+		h, ok := tree.Intersect(ray, 1e-9, math.Inf(1))
+		if !ok {
+			return true
+		}
+		th, _, _, hit := tris[h.Tri].IntersectRay(ray, 1e-9, math.Inf(1))
+		return hit && math.Abs(th-h.T) < 1e-9*(1+th)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlattenProducesDFSLayout(t *testing.T) {
+	// The arena should store each inner node before its children (DFS):
+	// this is a locality property the traversal relies on for cache
+	// friendliness, and a regression canary for flatten().
+	r := rand.New(rand.NewSource(121))
+	tris := randomTriangles(r, 500, 10, 0.2)
+	tree := Build(tris, testConfig(AlgoNodeLevel))
+	for i, n := range tree.nodes {
+		if n.kind != kindInner {
+			continue
+		}
+		if int(n.left) <= i || int(n.right) <= i {
+			t.Fatalf("node %d has child indices %d/%d not after it", i, n.left, n.right)
+		}
+	}
+}
+
+func TestOccludedRespectsMaxDistance(t *testing.T) {
+	tree := Build(twoSlabScene(), testConfig(AlgoNodeLevel))
+	ray := vecmath.NewRay(vecmath.V(1, 1, -1), vecmath.V(0, 0, 1))
+	if tree.Occluded(ray, 0, 1.5) { // slab at t=2 is beyond max
+		t.Fatal("occlusion beyond tMax")
+	}
+	if !tree.Occluded(ray, 0, 2.5) {
+		t.Fatal("occlusion within tMax missed")
+	}
+}
+
+func TestHitExactlyOnSplitPlane(t *testing.T) {
+	// Regression: a planar (zero-extent) triangle exactly on a split plane,
+	// hit by a ray whose plane crossing coincides with the node's entry
+	// distance, was skipped when the far-only case used a non-strict
+	// comparison. Reconstruct the shape directly: two populated slabs force
+	// an X split, a planar triangle sits exactly on a likely plane.
+	var tris []vecmath.Triangle
+	for i := 0; i < 8; i++ {
+		y := float64(i) * 0.4
+		tris = append(tris,
+			vecmath.Tri(vecmath.V(0, y, 0), vecmath.V(1, y, 0), vecmath.V(0, y+0.3, 1)),
+			vecmath.Tri(vecmath.V(9, y, 0), vecmath.V(10, y, 0), vecmath.V(9, y+0.3, 1)),
+		)
+	}
+	// Planar triangle exactly at x=5 (a candidate plane: its own bounds).
+	planar := vecmath.Tri(vecmath.V(5, 0, 0), vecmath.V(5, 3, 0), vecmath.V(5, 0, 1))
+	tris = append(tris, planar)
+	for _, a := range Algorithms {
+		tree := Build(tris, testConfig(a))
+		// Ray crossing x=5 exactly where the planar triangle stands.
+		ray := vecmath.NewRay(vecmath.V(-5, 1, 0.25), vecmath.V(1, 0, 0))
+		want, wantHit := bruteForceClosest(tris, ray, 1e-9, math.Inf(1))
+		got, gotHit := tree.Intersect(ray, 1e-9, math.Inf(1))
+		if wantHit != gotHit || (wantHit && math.Abs(got.T-want.T) > 1e-12) {
+			t.Fatalf("%v: plane-coincident hit lost: got %v/%v want %v/%v", a, got.T, gotHit, want.T, wantHit)
+		}
+		if !tree.Occluded(ray, 1e-9, math.Inf(1)) {
+			t.Fatalf("%v: occlusion lost on plane-coincident hit", a)
+		}
+	}
+}
+
+func TestRayLyingInSplitPlane(t *testing.T) {
+	// Regression: a ray with a zero direction component travelling exactly
+	// IN a split plane (o == pos, d == 0 on that axis) grazes both
+	// children; visiting only the near side lost hits on primitives
+	// assigned to the other child.
+	var tris []vecmath.Triangle
+	for i := 0; i < 8; i++ {
+		x := float64(i)
+		// Triangles with z in [0, 0.25]: a z=0 split assigns them right.
+		tris = append(tris, vecmath.Tri(
+			vecmath.V(x, 0, 0), vecmath.V(x+0.5, 0, 0), vecmath.V(x, 1, 0.25)))
+		// And some purely negative-z geometry to make z=0 a plausible plane.
+		tris = append(tris, vecmath.Tri(
+			vecmath.V(x, 0, -1), vecmath.V(x+0.5, 0, -1), vecmath.V(x, 1, -0.25)))
+	}
+	ray := vecmath.NewRay(vecmath.V(-1, 0.2, 0), vecmath.V(1, 0, 0)) // z == 0 exactly
+	want, wantHit := bruteForceClosest(tris, ray, 1e-9, math.Inf(1))
+	for _, a := range Algorithms {
+		tree := Build(tris, testConfig(a))
+		got, gotHit := tree.Intersect(ray, 1e-9, math.Inf(1))
+		if wantHit != gotHit || (wantHit && math.Abs(got.T-want.T) > 1e-12) {
+			t.Fatalf("%v: in-plane ray lost its hit: got %v/%v want %v/%v", a, got.T, gotHit, want.T, wantHit)
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package kdtree
+
+import (
+	"fmt"
+
+	"kdtune/internal/vecmath"
+)
+
+// Validate checks the structural invariants of a (fully expanded) tree:
+//
+//   - node indices are in range and the node graph is a tree (each node
+//     reachable exactly once from the root),
+//   - leaf triangle ranges index valid triangles,
+//   - every non-degenerate input triangle is referenced by at least one
+//     leaf whose region overlaps its bounds,
+//   - every leaf only references triangles whose bounds overlap the leaf's
+//     region (no stray references).
+//
+// Lazy trees are expanded first (Validate is a testing/debugging facility,
+// not a hot path). It returns nil when all invariants hold.
+func (t *Tree) Validate() error {
+	t.ExpandAll()
+	seen := make(map[int]bool) // triangle -> referenced by some leaf
+	visited := make([]bool, len(t.nodes))
+	if err := t.validateNode(t.root, t.bounds, visited, seen); err != nil {
+		return err
+	}
+	for i, tr := range t.tris {
+		if tr.IsDegenerate() {
+			continue
+		}
+		if b := tr.Bounds(); !b.Overlaps(t.bounds) {
+			continue
+		}
+		if !seen[i] {
+			return fmt.Errorf("kdtree: triangle %d is not referenced by any leaf", i)
+		}
+	}
+	return nil
+}
+
+func (t *Tree) validateNode(idx int32, region vecmath.AABB, visited []bool, seen map[int]bool) error {
+	if idx < 0 || int(idx) >= len(t.nodes) {
+		return fmt.Errorf("kdtree: node index %d out of range [0,%d)", idx, len(t.nodes))
+	}
+	if visited[idx] {
+		return fmt.Errorf("kdtree: node %d reachable twice (graph is not a tree)", idx)
+	}
+	visited[idx] = true
+	n := &t.nodes[idx]
+	switch n.kind {
+	case kindInner:
+		if n.pos < region.Min.Axis(n.axis) || n.pos > region.Max.Axis(n.axis) {
+			return fmt.Errorf("kdtree: node %d split %v=%g outside region %v", idx, n.axis, n.pos, region)
+		}
+		lb, rb := region.Split(n.axis, n.pos)
+		if err := t.validateNode(n.left, lb, visited, seen); err != nil {
+			return err
+		}
+		return t.validateNode(n.right, rb, visited, seen)
+
+	case kindLeaf:
+		if n.triStart < 0 || int(n.triStart+n.triCount) > len(t.leafTris) {
+			return fmt.Errorf("kdtree: leaf %d range [%d,%d) outside leafTris", idx, n.triStart, n.triStart+n.triCount)
+		}
+		eps := 1e-9 * (1 + t.bounds.Diagonal().Len())
+		grown := region.Grow(eps)
+		for i := n.triStart; i < n.triStart+n.triCount; i++ {
+			ti := t.leafTris[i]
+			if ti < 0 || int(ti) >= len(t.tris) {
+				return fmt.Errorf("kdtree: leaf %d references invalid triangle %d", idx, ti)
+			}
+			seen[int(ti)] = true
+			if !t.tris[ti].Bounds().Overlaps(grown) {
+				return fmt.Errorf("kdtree: leaf %d references triangle %d whose bounds %v miss leaf region %v",
+					idx, ti, t.tris[ti].Bounds(), region)
+			}
+		}
+		return nil
+
+	case kindDeferred:
+		d := t.deferred[n.deferred]
+		sub := d.sub.Load()
+		if sub == nil {
+			return fmt.Errorf("kdtree: deferred node %d not expanded (call ExpandAll first)", idx)
+		}
+		// Structurally validate the subtree over its own region, with a
+		// private seen-set: the subtree only holds this node's triangles.
+		subSeen := make(map[int]bool)
+		subVisited := make([]bool, len(sub.nodes))
+		if err := sub.validateNode(sub.root, sub.bounds, subVisited, subSeen); err != nil {
+			return fmt.Errorf("kdtree: deferred node %d: %w", idx, err)
+		}
+		for _, ti := range d.tris {
+			if !t.tris[ti].IsDegenerate() && t.tris[ti].Bounds().Overlaps(sub.bounds) && !subSeen[int(ti)] {
+				return fmt.Errorf("kdtree: deferred node %d lost triangle %d during expansion", idx, ti)
+			}
+			seen[int(ti)] = true
+		}
+		return nil
+	}
+	return fmt.Errorf("kdtree: node %d has unknown kind %d", idx, n.kind)
+}

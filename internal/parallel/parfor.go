@@ -1,0 +1,69 @@
+package parallel
+
+import "sync"
+
+// For divides the index range [0, n) into one contiguous chunk per worker
+// and runs body(lo, hi) on each chunk concurrently. It is the analogue of
+// "#pragma omp parallel for" with static scheduling. workers <= 0 selects
+// DefaultWorkers(); small n degrades gracefully to fewer chunks or a plain
+// sequential call.
+func For(n, workers int, body func(lo, hi int)) {
+	workers = normWorkers(workers)
+	if n <= 0 {
+		return
+	}
+	if workers == 1 || n == 1 {
+		body(0, n)
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ForGrain is For with an explicit minimum chunk size (grain). Ranges
+// shorter than grain run sequentially; larger ranges are split into chunks
+// of at least grain elements, at most one chunk per worker. The grain guards
+// against parallelisation overhead dominating tiny loops, the same purpose
+// OpenMP's schedule chunk size serves.
+func ForGrain(n, workers, grain int, body func(lo, hi int)) {
+	if grain < 1 {
+		grain = 1
+	}
+	if n <= grain {
+		if n > 0 {
+			body(0, n)
+		}
+		return
+	}
+	workers = normWorkers(workers)
+	maxChunks := (n + grain - 1) / grain
+	if workers > maxChunks {
+		workers = maxChunks
+	}
+	For(n, workers, body)
+}
+
+// ForEach runs body(i) for every i in [0, n) using For with per-chunk
+// dispatch. Convenience wrapper for loops whose body is already coarse.
+func ForEach(n, workers int, body func(i int)) {
+	For(n, workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			body(i)
+		}
+	})
+}

@@ -1,0 +1,90 @@
+// Package parallel provides the shared-memory parallel primitives that the
+// kD-tree builders are written against. It plays the role OpenMP plays in
+// the paper's C++ implementation:
+//
+//   - Pool.Spawn mirrors "#pragma omp task" (recursive subtree tasks),
+//   - For/ForGrain mirror "#pragma omp parallel for" (loops over primitives
+//     and rays),
+//   - ExclusiveScan/Reduce mirror the parallel prefix operations of the
+//     nested and in-place builders (Choi et al.),
+//   - per-node sync.Mutex in the lazy builder mirrors "#pragma omp critical".
+//
+// All primitives take an explicit worker count so the autotuner and the
+// platform-simulation harness (Figure 7c) can vary the parallelism budget
+// per invocation instead of being pinned to GOMAXPROCS.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWorkers returns the parallelism budget used when a caller passes a
+// non-positive worker count: the scheduler's GOMAXPROCS value.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// normWorkers clamps a requested worker count into [1, reasonable].
+func normWorkers(n int) int {
+	if n <= 0 {
+		return DefaultWorkers()
+	}
+	return n
+}
+
+// Pool is a bounded task pool for recursive fork-join parallelism. It mimics
+// OpenMP's task model: Spawn either runs the task on a fresh goroutine (if a
+// worker slot is free) or inline on the caller (if the pool is saturated).
+// Running inline when saturated keeps recursive builders deadlock-free and
+// caps goroutine count near the worker budget, like OpenMP's task cutoff.
+//
+// A Pool is reusable; Wait blocks until all spawned tasks (including tasks
+// spawned transitively from inside tasks) have finished.
+type Pool struct {
+	slots   chan struct{}
+	wg      sync.WaitGroup
+	spawned atomic.Int64 // tasks that actually got their own goroutine
+	inline  atomic.Int64 // tasks that ran inline due to saturation
+}
+
+// NewPool creates a pool with the given number of concurrent worker slots.
+// workers <= 0 selects DefaultWorkers().
+func NewPool(workers int) *Pool {
+	return &Pool{slots: make(chan struct{}, normWorkers(workers))}
+}
+
+// Workers returns the pool's worker-slot budget.
+func (p *Pool) Workers() int { return cap(p.slots) }
+
+// Spawn runs task, concurrently if a worker slot is available and otherwise
+// inline on the calling goroutine. It is safe to call Spawn from inside a
+// task.
+func (p *Pool) Spawn(task func()) {
+	select {
+	case p.slots <- struct{}{}:
+		p.wg.Add(1)
+		p.spawned.Add(1)
+		go func() {
+			defer func() {
+				<-p.slots
+				p.wg.Done()
+			}()
+			task()
+		}()
+	default:
+		p.inline.Add(1)
+		task()
+	}
+}
+
+// Wait blocks until every task spawned so far has completed. The caller must
+// ensure no further Spawn races with Wait (the usual fork-join pattern:
+// recursion has returned, so all Spawns are transitively complete once
+// outstanding goroutines drain).
+func (p *Pool) Wait() { p.wg.Wait() }
+
+// Stats reports how many tasks ran on their own goroutine and how many ran
+// inline because the pool was saturated. Useful in tests and ablations.
+func (p *Pool) Stats() (spawned, inline int64) {
+	return p.spawned.Load(), p.inline.Load()
+}

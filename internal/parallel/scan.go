@@ -1,0 +1,121 @@
+package parallel
+
+// Number captures the element types the scan and reduction primitives
+// operate on. The builders only ever scan counts (int) and SAH partial sums
+// (float64).
+type Number interface {
+	~int | ~int32 | ~int64 | ~float64
+}
+
+// ExclusiveScan computes the exclusive prefix sum of src into dst (dst[i] =
+// src[0] + ... + src[i-1], dst[0] = 0) and returns the total sum. dst and
+// src must have equal length; dst may alias src.
+//
+// For inputs past a fixed cutoff the classic two-pass blocked algorithm is
+// used: pass one computes per-block sums in parallel, a short sequential
+// scan turns them into block offsets, and pass two writes each block's
+// prefixes in parallel. This is the "sequence of parallel prefix operations"
+// substrate of the nested and in-place builders.
+func ExclusiveScan[T Number](dst, src []T, workers int) T {
+	if len(dst) != len(src) {
+		panic("parallel: ExclusiveScan length mismatch")
+	}
+	n := len(src)
+	if n == 0 {
+		var zero T
+		return zero
+	}
+	workers = normWorkers(workers)
+	const cutoff = 4096
+	if workers == 1 || n < cutoff {
+		var sum T
+		for i := 0; i < n; i++ {
+			v := src[i]
+			dst[i] = sum
+			sum += v
+		}
+		return sum
+	}
+
+	blocks := workers
+	blockLen := (n + blocks - 1) / blocks
+	sums := make([]T, blocks)
+
+	For(blocks, workers, func(bLo, bHi int) {
+		for b := bLo; b < bHi; b++ {
+			lo, hi := b*blockLen, (b+1)*blockLen
+			if lo >= n {
+				continue
+			}
+			if hi > n {
+				hi = n
+			}
+			var s T
+			for i := lo; i < hi; i++ {
+				s += src[i]
+			}
+			sums[b] = s
+		}
+	})
+
+	var total T
+	for b := 0; b < blocks; b++ {
+		s := sums[b]
+		sums[b] = total
+		total += s
+	}
+
+	For(blocks, workers, func(bLo, bHi int) {
+		for b := bLo; b < bHi; b++ {
+			lo, hi := b*blockLen, (b+1)*blockLen
+			if lo >= n {
+				continue
+			}
+			if hi > n {
+				hi = n
+			}
+			run := sums[b]
+			for i := lo; i < hi; i++ {
+				v := src[i]
+				dst[i] = run
+				run += v
+			}
+		}
+	})
+	return total
+}
+
+// Reduce combines f(i) for all i in [0, n) with the associative, commutative
+// merge function, starting from identity. Each worker folds a contiguous
+// chunk locally and the per-chunk partials are merged sequentially, so merge
+// is called O(workers) times under the lock-free fork-join of For.
+func Reduce[T any](n, workers int, identity T, f func(i int) T, merge func(a, b T) T) T {
+	workers = normWorkers(workers)
+	if n <= 0 {
+		return identity
+	}
+	if workers == 1 || n == 1 {
+		acc := identity
+		for i := 0; i < n; i++ {
+			acc = merge(acc, f(i))
+		}
+		return acc
+	}
+	if workers > n {
+		workers = n
+	}
+	partials := make([]T, workers)
+	chunk := (n + workers - 1) / workers
+	For(n, workers, func(lo, hi int) {
+		acc := identity
+		for i := lo; i < hi; i++ {
+			acc = merge(acc, f(i))
+		}
+		partials[lo/chunk] = acc
+	})
+	acc := identity
+	for _, p := range partials {
+		acc = merge(acc, p)
+	}
+	return acc
+}

@@ -1,0 +1,72 @@
+package parallel
+
+import (
+	"slices"
+	"sync"
+)
+
+// sortSequentialCutoff is the subproblem size below which SortFunc falls
+// back to the standard library's pattern-defeating quicksort; smaller
+// pieces do not amortise goroutine dispatch.
+const sortSequentialCutoff = 8192
+
+// SortFunc sorts s by cmp using a parallel merge sort across the given
+// worker budget. The sort is not stable. It exists for the large per-node
+// event arrays of the SAH sweep: sorting is the dominant cost of the
+// Wald–Havran style builders, and the upper tree levels sort arrays with
+// millions of entries.
+func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
+	workers = normWorkers(workers)
+	if workers == 1 || len(s) < sortSequentialCutoff {
+		slices.SortFunc(s, cmp)
+		return
+	}
+	buf := make([]T, len(s))
+	mergeSort(s, buf, workers, cmp)
+}
+
+// mergeSort recursively splits s, sorting halves on up to `workers` workers
+// and merging into buf.
+func mergeSort[T any](s, buf []T, workers int, cmp func(a, b T) int) {
+	if workers <= 1 || len(s) < sortSequentialCutoff {
+		slices.SortFunc(s, cmp)
+		return
+	}
+	mid := len(s) / 2
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		mergeSort(s[:mid], buf[:mid], workers/2, cmp)
+	}()
+	mergeSort(s[mid:], buf[mid:], workers-workers/2, cmp)
+	wg.Wait()
+
+	merge(s[:mid], s[mid:], buf, cmp)
+	copy(s, buf)
+}
+
+// merge combines two sorted runs into dst (len(dst) == len(a)+len(b)).
+func merge[T any](a, b, dst []T, cmp func(x, y T) int) {
+	i, j, k := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		if cmp(a[i], b[j]) <= 0 {
+			dst[k] = a[i]
+			i++
+		} else {
+			dst[k] = b[j]
+			j++
+		}
+		k++
+	}
+	for i < len(a) {
+		dst[k] = a[i]
+		i++
+		k++
+	}
+	for j < len(b) {
+		dst[k] = b[j]
+		j++
+		k++
+	}
+}

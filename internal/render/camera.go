@@ -1,0 +1,45 @@
+// Package render implements the ray-casting renderer of the paper's §V-A:
+// for every pixel a primary ray is cast into the scene to find the first
+// intersecting primitive via the kD-tree, a shadow ray is cast from the hit
+// point to each light, and the pixel receives the Lambert-shaded primitive
+// colour. Intersection testing is parallelised across rays (image tiles),
+// exactly as the paper describes.
+package render
+
+import (
+	"math"
+
+	"kdtune/internal/scene"
+	"kdtune/internal/vecmath"
+)
+
+// Camera generates primary rays for a pinhole projection.
+type Camera struct {
+	eye                    vecmath.Vec3
+	lowerLeft, horiz, vert vecmath.Vec3
+}
+
+// NewCamera derives a pinhole camera from a scene view and the target
+// aspect ratio (width/height).
+func NewCamera(v scene.View, aspect float64) Camera {
+	dir := v.LookAt.Sub(v.Eye).Normalize()
+	right := dir.Cross(v.Up).Normalize()
+	up := right.Cross(dir)
+
+	halfH := math.Tan(v.FOV * math.Pi / 360)
+	halfW := aspect * halfH
+
+	return Camera{
+		eye:       v.Eye,
+		lowerLeft: dir.Sub(right.Scale(halfW)).Sub(up.Scale(halfH)),
+		horiz:     right.Scale(2 * halfW),
+		vert:      up.Scale(2 * halfH),
+	}
+}
+
+// Ray returns the primary ray through the normalised image position
+// (s, t) ∈ [0,1]^2 with (0,0) at the lower-left corner.
+func (c Camera) Ray(s, t float64) vecmath.Ray {
+	d := c.lowerLeft.Add(c.horiz.Scale(s)).Add(c.vert.Scale(t))
+	return vecmath.NewRay(c.eye, d)
+}

@@ -1,0 +1,29 @@
+package render
+
+import (
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+)
+
+// ToImage converts the float framebuffer to a stdlib image.Image with
+// simple clamping (no tone mapping), top row first as image conventions
+// expect.
+func (im *Image) ToImage() *image.NRGBA {
+	out := image.NewNRGBA(image.Rect(0, 0, im.W, im.H))
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			out.SetNRGBA(x, im.H-1-y, color.NRGBA{
+				R: clamp8(r), G: clamp8(g), B: clamp8(b), A: 255,
+			})
+		}
+	}
+	return out
+}
+
+// WritePNG encodes the framebuffer as a PNG.
+func (im *Image) WritePNG(w io.Writer) error {
+	return png.Encode(w, im.ToImage())
+}

@@ -1,0 +1,195 @@
+package render
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sync"
+
+	"kdtune/internal/kdtree"
+	"kdtune/internal/parallel"
+	"kdtune/internal/scene"
+	"kdtune/internal/vecmath"
+)
+
+// Image is a simple float RGB framebuffer.
+type Image struct {
+	W, H int
+	Pix  []float64 // 3*W*H, row-major, bottom row first
+}
+
+// NewImage allocates a black framebuffer.
+func NewImage(w, h int) *Image {
+	return &Image{W: w, H: h, Pix: make([]float64, 3*w*h)}
+}
+
+// set stores an RGB triple at pixel (x, y).
+func (im *Image) set(x, y int, r, g, b float64) {
+	i := 3 * (y*im.W + x)
+	im.Pix[i], im.Pix[i+1], im.Pix[i+2] = r, g, b
+}
+
+// At returns the RGB triple at pixel (x, y).
+func (im *Image) At(x, y int) (r, g, b float64) {
+	i := 3 * (y*im.W + x)
+	return im.Pix[i], im.Pix[i+1], im.Pix[i+2]
+}
+
+// WritePPM encodes the framebuffer as a binary PPM (P6) with simple
+// clamping; enough to eyeball renders without third-party codecs.
+func (im *Image) WritePPM(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	row := make([]byte, 3*im.W)
+	// PPM stores top row first; the framebuffer is bottom-first.
+	for y := im.H - 1; y >= 0; y-- {
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.At(x, y)
+			row[3*x] = clamp8(r)
+			row[3*x+1] = clamp8(g)
+			row[3*x+2] = clamp8(b)
+		}
+		if _, err := w.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func clamp8(v float64) byte {
+	if v <= 0 {
+		return 0
+	}
+	if v >= 1 {
+		return 255
+	}
+	return byte(v * 255)
+}
+
+// Options controls a render pass.
+type Options struct {
+	Width, Height int
+	Workers       int     // parallelism across rays; <=0 = GOMAXPROCS
+	Ambient       float64 // ambient light term (default 0.1)
+	Epsilon       float64 // shadow-ray offset (default 1e-6 of scene diagonal)
+
+	// Samples is the supersampling factor per pixel axis (1 = one centred
+	// ray per pixel, n = n*n stratified rays averaged). The paper keeps a
+	// "fixed quality setting"; raising Samples is how a client would trade
+	// quality against the frame time the tuner is minimising.
+	Samples int
+}
+
+// RenderStats reports what the ray caster did — used by tests and by the
+// occlusion experiments (how much of the tree a frame actually touched).
+type RenderStats struct {
+	PrimaryRays int
+	ShadowRays  int
+	Hits        int
+}
+
+// Render ray-casts the scene geometry through tree from the given view and
+// returns the framebuffer. The tree must have been built over exactly the
+// triangles of the frame being rendered; lights and camera come from the
+// scene view (§V-A).
+func Render(tree *kdtree.Tree, view scene.View, lights []vecmath.Vec3, opt Options) (*Image, RenderStats) {
+	if opt.Width <= 0 {
+		opt.Width = 256
+	}
+	if opt.Height <= 0 {
+		opt.Height = opt.Width * 3 / 4
+	}
+	if opt.Ambient == 0 {
+		opt.Ambient = 0.1
+	}
+	if opt.Samples < 1 {
+		opt.Samples = 1
+	}
+	eps := opt.Epsilon
+	if eps <= 0 {
+		eps = 1e-6 * (1 + tree.Bounds().Diagonal().Len())
+	}
+
+	im := NewImage(opt.Width, opt.Height)
+	cam := NewCamera(view, float64(opt.Width)/float64(opt.Height))
+	tris := tree.Triangles()
+
+	workers := opt.Workers
+	var stats RenderStats
+	var statMu sync.Mutex
+
+	// Parallelise across rows of pixels — "as the tree can be traversed
+	// independently for every ray, we parallelize intersection testing
+	// across different rays".
+	parallel.For(opt.Height, workers, func(yLo, yHi int) {
+		local := RenderStats{}
+		samples := opt.Samples
+		inv := 1.0 / float64(samples*samples)
+		for y := yLo; y < yHi; y++ {
+			for x := 0; x < opt.Width; x++ {
+				var accR, accG, accB float64
+				for sy := 0; sy < samples; sy++ {
+					for sx := 0; sx < samples; sx++ {
+						// Stratified sub-pixel positions.
+						t := (float64(y) + (float64(sy)+0.5)/float64(samples)) / float64(opt.Height)
+						s := (float64(x) + (float64(sx)+0.5)/float64(samples)) / float64(opt.Width)
+						ray := cam.Ray(s, t)
+						local.PrimaryRays++
+
+						hit, ok := tree.Intersect(ray, 1e-9, math.Inf(1))
+						if !ok {
+							accR += 0.05
+							accG += 0.05
+							accB += 0.08 // background
+							continue
+						}
+						local.Hits++
+
+						p := ray.At(hit.T)
+						n := tris[hit.Tri].UnitNormal()
+						if n.Dot(ray.Dir) > 0 {
+							n = n.Neg() // two-sided shading
+						}
+
+						// Lambert shading with shadow rays to every light.
+						shade := opt.Ambient
+						for _, l := range lights {
+							toLight := l.Sub(p)
+							cos := n.Dot(toLight.Normalize())
+							if cos <= 0 {
+								continue
+							}
+							local.ShadowRays++
+							shadow := vecmath.Towards(p.Add(n.Scale(eps)), l)
+							if !tree.Occluded(shadow, 1e-9, 1-1e-9) {
+								shade += cos / float64(len(lights)) * 0.9
+							}
+						}
+						// Colour keyed to the primitive index so structure
+						// stays visible without materials.
+						cr, cg, cb := triColor(hit.Tri)
+						accR += shade * cr
+						accG += shade * cg
+						accB += shade * cb
+					}
+				}
+				im.set(x, y, accR*inv, accG*inv, accB*inv)
+			}
+		}
+		statMu.Lock()
+		stats.PrimaryRays += local.PrimaryRays
+		stats.ShadowRays += local.ShadowRays
+		stats.Hits += local.Hits
+		statMu.Unlock()
+	})
+	return im, stats
+}
+
+// triColor hashes a triangle index into a stable pastel colour.
+func triColor(i int) (r, g, b float64) {
+	h := uint32(i) * 2654435761
+	return 0.5 + 0.5*float64(h&255)/255,
+		0.5 + 0.5*float64((h>>8)&255)/255,
+		0.5 + 0.5*float64((h>>16)&255)/255
+}

@@ -1,0 +1,135 @@
+package sah
+
+import (
+	"math"
+
+	"kdtune/internal/vecmath"
+)
+
+// DefaultBins is the bin count per axis used by the binned split search.
+// 32 bins is the common choice in the GPU/breadth-first builder literature
+// (Danilewski et al.) and keeps the per-node footprint small.
+const DefaultBins = 32
+
+// BinSet accumulates primitive-extent histograms for one node, one set of
+// three axes. It exists as a separate type so the nested and in-place
+// builders can fill per-worker private BinSets in parallel and merge them —
+// the parallel-histogram + prefix-scan structure of Choi et al.
+type BinSet struct {
+	Bins  int
+	Node  vecmath.AABB
+	start [3][]int // start[axis][bin]: primitives whose extent begins in bin
+	end   [3][]int // end[axis][bin]:   primitives whose extent ends in bin
+	count int      // primitives accumulated
+}
+
+// NewBinSet creates an empty histogram with the given resolution over node.
+// bins < 2 falls back to DefaultBins.
+func NewBinSet(node vecmath.AABB, bins int) *BinSet {
+	if bins < 2 {
+		bins = DefaultBins
+	}
+	bs := &BinSet{Bins: bins, Node: node}
+	for a := 0; a < 3; a++ {
+		bs.start[a] = make([]int, bins)
+		bs.end[a] = make([]int, bins)
+	}
+	return bs
+}
+
+// binIndex maps a coordinate to its bin along axis, clamped into range.
+func (bs *BinSet) binIndex(axis vecmath.Axis, pos float64) int {
+	lo := bs.Node.Min.Axis(axis)
+	ext := bs.Node.Max.Axis(axis) - lo
+	if ext <= 0 {
+		return 0
+	}
+	i := int(float64(bs.Bins) * (pos - lo) / ext)
+	if i < 0 {
+		return 0
+	}
+	if i >= bs.Bins {
+		return bs.Bins - 1
+	}
+	return i
+}
+
+// Add accumulates one primitive's bounds (already clipped to the node; an
+// empty box is ignored).
+func (bs *BinSet) Add(b vecmath.AABB) {
+	if b.IsEmpty() {
+		return
+	}
+	for a := vecmath.AxisX; a <= vecmath.AxisZ; a++ {
+		bs.start[a][bs.binIndex(a, b.Min.Axis(a))]++
+		bs.end[a][bs.binIndex(a, b.Max.Axis(a))]++
+	}
+	bs.count++
+}
+
+// Merge folds other into bs. Both must have identical Node and Bins; this is
+// the reduction step after per-worker histogramming.
+func (bs *BinSet) Merge(other *BinSet) {
+	if other.Bins != bs.Bins {
+		panic("sah: merging BinSets with different resolutions")
+	}
+	for a := 0; a < 3; a++ {
+		for i := 0; i < bs.Bins; i++ {
+			bs.start[a][i] += other.start[a][i]
+			bs.end[a][i] += other.end[a][i]
+		}
+	}
+	bs.count += other.count
+}
+
+// Count returns the number of primitives accumulated.
+func (bs *BinSet) Count() int { return bs.count }
+
+// BestSplit scans the bin boundaries of all three axes (a prefix sum over
+// the histograms) and returns the minimum-SAH split, or false if the node
+// has no interior bin boundary (e.g. zero-extent node or no primitives).
+func (bs *BinSet) BestSplit(p Params) (Split, bool) {
+	best := Split{Cost: math.Inf(1)}
+	found := false
+	areaNode := bs.Node.SurfaceArea()
+	if areaNode <= 0 || bs.count == 0 {
+		return best, false
+	}
+	n := bs.count
+	for a := vecmath.AxisX; a <= vecmath.AxisZ; a++ {
+		lo := bs.Node.Min.Axis(a)
+		ext := bs.Node.Max.Axis(a) - lo
+		if ext <= 0 {
+			continue
+		}
+		nl, nEnded := 0, 0
+		// Boundary after bin i sits at lo + (i+1)/Bins * ext; the last
+		// boundary coincides with the node face and is skipped.
+		for i := 0; i < bs.Bins-1; i++ {
+			nl += bs.start[a][i]
+			nEnded += bs.end[a][i]
+			nr := n - nEnded
+			pos := lo + float64(i+1)/float64(bs.Bins)*ext
+			if !splitCandidateValid(bs.Node, a, pos) {
+				continue
+			}
+			l, r := bs.Node.Split(a, pos)
+			cost := p.SplitCost(areaNode, l.SurfaceArea(), r.SurfaceArea(), nl, nr, n)
+			if cost < best.Cost {
+				best = Split{Axis: a, Pos: pos, Cost: cost, NL: nl, NR: nr}
+				found = true
+			}
+		}
+	}
+	return best, found
+}
+
+// FindBestSplitBinned is the convenience single-threaded entry point: build
+// one BinSet over prims and return its best split.
+func FindBestSplitBinned(p Params, node vecmath.AABB, prims []vecmath.AABB, bins int) (Split, bool) {
+	bs := NewBinSet(node, bins)
+	for _, b := range prims {
+		bs.Add(b)
+	}
+	return bs.BestSplit(p)
+}

@@ -1,0 +1,121 @@
+package scene
+
+import (
+	"fmt"
+	"math"
+
+	"kdtune/internal/vecmath"
+)
+
+// FairyForest builds the stand-in for the Utah "Fairy Forest" animation
+// (174,117 triangles, 21 frames). The paper positions the camera up close
+// to an object so that most of the scene's geometry is occluded and only a
+// tiny fraction of triangles is ever hit by rays — the corner case that
+// favours the lazy builder. We reproduce that: a large forest of swaying
+// trees behind a big mushroom-cap blocker that fills the whole view, plus a
+// rigid "fairy" object circling between the trees.
+func FairyForest() *Scene {
+	var tris []vecmath.Triangle
+
+	// Static geometry first (padding densifies only this prefix).
+	// Rolling forest floor.
+	tris = gridSurface(tris, 64, 64, func(u, w float64) vecmath.Vec3 {
+		x, z := (u-0.5)*80, (w-0.5)*80
+		return v(x, 0.6*smoothNoise(v(x*0.15, 0, z*0.15)), z)
+	}) // 8192
+
+	// The blocker: a big mushroom cap right in front of the camera.
+	capCenter := v(0, 1.0, 6.0)
+	tris = gridSurface(tris, 60, 60, func(u, w float64) vecmath.Vec3 {
+		theta := u * 2 * math.Pi
+		phi := w * math.Pi
+		r := 2.0 * (1 + 0.04*smoothNoise(v(u*9, w*7, 3)))
+		return capCenter.Add(v(r*math.Sin(phi)*math.Cos(theta), 0.8*r*math.Cos(phi), r*math.Sin(phi)*math.Sin(theta)))
+	}) // 7200
+	staticLen := len(tris)
+
+	// Rigid fairy: a small sphere that circles behind the blocker.
+	fairyStart := len(tris)
+	tris = gridSurface(tris, 24, 13, func(u, w float64) vecmath.Vec3 {
+		theta := u * 2 * math.Pi
+		phi := w * math.Pi
+		return v(0.3*math.Sin(phi)*math.Cos(theta), 2.0+0.3*math.Cos(phi), 0.3*math.Sin(phi)*math.Sin(theta))
+	}) // 624
+	fairyEnd := len(tris)
+
+	// The forest: rings of trees (cone canopy + cylinder trunk) spread over
+	// the field behind the blocker.
+	treesStart := len(tris)
+	const treeCount = 1200
+	for i := 0; i < treeCount; i++ {
+		// Sunflower-spiral placement for even coverage without an RNG.
+		a := float64(i) * 2.39996322972865332 // golden angle
+		r := 6 + 32*math.Sqrt(float64(i)/treeCount)
+		x, z := r*math.Cos(a), r*math.Sin(a)
+		h := 2.5 + 1.5*(0.5+0.5*smoothNoise(v(x*0.3, 0, z*0.3)))
+		tris = cone(tris, v(x, h*0.35, z), 0.9, h, 32)     // 64
+		tris = cylinder(tris, v(x, 0, z), 0.18, h*0.4, 16) // 64
+	}
+	treesEnd := len(tris)
+
+	tris, shift := padStaticPrefix(tris, staticLen, FairyForestTris)
+	fairyStart += shift
+	fairyEnd += shift
+	treesStart += shift
+	treesEnd += shift
+
+	parts := []Part{{
+		Start: fairyStart, End: fairyEnd,
+		Motion: func(frame int) vecmath.Mat4 {
+			t := 2 * math.Pi * float64(frame) / float64(FairyForestFrames)
+			return vecmath.Translate(v(10*math.Cos(t), 0.5+0.4*math.Sin(3*t), 10*math.Sin(t)))
+		},
+	}}
+	deformers := []Deformer{{
+		Start: treesStart, End: treesEnd,
+		Deform: func(frame int, p vecmath.Vec3) vecmath.Vec3 {
+			// Wind sway: lateral displacement growing with height.
+			t := 2 * math.Pi * float64(frame) / float64(FairyForestFrames)
+			amp := 0.05 * p.Y
+			return p.Add(v(amp*math.Sin(t+p.X*0.2), 0, amp*math.Cos(t+p.Z*0.2)))
+		},
+	}}
+
+	// Camera hard up against the mushroom cap, looking straight into it:
+	// the cap fills the view and occludes the forest.
+	return NewAnimated("FairyForest", tris, FairyForestFrames, View{
+		Eye: v(0, 1.0, 3.2), LookAt: capCenter, Up: v(0, 1, 0), FOV: 45,
+	}, []vecmath.Vec3{v(0, 12, -6), v(8, 6, 10)}, parts, deformers)
+}
+
+// All returns the six evaluation scenes in the paper's order (Figure 3):
+// the static Bunny, Sponza and Sibenik, then the dynamic Toasters, Wood
+// Doll and Fairy Forest.
+func All() []*Scene {
+	return []*Scene{Bunny(), Sponza(), Sibenik(), Toasters(), WoodDoll(), FairyForest()}
+}
+
+// Names lists the scene names in the same order as All, without building
+// the geometry.
+func Names() []string {
+	return []string{"Bunny", "Sponza", "Sibenik", "Toasters", "WoodDoll", "FairyForest"}
+}
+
+// ByName builds the named scene (case-sensitive, as listed by Names).
+func ByName(name string) (*Scene, error) {
+	switch name {
+	case "Bunny":
+		return Bunny(), nil
+	case "Sponza":
+		return Sponza(), nil
+	case "Sibenik":
+		return Sibenik(), nil
+	case "Toasters":
+		return Toasters(), nil
+	case "WoodDoll":
+		return WoodDoll(), nil
+	case "FairyForest":
+		return FairyForest(), nil
+	}
+	return nil, fmt.Errorf("scene: unknown scene %q (have %v)", name, Names())
+}

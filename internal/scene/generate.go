@@ -1,0 +1,281 @@
+package scene
+
+import (
+	"math"
+
+	"kdtune/internal/vecmath"
+)
+
+// Triangle counts reported in §V-B for the six evaluation scenes. The
+// procedural stand-ins hit these exactly (padToCount).
+const (
+	BunnyTris       = 69666
+	SponzaTris      = 66450
+	SibenikTris     = 75284
+	ToastersTris    = 11141
+	WoodDollTris    = 6658
+	FairyForestTris = 174117
+
+	ToastersFrames    = 246
+	WoodDollFrames    = 29
+	FairyForestFrames = 21
+)
+
+// Bunny builds the stand-in for the Stanford Bunny (69,666 triangles): a
+// compact, dense, blobby object — a noise-displaced sphere — floating above
+// a small ground plane, viewed from outside. Like the original, almost all
+// triangles are small and uniformly sized, concentrated in a ball.
+func Bunny() *Scene {
+	var tris []vecmath.Triangle
+	// 2*nu*nv <= target; leave room for the ground plane (2 tris).
+	nu, nv := 186, 186 // 69192 triangles
+	center := v(0, 1.2, 0)
+	tris = gridSurface(tris, nu, nv, func(u, w float64) vecmath.Vec3 {
+		theta := u * 2 * math.Pi
+		phi := w * math.Pi
+		dir := v(math.Sin(phi)*math.Cos(theta), math.Cos(phi), math.Sin(phi)*math.Sin(theta))
+		// Lumpy displacement gives the bunny-like asymmetric blob.
+		r := 1.0 +
+			0.25*smoothNoise(dir.Scale(2.1)) +
+			0.12*smoothNoise(dir.Scale(5.3).Add(v(7, 3, 1))) +
+			0.05*smoothNoise(dir.Scale(11.7).Add(v(1, 9, 4)))
+		return center.Add(dir.Scale(r))
+	})
+	tris = quad(tris, v(-4, -0.2, -4), v(4, -0.2, -4), v(4, -0.2, 4), v(-4, -0.2, 4))
+	tris = padToCount(tris, BunnyTris)
+	return NewStatic("Bunny", tris, View{
+		Eye: v(3.2, 2.4, 3.2), LookAt: center, Up: v(0, 1, 0), FOV: 45,
+	}, []vecmath.Vec3{v(5, 8, 3), v(-4, 6, -2)})
+}
+
+// Sponza builds the stand-in for the Dabrovic Sponza atrium (66,450
+// triangles): an open rectangular courtyard with a colonnade, arcade walls
+// and a rough floor, viewed from inside — elongated architecture with a
+// wide mix of triangle sizes.
+func Sponza() *Scene {
+	var tris []vecmath.Triangle
+	const L, W, H = 24.0, 12.0, 9.0 // courtyard extents
+
+	// Rough stone floor: displaced height field.
+	tris = gridSurface(tris, 96, 48, func(u, w float64) vecmath.Vec3 {
+		x, z := (u-0.5)*L, (w-0.5)*W
+		return v(x, 0.03*smoothNoise(v(x*2, 0, z*2)), z)
+	}) // 9216
+	// Four walls with a coarse brick relief.
+	wall := func(a, b vecmath.Vec3, nu int) {
+		dir := b.Sub(a)
+		n := v(dir.Z, 0, -dir.X).Normalize() // horizontal normal
+		tris = gridSurface(tris, nu, 24, func(u, w float64) vecmath.Vec3 {
+			p := a.Add(dir.Scale(u))
+			return v(p.X, w*H, p.Z).Add(n.Scale(0.05 * smoothNoise(v(u*40, w*20, p.X+p.Z))))
+		})
+	}
+	wall(v(-L/2, 0, -W/2), v(L/2, 0, -W/2), 72) // 3456
+	wall(v(L/2, 0, W/2), v(-L/2, 0, W/2), 72)   // 3456
+	wall(v(L/2, 0, -W/2), v(L/2, 0, W/2), 36)   // 1728
+	wall(v(-L/2, 0, W/2), v(-L/2, 0, -W/2), 36) // 1728
+	// Two rows of columns with plinths and two gallery levels.
+	for _, zRow := range []float64{-W / 2 * 0.6, W / 2 * 0.6} {
+		for i := 0; i < 10; i++ {
+			x := -L/2 + L*(float64(i)+0.5)/10
+			tris = cylinder(tris, v(x, 0, zRow), 0.35, 4.0, 48)   // 192 each
+			tris = cylinder(tris, v(x, 4.0, zRow), 0.30, 3.0, 48) // upper level
+			tris = box(tris, vecmath.NewAABB(v(x-0.55, 0, zRow-0.55), v(x+0.55, 0.25, zRow+0.55)))
+			tris = box(tris, vecmath.NewAABB(v(x-0.5, 3.8, zRow-0.5), v(x+0.5, 4.2, zRow+0.5)))
+		}
+		// Gallery slabs above each colonnade.
+		tris = box(tris, vecmath.NewAABB(v(-L/2, 4.1, zRow-0.9), v(L/2, 4.35, zRow+0.9)))
+		tris = box(tris, vecmath.NewAABB(v(-L/2, 7.2, zRow-0.9), v(L/2, 7.45, zRow+0.9)))
+	}
+	// Decorative clutter: vases (small cones) along the galleries.
+	for i := 0; i < 40; i++ {
+		x := -L/2 + L*(float64(i)+0.5)/40
+		z := math.Copysign(W/2*0.6, float64(i%2)*2-1)
+		tris = cone(tris, v(x, 4.35, z), 0.12, 0.5, 24)
+	}
+	tris = padToCount(tris, SponzaTris)
+	return NewStatic("Sponza", tris, View{
+		Eye: v(-L/2+2, 2.2, 0), LookAt: v(L/2, 3, 0), Up: v(0, 1, 0), FOV: 55,
+	}, []vecmath.Vec3{v(0, 8.5, 0), v(-6, 6, 3)})
+}
+
+// Sibenik builds the stand-in for the Sibenik cathedral interior (75,284
+// triangles): a long vaulted nave with two rows of columns, a barrel
+// ceiling, an apse, and the camera placed inside looking down the nave.
+func Sibenik() *Scene {
+	var tris []vecmath.Triangle
+	const L, W, H = 30.0, 10.0, 12.0
+
+	// Floor with worn-stone relief.
+	tris = gridSurface(tris, 120, 40, func(u, w float64) vecmath.Vec3 {
+		x, z := (u-0.5)*L, (w-0.5)*W
+		return v(x, 0.02*smoothNoise(v(x*3, 1, z*3)), z)
+	}) // 9600
+	// Barrel-vault ceiling with ribbed relief.
+	tris = gridSurface(tris, 120, 48, func(u, w float64) vecmath.Vec3 {
+		x := (u - 0.5) * L
+		a := (w - 0.5) * math.Pi // -pi/2 .. pi/2 across the width
+		rib := 0.06 * math.Abs(math.Sin(u*40*math.Pi))
+		r := W/2 + rib
+		return v(x, H-W/2+r*math.Cos(a), r*math.Sin(a))
+	}) // 11520
+	// Side walls up to the vault springing.
+	for _, side := range []float64{-1, 1} {
+		z := side * W / 2
+		tris = gridSurface(tris, 90, 30, func(u, w float64) vecmath.Vec3 {
+			x := (u - 0.5) * L
+			return v(x, w*(H-W/2), z+side*0.04*smoothNoise(v(x*4, w*10, side)))
+		}) // 5400 each
+	}
+	// End walls.
+	for _, end := range []float64{-1, 1} {
+		x := end * L / 2
+		tris = gridSurface(tris, 30, 36, func(u, w float64) vecmath.Vec3 {
+			return v(x, w*H, (u-0.5)*W)
+		}) // 2160 each
+	}
+	// Two rows of heavy columns with capitals.
+	for _, zRow := range []float64{-W / 2 * 0.55, W / 2 * 0.55} {
+		for i := 0; i < 8; i++ {
+			x := -L/2 + L*(float64(i)+0.5)/8
+			tris = cylinder(tris, v(x, 0, zRow), 0.5, 6.5, 64) // 256 each
+			tris = cylinder(tris, v(x, 6.5, zRow), 0.7, 0.6, 32)
+			tris = box(tris, vecmath.NewAABB(v(x-0.8, 0, zRow-0.8), v(x+0.8, 0.3, zRow+0.8)))
+		}
+	}
+	// Apse: half-dome of quads at the far end.
+	tris = gridSurface(tris, 48, 24, func(u, w float64) vecmath.Vec3 {
+		theta := (u - 0.5) * math.Pi // half circle
+		phi := w * math.Pi / 2
+		r := W / 2 * 0.9
+		return v(L/2-0.2+r*math.Cos(phi)*math.Cos(theta)*0.5, 1+r*math.Sin(phi)*0.8, r*math.Cos(phi)*math.Sin(theta))
+	}) // 2304
+	// Pews: rows of boxes in the nave.
+	for i := 0; i < 12; i++ {
+		x := -L/2 + 3 + float64(i)*1.6
+		for _, side := range []float64{-1, 1} {
+			tris = box(tris, vecmath.NewAABB(v(x, 0, side*0.6), v(x+0.9, 0.9, side*3.2)))
+		}
+	}
+	tris = padToCount(tris, SibenikTris)
+	return NewStatic("Sibenik", tris, View{
+		Eye: v(-L/2+1.5, 2.5, 0), LookAt: v(L/2, 4, 0), Up: v(0, 1, 0), FOV: 60,
+	}, []vecmath.Vec3{v(0, H-1.5, 0), v(L/4, 5, 2)})
+}
+
+// Toasters builds the stand-in for the Utah "Toasters" animation (11,141
+// triangles, 246 frames): a handful of rigid appliance-like bodies hopping
+// and circling over a ground plane.
+func Toasters() *Scene {
+	var parts []Part
+	var tris []vecmath.Triangle
+
+	// Ground plane (static part).
+	ground := gridSurface(nil, 16, 16, func(u, w float64) vecmath.Vec3 {
+		return v((u-0.5)*20, 0, (w-0.5)*20)
+	}) // 512
+	tris = append(tris, ground...)
+
+	// Four "toasters": rounded boxes with a slot (two side boxes + dome).
+	makeToaster := func(scale float64) []vecmath.Triangle {
+		var t []vecmath.Triangle
+		t = box(t, vecmath.NewAABB(v(-0.8, 0, -0.5).Scale(scale), v(0.8, 0.9, 0.5).Scale(scale)))
+		t = box(t, vecmath.NewAABB(v(-0.7, 0.9, -0.45).Scale(scale), v(-0.1, 1.05, 0.45).Scale(scale)))
+		t = box(t, vecmath.NewAABB(v(0.1, 0.9, -0.45).Scale(scale), v(0.7, 1.05, 0.45).Scale(scale)))
+		t = cylinder(t, v(0.9*scale, 0.3*scale, 0), 0.08*scale, 0.25*scale, 24) // lever
+		// Body shell: displaced dome for roundness.
+		t = gridSurface(t, 36, 17, func(u, w float64) vecmath.Vec3 {
+			theta := u * 2 * math.Pi
+			phi := w * math.Pi / 2
+			return v(0.85*math.Cos(theta)*math.Cos(phi), 0.9+0.45*math.Sin(phi), 0.55*math.Sin(theta)*math.Cos(phi)).Scale(scale)
+		}) // 1224
+		return t
+	}
+	hopPeriod := 41.0
+	for ti := 0; ti < 4; ti++ {
+		body := makeToaster(0.8 + 0.15*float64(ti))
+		start := len(tris)
+		tris = append(tris, body...)
+		phase := float64(ti) * math.Pi / 2
+		radius := 3.0 + float64(ti)
+		parts = append(parts, Part{
+			Start: start, End: len(tris),
+			Motion: func(frame int) vecmath.Mat4 {
+				t := float64(frame)
+				angle := 2*math.Pi*t/float64(ToastersFrames) + phase
+				hop := math.Abs(math.Sin(math.Pi * t / hopPeriod * (1 + phase/10)))
+				pos := v(radius*math.Cos(angle), 1.2*hop, radius*math.Sin(angle))
+				return vecmath.Translate(pos).MulMat(vecmath.Rotate(vecmath.AxisY, -angle))
+			},
+		})
+	}
+	// Pad by densifying the static ground only, then shift part ranges past
+	// the inserted triangles.
+	tris, shift := padStaticPrefix(tris, len(ground), ToastersTris)
+	for i := range parts {
+		parts[i].Start += shift
+		parts[i].End += shift
+	}
+	return NewAnimated("Toasters", tris, ToastersFrames, View{
+		Eye: v(9, 6, 9), LookAt: v(0, 0.8, 0), Up: v(0, 1, 0), FOV: 45,
+	}, []vecmath.Vec3{v(6, 10, 4)}, parts, nil)
+}
+
+// WoodDoll builds the stand-in for the Utah "Wood Doll" animation (6,658
+// triangles, 29 frames): an articulated figure whose limbs swing around
+// their joints.
+func WoodDoll() *Scene {
+	var tris []vecmath.Triangle
+	var parts []Part
+
+	// Ground.
+	tris = gridSurface(tris, 8, 8, func(u, w float64) vecmath.Vec3 {
+		return v((u-0.5)*8, 0, (w-0.5)*8)
+	}) // 128
+	groundLen := len(tris)
+
+	addPart := func(body []vecmath.Triangle, motion func(int) vecmath.Mat4) {
+		start := len(tris)
+		tris = append(tris, body...)
+		parts = append(parts, Part{Start: start, End: len(tris), Motion: motion})
+	}
+	swing := func(axis vecmath.Axis, pivot vecmath.Vec3, amp, phase float64) func(int) vecmath.Mat4 {
+		return func(frame int) vecmath.Mat4 {
+			a := amp * math.Sin(2*math.Pi*float64(frame)/float64(WoodDollFrames)+phase)
+			return vecmath.RotateAround(axis, a, pivot)
+		}
+	}
+
+	// Torso (static sway) and head.
+	torso := cylinder(nil, v(0, 1.0, 0), 0.32, 0.9, 96)                  // 384
+	torso = gridSurface(torso, 48, 25, func(u, w float64) vecmath.Vec3 { // head sphere: 2400
+		theta := u * 2 * math.Pi
+		phi := w * math.Pi
+		return v(0.26*math.Sin(phi)*math.Cos(theta), 2.2+0.26*math.Cos(phi), 0.26*math.Sin(phi)*math.Sin(theta))
+	})
+	addPart(torso, swing(vecmath.AxisZ, v(0, 1.0, 0), 0.08, 0))
+
+	limb := func(c vecmath.Vec3, r, h float64) []vecmath.Triangle {
+		seg := cylinder(nil, c, r, h, 56) // 224 per segment
+		return seg
+	}
+	// Arms: upper+forearm each side, swinging in X.
+	addPart(limb(v(-0.45, 1.35, 0), 0.09, 0.55), swing(vecmath.AxisX, v(-0.45, 1.9, 0), 0.9, 0))
+	addPart(limb(v(-0.45, 0.85, 0), 0.08, 0.5), swing(vecmath.AxisX, v(-0.45, 1.9, 0), 1.2, 0.4))
+	addPart(limb(v(0.45, 1.35, 0), 0.09, 0.55), swing(vecmath.AxisX, v(0.45, 1.9, 0), 0.9, math.Pi))
+	addPart(limb(v(0.45, 0.85, 0), 0.08, 0.5), swing(vecmath.AxisX, v(0.45, 1.9, 0), 1.2, math.Pi+0.4))
+	// Legs.
+	addPart(limb(v(-0.18, 0.45, 0), 0.11, 0.55), swing(vecmath.AxisX, v(-0.18, 1.0, 0), 0.7, math.Pi))
+	addPart(limb(v(-0.18, 0.0, 0), 0.1, 0.45), swing(vecmath.AxisX, v(-0.18, 1.0, 0), 0.9, math.Pi-0.3))
+	addPart(limb(v(0.18, 0.45, 0), 0.11, 0.55), swing(vecmath.AxisX, v(0.18, 1.0, 0), 0.7, 0))
+	addPart(limb(v(0.18, 0.0, 0), 0.1, 0.45), swing(vecmath.AxisX, v(0.18, 1.0, 0), 0.9, -0.3))
+
+	tris, shift := padStaticPrefix(tris, groundLen, WoodDollTris)
+	for i := range parts {
+		parts[i].Start += shift
+		parts[i].End += shift
+	}
+	return NewAnimated("WoodDoll", tris, WoodDollFrames, View{
+		Eye: v(2.6, 1.8, 2.6), LookAt: v(0, 1.1, 0), Up: v(0, 1, 0), FOV: 45,
+	}, []vecmath.Vec3{v(3, 5, 2)}, parts, nil)
+}

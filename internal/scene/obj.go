@@ -1,0 +1,99 @@
+package scene
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"kdtune/internal/vecmath"
+)
+
+// ReadOBJ parses a Wavefront OBJ stream into a triangle soup. Supported
+// elements are vertices ("v x y z") and faces ("f i j k ..."); faces with
+// more than three vertices are fan-triangulated, vertex indices may be
+// negative (relative) and may carry texture/normal suffixes ("f 1/2/3 ..."),
+// which are ignored. All other statements (vn, vt, usemtl, o, g, s, mtllib,
+// comments) are skipped. This lets users feed the real evaluation models to
+// the harness when they have them, in place of the procedural stand-ins.
+func ReadOBJ(r io.Reader) ([]vecmath.Triangle, error) {
+	var verts []vecmath.Vec3
+	var tris []vecmath.Triangle
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "v":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("obj line %d: vertex needs 3 coordinates", lineNo)
+			}
+			var c [3]float64
+			for i := 0; i < 3; i++ {
+				f, err := strconv.ParseFloat(fields[i+1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("obj line %d: bad coordinate %q: %v", lineNo, fields[i+1], err)
+				}
+				c[i] = f
+			}
+			verts = append(verts, vecmath.V(c[0], c[1], c[2]))
+		case "f":
+			if len(fields) < 4 {
+				return nil, fmt.Errorf("obj line %d: face needs at least 3 vertices", lineNo)
+			}
+			idx := make([]int, 0, len(fields)-1)
+			for _, f := range fields[1:] {
+				// "17/5/3" -> vertex index 17; only the first component counts.
+				if slash := strings.IndexByte(f, '/'); slash >= 0 {
+					f = f[:slash]
+				}
+				i, err := strconv.Atoi(f)
+				if err != nil {
+					return nil, fmt.Errorf("obj line %d: bad face index %q: %v", lineNo, f, err)
+				}
+				if i < 0 {
+					i = len(verts) + i + 1 // relative indexing
+				}
+				if i < 1 || i > len(verts) {
+					return nil, fmt.Errorf("obj line %d: face index %d out of range (have %d vertices)", lineNo, i, len(verts))
+				}
+				idx = append(idx, i-1)
+			}
+			for k := 2; k < len(idx); k++ {
+				tris = append(tris, vecmath.Tri(verts[idx[0]], verts[idx[k-1]], verts[idx[k]]))
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obj: %w", err)
+	}
+	return tris, nil
+}
+
+// WriteOBJ dumps a triangle soup as a Wavefront OBJ document (three fresh
+// vertices per triangle; no index sharing). Useful for inspecting the
+// procedural scenes in external viewers.
+func WriteOBJ(w io.Writer, tris []vecmath.Triangle) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# kdtune procedural scene: %d triangles\n", len(tris))
+	for _, t := range tris {
+		for _, p := range []vecmath.Vec3{t.A, t.B, t.C} {
+			if _, err := fmt.Fprintf(bw, "v %g %g %g\n", p.X, p.Y, p.Z); err != nil {
+				return err
+			}
+		}
+	}
+	for i := range tris {
+		if _, err := fmt.Fprintf(bw, "f %d %d %d\n", 3*i+1, 3*i+2, 3*i+3); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,104 @@
+package scene
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+func TestReadOBJTriangles(t *testing.T) {
+	src := `
+# comment
+v 0 0 0
+v 1 0 0
+v 0 1 0
+v 1 1 0
+f 1 2 3
+f 2 4 3
+`
+	tris, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 2 {
+		t.Fatalf("got %d triangles, want 2", len(tris))
+	}
+	if tris[0].A != vecmath.V(0, 0, 0) || tris[0].B != vecmath.V(1, 0, 0) {
+		t.Fatalf("first triangle wrong: %v", tris[0])
+	}
+}
+
+func TestReadOBJPolygonsAndSlashes(t *testing.T) {
+	src := `
+v 0 0 0
+v 1 0 0
+v 1 1 0
+v 0 1 0
+vn 0 0 1
+vt 0 0
+f 1/1/1 2/1/1 3/1/1 4/1/1
+`
+	tris, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 2 {
+		t.Fatalf("quad should fan into 2 triangles, got %d", len(tris))
+	}
+}
+
+func TestReadOBJNegativeIndices(t *testing.T) {
+	src := `
+v 0 0 0
+v 1 0 0
+v 0 1 0
+f -3 -2 -1
+`
+	tris, err := ReadOBJ(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tris) != 1 || tris[0].C != vecmath.V(0, 1, 0) {
+		t.Fatalf("negative indexing broken: %+v", tris)
+	}
+}
+
+func TestReadOBJErrors(t *testing.T) {
+	bad := []string{
+		"v 1 2",            // too few coordinates
+		"v a b c",          // non-numeric
+		"f 1 2",            // face too small
+		"f 1 2 99",         // out of range
+		"v 0 0 0\nf 0 1 2", // index 0 invalid
+		"f x y z",          // non-numeric face
+	}
+	for i, src := range bad {
+		if _, err := ReadOBJ(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: malformed OBJ accepted", i)
+		}
+	}
+}
+
+func TestOBJRoundTrip(t *testing.T) {
+	orig := WoodDoll().Base()[:500]
+	var buf bytes.Buffer
+	if err := WriteOBJ(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadOBJ(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(orig) {
+		t.Fatalf("round trip count %d != %d", len(back), len(orig))
+	}
+	for i := range orig {
+		if !back[i].A.ApproxEq(orig[i].A, 1e-9) ||
+			!back[i].B.ApproxEq(orig[i].B, 1e-9) ||
+			!back[i].C.ApproxEq(orig[i].C, 1e-9) {
+			t.Fatalf("triangle %d drifted: %v vs %v", i, back[i], orig[i])
+		}
+	}
+}

@@ -1,0 +1,297 @@
+package scene
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+func TestSceneTriangleCountsMatchPaper(t *testing.T) {
+	want := map[string]int{
+		"Bunny":       BunnyTris,
+		"Sponza":      SponzaTris,
+		"Sibenik":     SibenikTris,
+		"Toasters":    ToastersTris,
+		"WoodDoll":    WoodDollTris,
+		"FairyForest": FairyForestTris,
+	}
+	for _, s := range All() {
+		if got := s.NumTriangles(); got != want[s.Name] {
+			t.Errorf("%s: %d triangles, paper says %d", s.Name, got, want[s.Name])
+		}
+	}
+}
+
+func TestSceneFrameCountsMatchPaper(t *testing.T) {
+	frames := map[string]int{
+		"Bunny": 1, "Sponza": 1, "Sibenik": 1,
+		"Toasters": ToastersFrames, "WoodDoll": WoodDollFrames, "FairyForest": FairyForestFrames,
+	}
+	for _, s := range All() {
+		if s.Frames != frames[s.Name] {
+			t.Errorf("%s: %d frames, want %d", s.Name, s.Frames, frames[s.Name])
+		}
+		if s.IsDynamic() != (frames[s.Name] > 1) {
+			t.Errorf("%s: IsDynamic = %v", s.Name, s.IsDynamic())
+		}
+	}
+}
+
+func TestSceneGeometryIsSane(t *testing.T) {
+	for _, s := range All() {
+		tris := s.Triangles(0)
+		degenerate := 0
+		for _, tr := range tris {
+			if !tr.A.IsFinite() || !tr.B.IsFinite() || !tr.C.IsFinite() {
+				t.Fatalf("%s: non-finite vertex", s.Name)
+			}
+			if tr.IsDegenerate() {
+				degenerate++
+			}
+		}
+		if frac := float64(degenerate) / float64(len(tris)); frac > 0.01 {
+			t.Errorf("%s: %.2f%% degenerate triangles", s.Name, 100*frac)
+		}
+		b := vecmath.EmptyAABB()
+		for _, tr := range tris {
+			b = b.Union(tr.Bounds())
+		}
+		if !b.IsValid() {
+			t.Errorf("%s: invalid scene bounds %v", s.Name, b)
+		}
+		if len(s.Lights) == 0 {
+			t.Errorf("%s: no lights", s.Name)
+		}
+		if s.View.FOV <= 0 || s.View.FOV >= 180 {
+			t.Errorf("%s: bad FOV %v", s.Name, s.View.FOV)
+		}
+		if s.View.Eye == s.View.LookAt {
+			t.Errorf("%s: camera looks at itself", s.Name)
+		}
+	}
+}
+
+func TestDynamicScenesActuallyMove(t *testing.T) {
+	for _, s := range All() {
+		if !s.IsDynamic() {
+			continue
+		}
+		f0 := s.Triangles(0)
+		f1 := s.Triangles(s.Frames / 2)
+		if len(f0) != len(f1) {
+			t.Fatalf("%s: triangle count changed between frames: %d vs %d", s.Name, len(f0), len(f1))
+		}
+		moved := 0
+		for i := range f0 {
+			if !f0[i].A.ApproxEq(f1[i].A, 1e-12) {
+				moved++
+			}
+		}
+		if moved == 0 {
+			t.Errorf("%s: no triangle moved between frames", s.Name)
+		}
+		if moved == len(f0) && s.Name != "FairyForest" {
+			// Toasters/WoodDoll have a static ground: not everything moves.
+			t.Errorf("%s: every triangle moved; static ground lost its part boundary?", s.Name)
+		}
+	}
+}
+
+func TestAnimationPreservesRigidParts(t *testing.T) {
+	// Rigid motion preserves triangle areas; a torn part (triangle halves
+	// left behind by padding) would change area between frames.
+	for _, s := range []*Scene{Toasters(), WoodDoll()} {
+		f0 := s.Triangles(0)
+		fEnd := s.Triangles(s.Frames - 1)
+		for i := range f0 {
+			a0, a1 := f0[i].Area(), fEnd[i].Area()
+			if math.Abs(a0-a1) > 1e-9*(1+a0) {
+				t.Fatalf("%s: triangle %d area changed %v -> %v (torn rigid body)", s.Name, i, a0, a1)
+			}
+		}
+	}
+}
+
+func TestStaticScenesShareBase(t *testing.T) {
+	s := Bunny()
+	a := s.Triangles(0)
+	b := s.Triangles(0)
+	if &a[0] != &b[0] {
+		t.Error("static scene should return the shared base slice")
+	}
+}
+
+func TestFrameClamping(t *testing.T) {
+	s := Toasters()
+	if len(s.Triangles(-5)) != s.NumTriangles() {
+		t.Error("negative frame not clamped")
+	}
+	if len(s.Triangles(10000)) != s.NumTriangles() {
+		t.Error("overflow frame not clamped")
+	}
+}
+
+func TestFairyForestOcclusion(t *testing.T) {
+	// The paper: "The cast rays intersect only with a tiny fraction of the
+	// scene's triangles". Verify with a brute ray fan from the camera that
+	// nearly every primary ray hits the blocker region near the camera.
+	s := FairyForest()
+	tris := s.Triangles(0)
+	eye := s.View.Eye
+	dir := s.View.LookAt.Sub(eye).Normalize()
+	right := dir.Cross(s.View.Up).Normalize()
+	up := right.Cross(dir)
+	tan := math.Tan(s.View.FOV * math.Pi / 360)
+
+	nearHits, total := 0, 0
+	for iy := -4; iy <= 4; iy++ {
+		for ix := -4; ix <= 4; ix++ {
+			d := dir.Add(right.Scale(tan * float64(ix) / 4)).Add(up.Scale(tan * float64(iy) / 4))
+			ray := vecmath.NewRay(eye, d)
+			best := math.Inf(1)
+			for _, tr := range tris {
+				if th, _, _, hit := tr.IntersectRay(ray, 1e-9, best); hit {
+					best = th
+				}
+			}
+			total++
+			if best < 3.0/d.Len()*2 { // hit within a few units of the eye
+				nearHits++
+			}
+		}
+	}
+	if nearHits < total*9/10 {
+		t.Errorf("only %d/%d central rays hit the near blocker; occlusion scenario broken", nearHits, total)
+	}
+}
+
+func TestByNameAndNames(t *testing.T) {
+	for _, n := range Names() {
+		s, err := ByName(n)
+		if err != nil {
+			t.Fatalf("ByName(%s): %v", n, err)
+		}
+		if s.Name != n {
+			t.Fatalf("ByName(%s) returned %s", n, s.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Fatal("unknown scene accepted")
+	}
+	if len(Names()) != 6 {
+		t.Fatal("expected six scenes")
+	}
+}
+
+func TestSceneString(t *testing.T) {
+	if s := Bunny().String(); !strings.Contains(s, "Bunny") || !strings.Contains(s, "static") {
+		t.Errorf("String = %q", s)
+	}
+	if s := Toasters().String(); !strings.Contains(s, "dynamic") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestBoundsCoverAllFrames(t *testing.T) {
+	s := WoodDoll()
+	b := s.Bounds()
+	for f := 0; f < s.Frames; f += 7 {
+		for _, tr := range s.Triangles(f) {
+			if !b.ContainsBox(tr.Bounds()) {
+				t.Fatalf("frame %d triangle escapes scene bounds", f)
+			}
+		}
+	}
+}
+
+func TestPadStaticPrefix(t *testing.T) {
+	base := []vecmath.Triangle{
+		vecmath.Tri(v(0, 0, 0), v(1, 0, 0), v(0, 1, 0)), // static
+		vecmath.Tri(v(5, 0, 0), v(6, 0, 0), v(5, 1, 0)), // "moving"
+	}
+	out, shift := padStaticPrefix(append([]vecmath.Triangle(nil), base...), 1, 7)
+	if len(out) != 7 {
+		t.Fatalf("padded to %d, want 7", len(out))
+	}
+	if shift != 5 {
+		t.Fatalf("shift = %d, want 5", shift)
+	}
+	// The moving triangle must be preserved verbatim at its shifted index.
+	if out[1+shift] != base[1] {
+		t.Fatal("moving triangle displaced or modified by padding")
+	}
+	// Padding preserves total static area (splits only).
+	area := 0.0
+	for _, tr := range out[:6] {
+		area += tr.Area()
+	}
+	if math.Abs(area-0.5) > 1e-12 {
+		t.Fatalf("static area changed to %v", area)
+	}
+}
+
+func TestPadToCountExact(t *testing.T) {
+	tri := vecmath.Tri(v(0, 0, 0), v(2, 0, 0), v(0, 2, 0))
+	for target := 1; target <= 12; target++ {
+		out := padToCount([]vecmath.Triangle{tri}, target)
+		if len(out) != target {
+			t.Fatalf("target %d: got %d", target, len(out))
+		}
+		area := 0.0
+		for _, tr := range out {
+			area += tr.Area()
+		}
+		if math.Abs(area-2) > 1e-9 {
+			t.Fatalf("target %d: area drifted to %v", target, area)
+		}
+	}
+}
+
+func TestPadOvershootPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on overshoot")
+		}
+	}()
+	padToCount(make([]vecmath.Triangle, 5), 3)
+}
+
+func TestViewAtWithoutPathIsStatic(t *testing.T) {
+	s := Bunny()
+	if s.ViewAt(0) != s.View || s.ViewAt(7) != s.View {
+		t.Fatal("ViewAt should return the static view when no path is set")
+	}
+}
+
+func TestWithCameraPath(t *testing.T) {
+	s := Bunny()
+	base := s.View
+	s.WithCameraPath(10, func(f int) View {
+		v := base
+		v.Eye = v.Eye.Add(vecmath.V(float64(f), 0, 0))
+		return v
+	})
+	if s.Frames != 10 {
+		t.Fatalf("frames = %d, want 10", s.Frames)
+	}
+	if s.ViewAt(3).Eye.X != base.Eye.X+3 {
+		t.Fatalf("path not applied: %v", s.ViewAt(3).Eye)
+	}
+	if s.ViewAt(-1) != s.ViewAt(0) || s.ViewAt(99) != s.ViewAt(9) {
+		t.Fatal("frame clamping broken")
+	}
+	// Geometry is still static: camera paths must not force per-frame
+	// triangle copies.
+	a, b := s.Triangles(0), s.Triangles(5)
+	if &a[0] != &b[0] {
+		t.Fatal("camera path caused geometry copies")
+	}
+	// A path never shrinks an animation's frame count.
+	d := Toasters()
+	d.WithCameraPath(5, func(int) View { return d.View })
+	if d.Frames != ToastersFrames {
+		t.Fatalf("camera path shrank frame count to %d", d.Frames)
+	}
+}

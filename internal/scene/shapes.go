@@ -1,0 +1,178 @@
+package scene
+
+import (
+	"math"
+
+	"kdtune/internal/vecmath"
+)
+
+// This file is the low-level mesh toolkit the scene generators are built
+// from: parametric surfaces, boxes, cylinders, cones, and the exact-count
+// padding that lets every generator hit the paper's triangle counts
+// precisely.
+
+// v is a local shorthand.
+func v(x, y, z float64) vecmath.Vec3 { return vecmath.V(x, y, z) }
+
+// quad appends the two triangles of the quadrilateral a-b-c-d (in winding
+// order) to dst.
+func quad(dst []vecmath.Triangle, a, b, c, d vecmath.Vec3) []vecmath.Triangle {
+	return append(dst,
+		vecmath.Tri(a, b, c),
+		vecmath.Tri(a, c, d),
+	)
+}
+
+// gridSurface tessellates the parametric surface f over [0,1]^2 into an
+// nu x nv quad grid (2*nu*nv triangles).
+func gridSurface(dst []vecmath.Triangle, nu, nv int, f func(u, v float64) vecmath.Vec3) []vecmath.Triangle {
+	for i := 0; i < nu; i++ {
+		u0 := float64(i) / float64(nu)
+		u1 := float64(i+1) / float64(nu)
+		for j := 0; j < nv; j++ {
+			v0 := float64(j) / float64(nv)
+			v1 := float64(j+1) / float64(nv)
+			dst = quad(dst, f(u0, v0), f(u1, v0), f(u1, v1), f(u0, v1))
+		}
+	}
+	return dst
+}
+
+// box appends the 12 triangles of an axis-aligned box.
+func box(dst []vecmath.Triangle, b vecmath.AABB) []vecmath.Triangle {
+	lo, hi := b.Min, b.Max
+	p := [8]vecmath.Vec3{
+		v(lo.X, lo.Y, lo.Z), v(hi.X, lo.Y, lo.Z), v(hi.X, hi.Y, lo.Z), v(lo.X, hi.Y, lo.Z),
+		v(lo.X, lo.Y, hi.Z), v(hi.X, lo.Y, hi.Z), v(hi.X, hi.Y, hi.Z), v(lo.X, hi.Y, hi.Z),
+	}
+	dst = quad(dst, p[0], p[1], p[2], p[3]) // back
+	dst = quad(dst, p[5], p[4], p[7], p[6]) // front
+	dst = quad(dst, p[4], p[0], p[3], p[7]) // left
+	dst = quad(dst, p[1], p[5], p[6], p[2]) // right
+	dst = quad(dst, p[3], p[2], p[6], p[7]) // top
+	dst = quad(dst, p[4], p[5], p[1], p[0]) // bottom
+	return dst
+}
+
+// cylinder appends a closed cylinder along +Y: center of the base at c,
+// radius r, height h, tessellated into segs side quads plus fan caps
+// (segs*4 triangles).
+func cylinder(dst []vecmath.Triangle, c vecmath.Vec3, r, h float64, segs int) []vecmath.Triangle {
+	if segs < 3 {
+		segs = 3
+	}
+	top := c.Add(v(0, h, 0))
+	for i := 0; i < segs; i++ {
+		a0 := 2 * math.Pi * float64(i) / float64(segs)
+		a1 := 2 * math.Pi * float64(i+1) / float64(segs)
+		p0 := c.Add(v(r*math.Cos(a0), 0, r*math.Sin(a0)))
+		p1 := c.Add(v(r*math.Cos(a1), 0, r*math.Sin(a1)))
+		q0 := p0.Add(v(0, h, 0))
+		q1 := p1.Add(v(0, h, 0))
+		dst = quad(dst, p0, p1, q1, q0)             // side
+		dst = append(dst, vecmath.Tri(c, p1, p0))   // bottom cap
+		dst = append(dst, vecmath.Tri(top, q0, q1)) // top cap
+	}
+	return dst
+}
+
+// cone appends an open cone along +Y (segs*2 triangles: side + base fan).
+func cone(dst []vecmath.Triangle, c vecmath.Vec3, r, h float64, segs int) []vecmath.Triangle {
+	if segs < 3 {
+		segs = 3
+	}
+	apex := c.Add(v(0, h, 0))
+	for i := 0; i < segs; i++ {
+		a0 := 2 * math.Pi * float64(i) / float64(segs)
+		a1 := 2 * math.Pi * float64(i+1) / float64(segs)
+		p0 := c.Add(v(r*math.Cos(a0), 0, r*math.Sin(a0)))
+		p1 := c.Add(v(r*math.Cos(a1), 0, r*math.Sin(a1)))
+		dst = append(dst, vecmath.Tri(apex, p0, p1))
+		dst = append(dst, vecmath.Tri(c, p1, p0))
+	}
+	return dst
+}
+
+// hashNoise is a cheap deterministic value-noise in [-1,1] derived from
+// integer lattice hashing; good enough to roughen procedural surfaces
+// without pulling in a noise library.
+func hashNoise(x, y, z int) float64 {
+	h := uint64(x)*0x9E3779B97F4A7C15 ^ uint64(y)*0xC2B2AE3D27D4EB4F ^ uint64(z)*0x165667B19E3779F9
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	return float64(h%2000000)/1000000 - 1
+}
+
+// smoothNoise interpolates hashNoise trilinearly at a continuous point.
+func smoothNoise(p vecmath.Vec3) float64 {
+	x0, y0, z0 := math.Floor(p.X), math.Floor(p.Y), math.Floor(p.Z)
+	fx, fy, fz := p.X-x0, p.Y-y0, p.Z-z0
+	ix, iy, iz := int(x0), int(y0), int(z0)
+	lerp := func(a, b, t float64) float64 { return a + t*(b-a) }
+	c000 := hashNoise(ix, iy, iz)
+	c100 := hashNoise(ix+1, iy, iz)
+	c010 := hashNoise(ix, iy+1, iz)
+	c110 := hashNoise(ix+1, iy+1, iz)
+	c001 := hashNoise(ix, iy, iz+1)
+	c101 := hashNoise(ix+1, iy, iz+1)
+	c011 := hashNoise(ix, iy+1, iz+1)
+	c111 := hashNoise(ix+1, iy+1, iz+1)
+	return lerp(
+		lerp(lerp(c000, c100, fx), lerp(c010, c110, fx), fy),
+		lerp(lerp(c001, c101, fx), lerp(c011, c111, fx), fy),
+		fz,
+	)
+}
+
+// padToCount adjusts len(tris) to exactly target by subdividing existing
+// triangles in place (centroid fan: +2 triangles, identical surface; edge
+// midpoint split: +1 triangle). Geometry is unchanged, only the
+// tessellation density grows, so padding never alters what rays see. The
+// selection walks deterministically so scene generation is reproducible.
+// If len(tris) already exceeds target, padToCount panics — generators are
+// written to undershoot and pad up.
+func padToCount(tris []vecmath.Triangle, target int) []vecmath.Triangle {
+	tris, _ = padStaticPrefix(tris, len(tris), target)
+	return tris
+}
+
+// padStaticPrefix pads the whole scene to target triangles by densifying
+// only the static prefix tris[:staticLen]. Animated generators build their
+// static geometry first, then moving parts; padding must never split a
+// moving triangle (the fan halves would be appended outside the part's
+// range and stop moving). Returns the padded slice and the index shift to
+// add to every part range starting at or after staticLen.
+func padStaticPrefix(tris []vecmath.Triangle, staticLen, target int) ([]vecmath.Triangle, int) {
+	if len(tris) > target {
+		panic("scene: generator overshot its triangle budget")
+	}
+	if staticLen <= 0 && len(tris) < target {
+		panic("scene: cannot pad a scene with no static geometry")
+	}
+	static := append([]vecmath.Triangle(nil), tris[:staticLen]...)
+	moving := tris[staticLen:]
+	need := target - len(moving)
+
+	idx := 0
+	for len(static) < need {
+		// Skip (near-)degenerate triangles: splitting them creates more.
+		for static[idx].Area() < 1e-12 {
+			idx = (idx + 7919) % len(static)
+		}
+		t := static[idx]
+		if need-len(static) >= 2 {
+			// Centroid fan: replace t by three triangles sharing the centroid.
+			c := t.Centroid()
+			static[idx] = vecmath.Tri(t.A, t.B, c)
+			static = append(static, vecmath.Tri(t.B, t.C, c), vecmath.Tri(t.C, t.A, c))
+		} else {
+			// Single extra triangle: split the AB edge at its midpoint.
+			m := t.A.Lerp(t.B, 0.5)
+			static[idx] = vecmath.Tri(t.A, m, t.C)
+			static = append(static, vecmath.Tri(m, t.B, t.C))
+		}
+		idx = (idx + 7919) % len(static)
+	}
+	return append(static, moving...), len(static) - staticLen
+}

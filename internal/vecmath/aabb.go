@@ -1,0 +1,167 @@
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// AABB is an axis-aligned bounding box described by its minimum and maximum
+// corners. The zero value is not a valid box; use EmptyAABB as the identity
+// for union operations.
+type AABB struct {
+	Min, Max Vec3
+}
+
+// EmptyAABB returns the identity element for Union: a box that contains
+// nothing and leaves any other box unchanged when united with it.
+func EmptyAABB() AABB {
+	return AABB{
+		Min: Splat(math.Inf(1)),
+		Max: Splat(math.Inf(-1)),
+	}
+}
+
+// NewAABB returns the smallest box containing both corner arguments,
+// regardless of their ordering.
+func NewAABB(a, b Vec3) AABB {
+	return AABB{Min: a.Min(b), Max: a.Max(b)}
+}
+
+// IsEmpty reports whether the box contains no points (some max component is
+// below the corresponding min component).
+func (b AABB) IsEmpty() bool {
+	return b.Max.X < b.Min.X || b.Max.Y < b.Min.Y || b.Max.Z < b.Min.Z
+}
+
+// IsValid reports whether the box is non-empty with finite corners.
+func (b AABB) IsValid() bool {
+	return !b.IsEmpty() && b.Min.IsFinite() && b.Max.IsFinite()
+}
+
+// Diagonal returns Max - Min. For empty boxes components may be negative.
+func (b AABB) Diagonal() Vec3 { return b.Max.Sub(b.Min) }
+
+// Center returns the midpoint of the box.
+func (b AABB) Center() Vec3 { return b.Min.Add(b.Max).Scale(0.5) }
+
+// SurfaceArea returns the total area of the six faces. This is the A(.)
+// quantity of the Surface Area Heuristic. Empty boxes have area 0.
+func (b AABB) SurfaceArea() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	d := b.Diagonal()
+	return 2 * (d.X*d.Y + d.Y*d.Z + d.Z*d.X)
+}
+
+// Volume returns the enclosed volume; 0 for empty boxes.
+func (b AABB) Volume() float64 {
+	if b.IsEmpty() {
+		return 0
+	}
+	d := b.Diagonal()
+	return d.X * d.Y * d.Z
+}
+
+// Union returns the smallest box containing both b and c.
+func (b AABB) Union(c AABB) AABB {
+	return AABB{Min: b.Min.Min(c.Min), Max: b.Max.Max(c.Max)}
+}
+
+// Extend returns the smallest box containing b and the point p.
+func (b AABB) Extend(p Vec3) AABB {
+	return AABB{Min: b.Min.Min(p), Max: b.Max.Max(p)}
+}
+
+// Intersect returns the overlap of b and c, which may be empty.
+func (b AABB) Intersect(c AABB) AABB {
+	return AABB{Min: b.Min.Max(c.Min), Max: b.Max.Min(c.Max)}
+}
+
+// Contains reports whether point p lies inside or on the boundary of b.
+func (b AABB) Contains(p Vec3) bool {
+	return p.X >= b.Min.X && p.X <= b.Max.X &&
+		p.Y >= b.Min.Y && p.Y <= b.Max.Y &&
+		p.Z >= b.Min.Z && p.Z <= b.Max.Z
+}
+
+// ContainsBox reports whether c lies entirely within b. Empty boxes are
+// contained in everything.
+func (b AABB) ContainsBox(c AABB) bool {
+	if c.IsEmpty() {
+		return true
+	}
+	return b.Contains(c.Min) && b.Contains(c.Max)
+}
+
+// Overlaps reports whether b and c share at least one point.
+func (b AABB) Overlaps(c AABB) bool {
+	return !b.Intersect(c).IsEmpty()
+}
+
+// Split cuts the box with the axis-aligned plane {axis = pos} and returns
+// the two halves (left has axis-coordinates <= pos). pos is clamped into the
+// box's extent so both halves are always valid sub-boxes of b.
+func (b AABB) Split(axis Axis, pos float64) (left, right AABB) {
+	pos = math.Max(b.Min.Axis(axis), math.Min(b.Max.Axis(axis), pos))
+	left, right = b, b
+	left.Max = left.Max.SetAxis(axis, pos)
+	right.Min = right.Min.SetAxis(axis, pos)
+	return left, right
+}
+
+// LongestAxis returns the axis along which the box is widest.
+func (b AABB) LongestAxis() Axis { return b.Diagonal().MaxAxis() }
+
+// Grow returns the box enlarged by eps in every direction. Used to make the
+// scene bounds robust against boundary-exactness issues.
+func (b AABB) Grow(eps float64) AABB {
+	e := Splat(eps)
+	return AABB{Min: b.Min.Sub(e), Max: b.Max.Add(e)}
+}
+
+// IntersectRay performs a slab test of ray r against the box over the
+// parametric interval [tMin, tMax]. It reports whether the ray overlaps the
+// box and, if so, the clipped parametric entry and exit values.
+//
+// The implementation follows the branchless slab method; division by a zero
+// direction component yields +-Inf which the min/max logic handles
+// correctly, except for the NaN produced by 0 * Inf, which is avoided by the
+// explicit parallel-axis test.
+func (b AABB) IntersectRay(r Ray, tMin, tMax float64) (t0, t1 float64, hit bool) {
+	t0, t1 = tMin, tMax
+	for a := AxisX; a <= AxisZ; a++ {
+		o := r.Origin.Axis(a)
+		d := r.Dir.Axis(a)
+		lo := b.Min.Axis(a)
+		hi := b.Max.Axis(a)
+		if d == 0 {
+			// Ray parallel to the slab: either always inside or never.
+			if o < lo || o > hi {
+				return 0, 0, false
+			}
+			continue
+		}
+		inv := 1 / d
+		tn := (lo - o) * inv
+		tf := (hi - o) * inv
+		if tn > tf {
+			tn, tf = tf, tn
+		}
+		if tn > t0 {
+			t0 = tn
+		}
+		if tf < t1 {
+			t1 = tf
+		}
+		if t0 > t1 {
+			return 0, 0, false
+		}
+	}
+	return t0, t1, true
+}
+
+// String formats the box as [min .. max].
+func (b AABB) String() string {
+	return fmt.Sprintf("[%v .. %v]", b.Min, b.Max)
+}

@@ -1,0 +1,223 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBox(r *rand.Rand) AABB {
+	return NewAABB(randVec(r, 10), randVec(r, 10))
+}
+
+func TestEmptyAABB(t *testing.T) {
+	e := EmptyAABB()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyAABB not empty")
+	}
+	if e.SurfaceArea() != 0 || e.Volume() != 0 {
+		t.Fatal("empty box should have zero area and volume")
+	}
+	b := NewAABB(V(0, 0, 0), V(1, 2, 3))
+	if e.Union(b) != b {
+		t.Fatal("empty box is not the union identity")
+	}
+	if b.Union(e) != b {
+		t.Fatal("empty box is not the union identity (right)")
+	}
+}
+
+func TestNewAABBOrdersCorners(t *testing.T) {
+	b := NewAABB(V(1, -2, 3), V(-1, 2, -3))
+	if b.Min != V(-1, -2, -3) || b.Max != V(1, 2, 3) {
+		t.Fatalf("NewAABB did not normalise corners: %v", b)
+	}
+}
+
+func TestSurfaceAreaAndVolume(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(2, 3, 4))
+	if got := b.SurfaceArea(); got != 2*(6+12+8) {
+		t.Fatalf("SurfaceArea = %v", got)
+	}
+	if got := b.Volume(); got != 24 {
+		t.Fatalf("Volume = %v", got)
+	}
+}
+
+func TestUnionContains(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for i := 0; i < 300; i++ {
+		a, b := randBox(r), randBox(r)
+		u := a.Union(b)
+		if !u.ContainsBox(a) || !u.ContainsBox(b) {
+			t.Fatalf("union %v does not contain operands %v, %v", u, a, b)
+		}
+	}
+}
+
+func TestIntersectWithin(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 300; i++ {
+		a, b := randBox(r), randBox(r)
+		x := a.Intersect(b)
+		if x.IsEmpty() {
+			continue
+		}
+		if !a.ContainsBox(x) || !b.ContainsBox(x) {
+			t.Fatalf("intersection %v escapes operands %v, %v", x, a, b)
+		}
+	}
+}
+
+func TestSplitPartition(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(10, 10, 10))
+	for a := AxisX; a <= AxisZ; a++ {
+		l, rr := b.Split(a, 4)
+		if l.Max.Axis(a) != 4 || rr.Min.Axis(a) != 4 {
+			t.Fatalf("split plane not respected on %v: %v | %v", a, l, rr)
+		}
+		if math.Abs(l.Volume()+rr.Volume()-b.Volume()) > 1e-9 {
+			t.Fatalf("split volumes do not add up on %v", a)
+		}
+		if l.Union(rr) != b {
+			t.Fatalf("split halves do not union to original on %v", a)
+		}
+	}
+}
+
+func TestSplitClampsOutOfRangePlane(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	l, r := b.Split(AxisX, -5)
+	if l.IsEmpty() && r != b {
+		t.Fatalf("clamped split produced wrong halves: %v | %v", l, r)
+	}
+	if l.Max.X != 0 {
+		t.Fatalf("plane should clamp to box min, got %v", l.Max.X)
+	}
+	l, r = b.Split(AxisX, 99)
+	if r.Min.X != 1 {
+		t.Fatalf("plane should clamp to box max, got %v", r.Min.X)
+	}
+	_ = l
+}
+
+func TestContainsAndOverlap(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	if !b.Contains(V(0.5, 0.5, 0.5)) || !b.Contains(V(0, 0, 0)) || !b.Contains(V(1, 1, 1)) {
+		t.Fatal("Contains rejects interior/boundary points")
+	}
+	if b.Contains(V(1.001, 0.5, 0.5)) {
+		t.Fatal("Contains accepts exterior point")
+	}
+	c := NewAABB(V(0.5, 0.5, 0.5), V(2, 2, 2))
+	if !b.Overlaps(c) {
+		t.Fatal("overlapping boxes reported disjoint")
+	}
+	d := NewAABB(V(2, 2, 2), V(3, 3, 3))
+	if b.Overlaps(d) {
+		t.Fatal("disjoint boxes reported overlapping")
+	}
+	// Touching at a face counts as overlap (shared boundary points).
+	e := NewAABB(V(1, 0, 0), V(2, 1, 1))
+	if !b.Overlaps(e) {
+		t.Fatal("face-touching boxes reported disjoint")
+	}
+}
+
+func TestGrow(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1)).Grow(0.5)
+	if b.Min != V(-0.5, -0.5, -0.5) || b.Max != V(1.5, 1.5, 1.5) {
+		t.Fatalf("Grow wrong: %v", b)
+	}
+}
+
+func TestIntersectRayThrough(t *testing.T) {
+	b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	r := NewRay(V(-5, 0, 0), V(1, 0, 0))
+	t0, t1, hit := b.IntersectRay(r, 0, math.Inf(1))
+	if !hit {
+		t.Fatal("central ray missed the box")
+	}
+	if math.Abs(t0-4) > 1e-12 || math.Abs(t1-6) > 1e-12 {
+		t.Fatalf("entry/exit = %v, %v; want 4, 6", t0, t1)
+	}
+}
+
+func TestIntersectRayMiss(t *testing.T) {
+	b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	cases := []Ray{
+		NewRay(V(-5, 5, 0), V(1, 0, 0)),  // parallel offset
+		NewRay(V(-5, 0, 0), V(-1, 0, 0)), // pointing away, clipped by tMin
+		NewRay(V(0, 5, 0), V(1, 0, 0)),   // parallel to X inside Y slab? no: outside
+	}
+	for i, r := range cases {
+		if _, _, hit := b.IntersectRay(r, 0, math.Inf(1)); hit {
+			t.Errorf("case %d: ray should miss", i)
+		}
+	}
+}
+
+func TestIntersectRayInsideOrigin(t *testing.T) {
+	b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	r := NewRay(V(0, 0, 0), V(0, 0, 1))
+	t0, t1, hit := b.IntersectRay(r, 0, math.Inf(1))
+	if !hit || t0 != 0 || math.Abs(t1-1) > 1e-12 {
+		t.Fatalf("inside-origin ray: t0=%v t1=%v hit=%v", t0, t1, hit)
+	}
+}
+
+func TestIntersectRayZeroDirComponent(t *testing.T) {
+	b := NewAABB(V(-1, -1, -1), V(1, 1, 1))
+	// Direction has zero Y and Z; origin inside the Y and Z slabs.
+	if _, _, hit := b.IntersectRay(NewRay(V(-3, 0.5, -0.5), V(1, 0, 0)), 0, 100); !hit {
+		t.Fatal("axis-parallel ray inside slabs should hit")
+	}
+	// Same direction but origin outside the Y slab.
+	if _, _, hit := b.IntersectRay(NewRay(V(-3, 2, 0), V(1, 0, 0)), 0, 100); hit {
+		t.Fatal("axis-parallel ray outside slab should miss")
+	}
+}
+
+func TestQuickRaySlabConsistency(t *testing.T) {
+	// Property: if IntersectRay reports [t0,t1], then points at t0 and t1
+	// lie on (or numerically near) the box boundary, and the midpoint is
+	// inside the box.
+	r := rand.New(rand.NewSource(6))
+	f := func() bool {
+		b := randBox(r)
+		ray := NewRay(randVec(r, 20), randVec(r, 1))
+		if ray.Dir.Len2() < 1e-6 {
+			return true
+		}
+		t0, t1, hit := b.IntersectRay(ray, 0, math.Inf(1))
+		if !hit {
+			return true
+		}
+		mid := ray.At((t0 + t1) / 2)
+		return b.Grow(1e-6 * (1 + b.Diagonal().Len())).Contains(mid)
+	}
+	for i := 0; i < 500; i++ {
+		if !f() {
+			t.Fatal("slab midpoint escaped box")
+		}
+	}
+}
+
+func TestQuickUnionMonotone(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz, cx, cy, cz int8) bool {
+		a := NewAABB(V(float64(ax), float64(ay), float64(az)), V(float64(bx), float64(by), float64(bz)))
+		p := V(float64(cx), float64(cy), float64(cz))
+		u := a.Extend(p)
+		return u.ContainsBox(a) && u.Contains(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAABBString(t *testing.T) {
+	if NewAABB(V(0, 0, 0), V(1, 1, 1)).String() == "" {
+		t.Fatal("String empty")
+	}
+}

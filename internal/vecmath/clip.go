@@ -1,0 +1,84 @@
+package vecmath
+
+// Triangle-box clipping via Sutherland–Hodgman against the six box planes.
+//
+// The SAH event sweep needs, for every primitive, the bounds of the part of
+// the primitive that actually lies inside the current node. Using the raw
+// triangle AABB instead ("loose" bounds) is cheaper but produces split
+// candidates outside the node and over-counts straddling primitives; the
+// Wald–Havran builder the paper bases its implementations on uses clipped
+// ("perfect") bounds, so we provide both.
+
+// maxClipVerts bounds the vertex count of a triangle clipped against six
+// planes: each plane can add at most one vertex, 3 + 6 = 9.
+const maxClipVerts = 9
+
+// clipPolyAxis clips the polygon in src against the half-space
+// {axis <= bound} (side=+1) or {axis >= bound} (side=-1), writing the result
+// to dst and returning it. dst must not alias src.
+func clipPolyAxis(dst, src []Vec3, axis Axis, bound float64, side float64) []Vec3 {
+	dst = dst[:0]
+	n := len(src)
+	if n == 0 {
+		return dst
+	}
+	inside := func(p Vec3) bool {
+		if side > 0 {
+			return p.Axis(axis) <= bound
+		}
+		return p.Axis(axis) >= bound
+	}
+	prev := src[n-1]
+	prevIn := inside(prev)
+	for i := 0; i < n; i++ {
+		cur := src[i]
+		curIn := inside(cur)
+		if curIn != prevIn {
+			// Edge crosses the plane: emit the intersection point.
+			pa := prev.Axis(axis)
+			ca := cur.Axis(axis)
+			t := 0.0
+			if ca != pa {
+				t = (bound - pa) / (ca - pa)
+			}
+			dst = append(dst, prev.Lerp(cur, t).SetAxis(axis, bound))
+		}
+		if curIn {
+			dst = append(dst, cur)
+		}
+		prev, prevIn = cur, curIn
+	}
+	return dst
+}
+
+// ClipTriangleBounds returns the bounding box of the portion of triangle t
+// that lies inside box b. If the triangle does not intersect the box the
+// returned box is empty (ok=false). The result is additionally intersected
+// with b so that floating-point drift can never push it outside the node
+// bounds.
+func ClipTriangleBounds(t Triangle, b AABB) (AABB, bool) {
+	var bufA, bufB [maxClipVerts]Vec3
+	poly := append(bufA[:0], t.A, t.B, t.C)
+	scratch := bufB[:0]
+
+	for a := AxisX; a <= AxisZ; a++ {
+		poly, scratch = clipPolyAxis(scratch, poly, a, b.Max.Axis(a), +1), poly
+		if len(poly) == 0 {
+			return EmptyAABB(), false
+		}
+		poly, scratch = clipPolyAxis(scratch, poly, a, b.Min.Axis(a), -1), poly
+		if len(poly) == 0 {
+			return EmptyAABB(), false
+		}
+	}
+
+	out := EmptyAABB()
+	for _, p := range poly {
+		out = out.Extend(p)
+	}
+	out = out.Intersect(b)
+	if out.IsEmpty() {
+		return EmptyAABB(), false
+	}
+	return out, true
+}

@@ -1,0 +1,106 @@
+package vecmath
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestClipTriangleFullyInside(t *testing.T) {
+	b := NewAABB(V(-10, -10, -10), V(10, 10, 10))
+	tr := Tri(V(0, 0, 0), V(1, 0, 0), V(0, 1, 0))
+	got, ok := ClipTriangleBounds(tr, b)
+	if !ok {
+		t.Fatal("inside triangle reported clipped away")
+	}
+	want := tr.Bounds()
+	if !got.Min.ApproxEq(want.Min, 1e-12) || !got.Max.ApproxEq(want.Max, 1e-12) {
+		t.Fatalf("clip of interior triangle changed bounds: %v vs %v", got, want)
+	}
+}
+
+func TestClipTriangleFullyOutside(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	tr := Tri(V(5, 5, 5), V(6, 5, 5), V(5, 6, 5))
+	if _, ok := ClipTriangleBounds(tr, b); ok {
+		t.Fatal("exterior triangle reported intersecting")
+	}
+}
+
+func TestClipTriangleStraddling(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	// Triangle crosses the x=1 face: only the x<=1 part counts.
+	tr := Tri(V(0.5, 0.5, 0.5), V(3, 0.5, 0.5), V(0.5, 0.9, 0.5))
+	got, ok := ClipTriangleBounds(tr, b)
+	if !ok {
+		t.Fatal("straddling triangle reported outside")
+	}
+	if got.Max.X > 1+1e-12 {
+		t.Fatalf("clipped bounds escape the box: %v", got)
+	}
+	if got.Min.X > 0.5+1e-12 {
+		t.Fatalf("clipped bounds lost the interior part: %v", got)
+	}
+}
+
+func TestClipTriangleTighterThanLooseBounds(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	// A big triangle slicing diagonally through the box: clipped bounds
+	// must be inside both the box and the raw triangle bounds.
+	tr := Tri(V(-5, 0.5, -5), V(5, 0.5, -5), V(0, 0.5, 5))
+	got, ok := ClipTriangleBounds(tr, b)
+	if !ok {
+		t.Fatal("slicing triangle reported outside")
+	}
+	if !b.ContainsBox(got) {
+		t.Fatalf("clipped bounds %v escape node box %v", got, b)
+	}
+	loose := tr.Bounds().Intersect(b)
+	if !loose.ContainsBox(got) {
+		t.Fatalf("clipped bounds %v larger than loose bounds %v", got, loose)
+	}
+}
+
+func TestClipRandomisedInvariants(t *testing.T) {
+	r := rand.New(rand.NewSource(9))
+	clipped, total := 0, 0
+	for i := 0; i < 3000; i++ {
+		b := randBox(r)
+		tr := randTri(r, 8)
+		got, ok := ClipTriangleBounds(tr, b)
+		if !ok {
+			// Then the triangle's AABB either misses the box entirely or
+			// only grazes it; a vertex inside the box would be a bug.
+			if b.Contains(tr.A) || b.Contains(tr.B) || b.Contains(tr.C) {
+				t.Fatalf("triangle with vertex inside box reported outside: %v in %v", tr, b)
+			}
+			continue
+		}
+		total++
+		eps := 1e-9 * (1 + b.Diagonal().Len())
+		if !b.Grow(eps).ContainsBox(got) {
+			t.Fatalf("clipped bounds escape box: %v not in %v", got, b)
+		}
+		loose := tr.Bounds().Intersect(b)
+		if !loose.Grow(eps).ContainsBox(got) {
+			t.Fatalf("clipped bounds exceed loose bounds: %v not in %v", got, loose)
+		}
+		if got.SurfaceArea() < loose.SurfaceArea()-eps {
+			clipped++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("too few intersecting cases: %d", total)
+	}
+}
+
+func TestClipVertexOnBoundary(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	tr := Tri(V(1, 0, 0), V(1, 1, 0), V(1, 0, 1)) // entirely on the x=1 face
+	got, ok := ClipTriangleBounds(tr, b)
+	if !ok {
+		t.Fatal("face-coplanar triangle reported outside")
+	}
+	if got.Min.X != 1 || got.Max.X != 1 {
+		t.Fatalf("face-coplanar clip bounds wrong: %v", got)
+	}
+}

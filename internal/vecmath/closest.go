@@ -1,0 +1,64 @@
+package vecmath
+
+// ClosestPointOnTriangle returns the point of triangle t closest to p
+// (Ericson, Real-Time Collision Detection, §5.1.5: Voronoi-region walk).
+func ClosestPointOnTriangle(p Vec3, t Triangle) Vec3 {
+	ab := t.B.Sub(t.A)
+	ac := t.C.Sub(t.A)
+	ap := p.Sub(t.A)
+
+	d1 := ab.Dot(ap)
+	d2 := ac.Dot(ap)
+	if d1 <= 0 && d2 <= 0 {
+		return t.A // vertex region A
+	}
+
+	bp := p.Sub(t.B)
+	d3 := ab.Dot(bp)
+	d4 := ac.Dot(bp)
+	if d3 >= 0 && d4 <= d3 {
+		return t.B // vertex region B
+	}
+
+	vc := d1*d4 - d3*d2
+	if vc <= 0 && d1 >= 0 && d3 <= 0 {
+		v := d1 / (d1 - d3)
+		return t.A.Add(ab.Scale(v)) // edge region AB
+	}
+
+	cp := p.Sub(t.C)
+	d5 := ab.Dot(cp)
+	d6 := ac.Dot(cp)
+	if d6 >= 0 && d5 <= d6 {
+		return t.C // vertex region C
+	}
+
+	vb := d5*d2 - d1*d6
+	if vb <= 0 && d2 >= 0 && d6 <= 0 {
+		w := d2 / (d2 - d6)
+		return t.A.Add(ac.Scale(w)) // edge region AC
+	}
+
+	va := d3*d6 - d5*d4
+	if va <= 0 && d4-d3 >= 0 && d5-d6 >= 0 {
+		w := (d4 - d3) / ((d4 - d3) + (d5 - d6))
+		return t.B.Add(t.C.Sub(t.B).Scale(w)) // edge region BC
+	}
+
+	// Interior: project onto the plane via barycentric coordinates.
+	denom := 1 / (va + vb + vc)
+	v := vb * denom
+	w := vc * denom
+	return t.A.Add(ab.Scale(v)).Add(ac.Scale(w))
+}
+
+// DistToTriangle returns the Euclidean distance from p to triangle t.
+func DistToTriangle(p Vec3, t Triangle) float64 {
+	return ClosestPointOnTriangle(p, t).Sub(p).Len()
+}
+
+// DistToBox returns the Euclidean distance from p to box b (0 if inside).
+func DistToBox(p Vec3, b AABB) float64 {
+	q := p.Max(b.Min).Min(b.Max)
+	return q.Sub(p).Len()
+}

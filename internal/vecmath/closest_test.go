@@ -1,0 +1,94 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestClosestPointVertexRegions(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(2, 0, 0), V(0, 2, 0))
+	cases := []struct{ p, want Vec3 }{
+		{V(-1, -1, 0), V(0, 0, 0)}, // behind A
+		{V(3, -1, 0), V(2, 0, 0)},  // beyond B
+		{V(-1, 3, 0), V(0, 2, 0)},  // beyond C
+	}
+	for _, c := range cases {
+		if got := ClosestPointOnTriangle(c.p, tr); !got.ApproxEq(c.want, 1e-12) {
+			t.Errorf("closest(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestClosestPointEdgeRegions(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(2, 0, 0), V(0, 2, 0))
+	got := ClosestPointOnTriangle(V(1, -1, 0), tr)
+	if !got.ApproxEq(V(1, 0, 0), 1e-12) {
+		t.Errorf("edge AB: %v", got)
+	}
+	got = ClosestPointOnTriangle(V(-1, 1, 0), tr)
+	if !got.ApproxEq(V(0, 1, 0), 1e-12) {
+		t.Errorf("edge AC: %v", got)
+	}
+	got = ClosestPointOnTriangle(V(2, 2, 0), tr)
+	if !got.ApproxEq(V(1, 1, 0), 1e-12) {
+		t.Errorf("edge BC: %v", got)
+	}
+}
+
+func TestClosestPointInterior(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(2, 0, 0), V(0, 2, 0))
+	got := ClosestPointOnTriangle(V(0.5, 0.5, 3), tr)
+	if !got.ApproxEq(V(0.5, 0.5, 0), 1e-12) {
+		t.Errorf("interior projection: %v", got)
+	}
+	if d := DistToTriangle(V(0.5, 0.5, 3), tr); math.Abs(d-3) > 1e-12 {
+		t.Errorf("DistToTriangle = %v, want 3", d)
+	}
+}
+
+func TestClosestPointIsActuallyClosest(t *testing.T) {
+	// Property: the returned point is on the triangle and no sampled point
+	// of the triangle is closer.
+	r := rand.New(rand.NewSource(60))
+	for trial := 0; trial < 300; trial++ {
+		tr := randTri(r, 4)
+		if tr.IsDegenerate() {
+			continue
+		}
+		p := randVec(r, 8)
+		cp := ClosestPointOnTriangle(p, tr)
+		dBest := cp.Sub(p).Len()
+		// Sample barycentric grid.
+		for i := 0; i <= 10; i++ {
+			for j := 0; i+j <= 10; j++ {
+				u, v := float64(i)/10, float64(j)/10
+				q := tr.A.Scale(1 - u - v).Add(tr.B.Scale(u)).Add(tr.C.Scale(v))
+				if q.Sub(p).Len() < dBest-1e-9 {
+					t.Fatalf("sampled point %v closer than 'closest' %v (to %v)", q, cp, p)
+				}
+			}
+		}
+		// The closest point lies on the triangle plane within bounds.
+		n := tr.UnitNormal()
+		if off := math.Abs(cp.Sub(tr.A).Dot(n)); off > 1e-9 {
+			t.Fatalf("closest point off plane by %v", off)
+		}
+	}
+}
+
+func TestDistToBox(t *testing.T) {
+	b := NewAABB(V(0, 0, 0), V(1, 1, 1))
+	if DistToBox(V(0.5, 0.5, 0.5), b) != 0 {
+		t.Fatal("interior point should have distance 0")
+	}
+	if d := DistToBox(V(2, 0.5, 0.5), b); math.Abs(d-1) > 1e-12 {
+		t.Fatalf("face distance = %v", d)
+	}
+	if d := DistToBox(V(2, 2, 0.5), b); math.Abs(d-math.Sqrt2) > 1e-12 {
+		t.Fatalf("edge distance = %v", d)
+	}
+	if d := DistToBox(V(2, 2, 2), b); math.Abs(d-math.Sqrt(3)) > 1e-12 {
+		t.Fatalf("corner distance = %v", d)
+	}
+}

@@ -1,0 +1,103 @@
+package vecmath
+
+import "math"
+
+// Mat4 is a 4x4 matrix in row-major order, used for the affine transforms
+// that drive the animated scenes (rigid motion, scaling, articulation).
+type Mat4 struct {
+	M [4][4]float64
+}
+
+// Identity returns the identity transform.
+func Identity() Mat4 {
+	var m Mat4
+	for i := 0; i < 4; i++ {
+		m.M[i][i] = 1
+	}
+	return m
+}
+
+// Translate returns the transform that adds v to every point.
+func Translate(v Vec3) Mat4 {
+	m := Identity()
+	m.M[0][3] = v.X
+	m.M[1][3] = v.Y
+	m.M[2][3] = v.Z
+	return m
+}
+
+// ScaleUniform returns the transform scaling every point by s about the
+// origin.
+func ScaleUniform(s float64) Mat4 { return ScaleVec(Splat(s)) }
+
+// ScaleVec returns the transform scaling each axis by the corresponding
+// component of s about the origin.
+func ScaleVec(s Vec3) Mat4 {
+	m := Identity()
+	m.M[0][0] = s.X
+	m.M[1][1] = s.Y
+	m.M[2][2] = s.Z
+	return m
+}
+
+// Rotate returns the rotation by angle radians about the given axis through
+// the origin.
+func Rotate(axis Axis, angle float64) Mat4 {
+	c, s := math.Cos(angle), math.Sin(angle)
+	m := Identity()
+	switch axis {
+	case AxisX:
+		m.M[1][1], m.M[1][2] = c, -s
+		m.M[2][1], m.M[2][2] = s, c
+	case AxisY:
+		m.M[0][0], m.M[0][2] = c, s
+		m.M[2][0], m.M[2][2] = -s, c
+	default:
+		m.M[0][0], m.M[0][1] = c, -s
+		m.M[1][0], m.M[1][1] = s, c
+	}
+	return m
+}
+
+// RotateAround returns the rotation by angle about the given axis through
+// pivot p instead of the origin.
+func RotateAround(axis Axis, angle float64, p Vec3) Mat4 {
+	return Translate(p).MulMat(Rotate(axis, angle)).MulMat(Translate(p.Neg()))
+}
+
+// MulMat returns the matrix product m * n (n applied first).
+func (m Mat4) MulMat(n Mat4) Mat4 {
+	var r Mat4
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			sum := 0.0
+			for k := 0; k < 4; k++ {
+				sum += m.M[i][k] * n.M[k][j]
+			}
+			r.M[i][j] = sum
+		}
+	}
+	return r
+}
+
+// ApplyPoint transforms point p (implicit homogeneous coordinate 1).
+func (m Mat4) ApplyPoint(p Vec3) Vec3 {
+	x := m.M[0][0]*p.X + m.M[0][1]*p.Y + m.M[0][2]*p.Z + m.M[0][3]
+	y := m.M[1][0]*p.X + m.M[1][1]*p.Y + m.M[1][2]*p.Z + m.M[1][3]
+	z := m.M[2][0]*p.X + m.M[2][1]*p.Y + m.M[2][2]*p.Z + m.M[2][3]
+	w := m.M[3][0]*p.X + m.M[3][1]*p.Y + m.M[3][2]*p.Z + m.M[3][3]
+	if w != 1 && w != 0 {
+		return Vec3{x / w, y / w, z / w}
+	}
+	return Vec3{x, y, z}
+}
+
+// ApplyDir transforms direction d (implicit homogeneous coordinate 0), i.e.
+// ignores the translation part.
+func (m Mat4) ApplyDir(d Vec3) Vec3 {
+	return Vec3{
+		m.M[0][0]*d.X + m.M[0][1]*d.Y + m.M[0][2]*d.Z,
+		m.M[1][0]*d.X + m.M[1][1]*d.Y + m.M[1][2]*d.Z,
+		m.M[2][0]*d.X + m.M[2][1]*d.Y + m.M[2][2]*d.Z,
+	}
+}

@@ -1,0 +1,89 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestIdentityIsNeutral(t *testing.T) {
+	r := rand.New(rand.NewSource(10))
+	id := Identity()
+	for i := 0; i < 100; i++ {
+		p := randVec(r, 10)
+		if !id.ApplyPoint(p).ApproxEq(p, 1e-12) {
+			t.Fatalf("identity moved point %v", p)
+		}
+		if !id.ApplyDir(p).ApproxEq(p, 1e-12) {
+			t.Fatalf("identity changed direction %v", p)
+		}
+	}
+}
+
+func TestTranslateAffectsPointsNotDirs(t *testing.T) {
+	m := Translate(V(1, 2, 3))
+	if !m.ApplyPoint(V(0, 0, 0)).ApproxEq(V(1, 2, 3), 1e-12) {
+		t.Fatal("translate wrong on point")
+	}
+	if !m.ApplyDir(V(1, 0, 0)).ApproxEq(V(1, 0, 0), 1e-12) {
+		t.Fatal("translate should not affect directions")
+	}
+}
+
+func TestRotatePreservesLength(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		axis := Axis(r.Intn(3))
+		m := Rotate(axis, r.Float64()*2*math.Pi)
+		v := randVec(r, 5)
+		got := m.ApplyDir(v)
+		if math.Abs(got.Len()-v.Len()) > 1e-9*(1+v.Len()) {
+			t.Fatalf("rotation changed length: %v -> %v", v, got)
+		}
+		// Component along the rotation axis is invariant.
+		if math.Abs(got.Axis(axis)-v.Axis(axis)) > 1e-9 {
+			t.Fatalf("rotation about %v changed that component", axis)
+		}
+	}
+}
+
+func TestRotateQuarterTurn(t *testing.T) {
+	m := Rotate(AxisZ, math.Pi/2)
+	got := m.ApplyDir(V(1, 0, 0))
+	if !got.ApproxEq(V(0, 1, 0), 1e-12) {
+		t.Fatalf("quarter turn about Z: %v", got)
+	}
+}
+
+func TestMulMatComposition(t *testing.T) {
+	r := rand.New(rand.NewSource(12))
+	for i := 0; i < 100; i++ {
+		a := RotateAround(Axis(r.Intn(3)), r.Float64(), randVec(r, 3))
+		b := Translate(randVec(r, 3))
+		p := randVec(r, 5)
+		composed := a.MulMat(b).ApplyPoint(p)
+		sequential := a.ApplyPoint(b.ApplyPoint(p))
+		if !composed.ApproxEq(sequential, 1e-9) {
+			t.Fatalf("(a*b)p != a(bp): %v vs %v", composed, sequential)
+		}
+	}
+}
+
+func TestRotateAroundFixesPivot(t *testing.T) {
+	pivot := V(3, -2, 1)
+	m := RotateAround(AxisY, 1.234, pivot)
+	if !m.ApplyPoint(pivot).ApproxEq(pivot, 1e-9) {
+		t.Fatal("pivot moved under RotateAround")
+	}
+}
+
+func TestScale(t *testing.T) {
+	m := ScaleUniform(2)
+	if !m.ApplyPoint(V(1, 2, 3)).ApproxEq(V(2, 4, 6), 1e-12) {
+		t.Fatal("uniform scale wrong")
+	}
+	n := ScaleVec(V(1, 2, 3))
+	if !n.ApplyPoint(V(1, 1, 1)).ApproxEq(V(1, 2, 3), 1e-12) {
+		t.Fatal("per-axis scale wrong")
+	}
+}

@@ -1,0 +1,19 @@
+package vecmath
+
+// Ray is a half-infinite line Origin + t*Dir for t >= 0. Dir need not be
+// normalised; parametric distances returned by intersection routines are
+// expressed in units of |Dir|.
+type Ray struct {
+	Origin Vec3
+	Dir    Vec3
+}
+
+// NewRay constructs a ray from origin o towards direction d.
+func NewRay(o, d Vec3) Ray { return Ray{Origin: o, Dir: d} }
+
+// At returns the point Origin + t*Dir.
+func (r Ray) At(t float64) Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
+
+// Towards constructs a ray from o pointing at target p. Useful for shadow
+// rays: the target is at parametric distance 1.
+func Towards(o, p Vec3) Ray { return Ray{Origin: o, Dir: p.Sub(o)} }

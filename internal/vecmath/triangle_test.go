@@ -1,0 +1,142 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTri(r *rand.Rand, scale float64) Triangle {
+	return Tri(randVec(r, scale), randVec(r, scale), randVec(r, scale))
+}
+
+func TestTriangleBoundsContainVertices(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 300; i++ {
+		tr := randTri(r, 10)
+		b := tr.Bounds()
+		if !b.Contains(tr.A) || !b.Contains(tr.B) || !b.Contains(tr.C) {
+			t.Fatalf("bounds %v miss a vertex of %v", b, tr)
+		}
+	}
+}
+
+func TestTriangleAreaAndNormal(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(1, 0, 0), V(0, 1, 0))
+	if math.Abs(tr.Area()-0.5) > 1e-12 {
+		t.Fatalf("Area = %v", tr.Area())
+	}
+	n := tr.UnitNormal()
+	if !n.ApproxEq(V(0, 0, 1), 1e-12) {
+		t.Fatalf("UnitNormal = %v", n)
+	}
+}
+
+func TestTriangleCentroid(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(3, 0, 0), V(0, 3, 0))
+	if !tr.Centroid().ApproxEq(V(1, 1, 0), 1e-12) {
+		t.Fatalf("Centroid = %v", tr.Centroid())
+	}
+}
+
+func TestDegenerateTriangles(t *testing.T) {
+	if Tri(V(0, 0, 0), V(1, 1, 1), V(2, 2, 2)).IsDegenerate() == false {
+		t.Fatal("collinear triangle not degenerate")
+	}
+	if Tri(V(0, 0, 0), V(0, 0, 0), V(1, 0, 0)).IsDegenerate() == false {
+		t.Fatal("repeated-vertex triangle not degenerate")
+	}
+	nan := math.NaN()
+	if Tri(V(nan, 0, 0), V(1, 0, 0), V(0, 1, 0)).IsDegenerate() == false {
+		t.Fatal("NaN triangle not degenerate")
+	}
+	if Tri(V(0, 0, 0), V(1, 0, 0), V(0, 1, 0)).IsDegenerate() {
+		t.Fatal("healthy triangle reported degenerate")
+	}
+	// Degenerate triangles never produce hits.
+	d := Tri(V(0, 0, 0), V(1, 1, 1), V(2, 2, 2))
+	if _, _, _, hit := d.IntersectRay(NewRay(V(0.5, 0.5, -1), V(0, 0, 1)), 0, 100); hit {
+		t.Fatal("degenerate triangle produced a hit")
+	}
+}
+
+func TestIntersectRayHit(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(2, 0, 0), V(0, 2, 0))
+	r := NewRay(V(0.5, 0.5, -3), V(0, 0, 1))
+	tHit, u, v, hit := tr.IntersectRay(r, 0, math.Inf(1))
+	if !hit {
+		t.Fatal("ray should hit triangle")
+	}
+	if math.Abs(tHit-3) > 1e-12 {
+		t.Fatalf("tHit = %v, want 3", tHit)
+	}
+	// Hit point = A + u*(B-A) + v*(C-A) must equal ray.At(tHit).
+	p := tr.A.Add(tr.B.Sub(tr.A).Scale(u)).Add(tr.C.Sub(tr.A).Scale(v))
+	if !p.ApproxEq(r.At(tHit), 1e-9) {
+		t.Fatalf("barycentric reconstruction %v != hit point %v", p, r.At(tHit))
+	}
+}
+
+func TestIntersectRayMissOutside(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(1, 0, 0), V(0, 1, 0))
+	misses := []Ray{
+		NewRay(V(2, 2, -1), V(0, 0, 1)),     // outside the triangle
+		NewRay(V(0.2, 0.2, -1), V(1, 0, 0)), // parallel to plane
+		NewRay(V(0.2, 0.2, 1), V(0, 0, 1)),  // behind: hit at negative t
+	}
+	for i, r := range misses {
+		if _, _, _, hit := tr.IntersectRay(r, 0, math.Inf(1)); hit {
+			t.Errorf("case %d: expected miss", i)
+		}
+	}
+}
+
+func TestIntersectRayRespectsInterval(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(2, 0, 0), V(0, 2, 0))
+	r := NewRay(V(0.5, 0.5, -3), V(0, 0, 1))
+	if _, _, _, hit := tr.IntersectRay(r, 0, 2.9); hit {
+		t.Fatal("hit beyond tMax accepted")
+	}
+	if _, _, _, hit := tr.IntersectRay(r, 3.1, 100); hit {
+		t.Fatal("hit before tMin accepted")
+	}
+}
+
+func TestQuickIntersectionPointOnPlane(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	hits := 0
+	for i := 0; i < 2000; i++ {
+		tr := randTri(r, 5)
+		if tr.IsDegenerate() {
+			continue
+		}
+		// Aim roughly at the centroid so a good fraction of rays hit.
+		o := randVec(r, 15)
+		ray := NewRay(o, tr.Centroid().Sub(o).Add(randVec(r, 0.5)))
+		tHit, _, _, hit := tr.IntersectRay(ray, 1e-9, math.Inf(1))
+		if !hit {
+			continue
+		}
+		hits++
+		p := ray.At(tHit)
+		n := tr.UnitNormal()
+		dist := math.Abs(p.Sub(tr.A).Dot(n))
+		if dist > 1e-6*(1+p.Len()) {
+			t.Fatalf("hit point %v off plane by %v", p, dist)
+		}
+	}
+	if hits < 100 {
+		t.Fatalf("too few hits (%d) for the property to be meaningful", hits)
+	}
+}
+
+func TestTriangleTransform(t *testing.T) {
+	tr := Tri(V(0, 0, 0), V(1, 0, 0), V(0, 1, 0))
+	moved := tr.Transform(Translate(V(5, 0, 0)))
+	if !moved.A.ApproxEq(V(5, 0, 0), 1e-12) || !moved.B.ApproxEq(V(6, 0, 0), 1e-12) {
+		t.Fatalf("Transform wrong: %v", moved)
+	}
+	if math.Abs(moved.Area()-tr.Area()) > 1e-12 {
+		t.Fatal("rigid transform changed area")
+	}
+}

@@ -1,0 +1,173 @@
+// Package vecmath provides the small linear-algebra and computational
+// geometry substrate used by the kD-tree builders, the SAH cost model and
+// the ray caster: 3-component vectors, 4x4 affine transforms, axis-aligned
+// bounding boxes, rays, triangles, ray-triangle intersection and
+// triangle-box clipping.
+//
+// Everything operates on float64. The package is allocation-free on its hot
+// paths (intersection, box arithmetic) so it can be called per primitive and
+// per ray without pressuring the garbage collector.
+package vecmath
+
+import (
+	"fmt"
+	"math"
+)
+
+// Axis identifies one of the three coordinate axes. It doubles as an index
+// into Vec3 components and as the split-axis tag stored in kD-tree nodes.
+type Axis int
+
+// The three coordinate axes.
+const (
+	AxisX Axis = 0
+	AxisY Axis = 1
+	AxisZ Axis = 2
+)
+
+// String returns "X", "Y" or "Z".
+func (a Axis) String() string {
+	switch a {
+	case AxisX:
+		return "X"
+	case AxisY:
+		return "Y"
+	case AxisZ:
+		return "Z"
+	}
+	return fmt.Sprintf("Axis(%d)", int(a))
+}
+
+// Next returns the next axis in cyclic X->Y->Z->X order.
+func (a Axis) Next() Axis { return (a + 1) % 3 }
+
+// Vec3 is a three-component vector (or point) in double precision.
+type Vec3 struct {
+	X, Y, Z float64
+}
+
+// V constructs a Vec3 from its components.
+func V(x, y, z float64) Vec3 { return Vec3{x, y, z} }
+
+// Splat returns the vector (s, s, s).
+func Splat(s float64) Vec3 { return Vec3{s, s, s} }
+
+// Axis returns component a of v.
+func (v Vec3) Axis(a Axis) float64 {
+	switch a {
+	case AxisX:
+		return v.X
+	case AxisY:
+		return v.Y
+	default:
+		return v.Z
+	}
+}
+
+// SetAxis returns a copy of v with component a replaced by s.
+func (v Vec3) SetAxis(a Axis, s float64) Vec3 {
+	switch a {
+	case AxisX:
+		v.X = s
+	case AxisY:
+		v.Y = s
+	default:
+		v.Z = s
+	}
+	return v
+}
+
+// Add returns v + w.
+func (v Vec3) Add(w Vec3) Vec3 { return Vec3{v.X + w.X, v.Y + w.Y, v.Z + w.Z} }
+
+// Sub returns v - w.
+func (v Vec3) Sub(w Vec3) Vec3 { return Vec3{v.X - w.X, v.Y - w.Y, v.Z - w.Z} }
+
+// Mul returns the component-wise product v * w.
+func (v Vec3) Mul(w Vec3) Vec3 { return Vec3{v.X * w.X, v.Y * w.Y, v.Z * w.Z} }
+
+// Scale returns s * v.
+func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
+
+// Neg returns -v.
+func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
+
+// Dot returns the scalar product of v and w.
+func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
+
+// Cross returns the vector product v x w.
+func (v Vec3) Cross(w Vec3) Vec3 {
+	return Vec3{
+		v.Y*w.Z - v.Z*w.Y,
+		v.Z*w.X - v.X*w.Z,
+		v.X*w.Y - v.Y*w.X,
+	}
+}
+
+// Len returns the Euclidean length of v.
+func (v Vec3) Len() float64 { return math.Sqrt(v.Dot(v)) }
+
+// Len2 returns the squared Euclidean length of v.
+func (v Vec3) Len2() float64 { return v.Dot(v) }
+
+// Normalize returns v scaled to unit length. The zero vector is returned
+// unchanged so callers never observe NaN components.
+func (v Vec3) Normalize() Vec3 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Min returns the component-wise minimum of v and w.
+func (v Vec3) Min(w Vec3) Vec3 {
+	return Vec3{math.Min(v.X, w.X), math.Min(v.Y, w.Y), math.Min(v.Z, w.Z)}
+}
+
+// Max returns the component-wise maximum of v and w.
+func (v Vec3) Max(w Vec3) Vec3 {
+	return Vec3{math.Max(v.X, w.X), math.Max(v.Y, w.Y), math.Max(v.Z, w.Z)}
+}
+
+// Lerp returns v + t*(w-v), the linear interpolation between v (t=0) and
+// w (t=1).
+func (v Vec3) Lerp(w Vec3, t float64) Vec3 {
+	return Vec3{
+		v.X + t*(w.X-v.X),
+		v.Y + t*(w.Y-v.Y),
+		v.Z + t*(w.Z-v.Z),
+	}
+}
+
+// MaxAxis returns the axis of the largest component of v, preferring X over
+// Y over Z on ties.
+func (v Vec3) MaxAxis() Axis {
+	a := AxisX
+	if v.Y > v.Axis(a) {
+		a = AxisY
+	}
+	if v.Z > v.Axis(a) {
+		a = AxisZ
+	}
+	return a
+}
+
+// IsFinite reports whether all components are finite (neither NaN nor Inf).
+func (v Vec3) IsFinite() bool {
+	return !math.IsNaN(v.X) && !math.IsInf(v.X, 0) &&
+		!math.IsNaN(v.Y) && !math.IsInf(v.Y, 0) &&
+		!math.IsNaN(v.Z) && !math.IsInf(v.Z, 0)
+}
+
+// ApproxEq reports whether v and w differ by at most eps in every component.
+func (v Vec3) ApproxEq(w Vec3, eps float64) bool {
+	return math.Abs(v.X-w.X) <= eps &&
+		math.Abs(v.Y-w.Y) <= eps &&
+		math.Abs(v.Z-w.Z) <= eps
+}
+
+// String formats v as (x, y, z) with compact precision.
+func (v Vec3) String() string {
+	return fmt.Sprintf("(%.6g, %.6g, %.6g)", v.X, v.Y, v.Z)
+}

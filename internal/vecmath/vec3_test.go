@@ -1,0 +1,210 @@
+package vecmath
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randVec(r *rand.Rand, scale float64) Vec3 {
+	return Vec3{r.NormFloat64() * scale, r.NormFloat64() * scale, r.NormFloat64() * scale}
+}
+
+func TestVecBasicOps(t *testing.T) {
+	a := V(1, 2, 3)
+	b := V(4, -5, 6)
+	if got := a.Add(b); got != V(5, -3, 9) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(b); got != V(-3, 7, -3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Mul(b); got != V(4, -10, 18) {
+		t.Errorf("Mul = %v", got)
+	}
+	if got := a.Scale(2); got != V(2, 4, 6) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(b); got != 4-10+18 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Neg(); got != V(-1, -2, -3) {
+		t.Errorf("Neg = %v", got)
+	}
+}
+
+func TestVecAxisAccessors(t *testing.T) {
+	v := V(7, 8, 9)
+	if v.Axis(AxisX) != 7 || v.Axis(AxisY) != 8 || v.Axis(AxisZ) != 9 {
+		t.Fatalf("Axis accessors wrong: %v", v)
+	}
+	for a := AxisX; a <= AxisZ; a++ {
+		w := v.SetAxis(a, -1)
+		if w.Axis(a) != -1 {
+			t.Errorf("SetAxis(%v) did not set", a)
+		}
+		if w.Axis(a.Next()) != v.Axis(a.Next()) {
+			t.Errorf("SetAxis(%v) clobbered other component", a)
+		}
+	}
+}
+
+func TestAxisStringAndNext(t *testing.T) {
+	if AxisX.String() != "X" || AxisY.String() != "Y" || AxisZ.String() != "Z" {
+		t.Fatal("Axis.String wrong")
+	}
+	if Axis(5).String() == "" {
+		t.Fatal("out-of-range axis should still format")
+	}
+	if AxisX.Next() != AxisY || AxisY.Next() != AxisZ || AxisZ.Next() != AxisX {
+		t.Fatal("Axis.Next not cyclic")
+	}
+}
+
+func TestCrossOrthogonality(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < 500; i++ {
+		a, b := randVec(r, 10), randVec(r, 10)
+		c := a.Cross(b)
+		if math.Abs(c.Dot(a)) > 1e-9*(1+a.Len2())*(1+b.Len()) {
+			t.Fatalf("cross not orthogonal to a: %v, %v -> %v", a, b, c)
+		}
+		if math.Abs(c.Dot(b)) > 1e-9*(1+b.Len2())*(1+a.Len()) {
+			t.Fatalf("cross not orthogonal to b: %v, %v -> %v", a, b, c)
+		}
+	}
+}
+
+func TestCrossAnticommutative(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for i := 0; i < 500; i++ {
+		a, b := randVec(r, 5), randVec(r, 5)
+		if !a.Cross(b).ApproxEq(b.Cross(a).Neg(), 1e-9) {
+			t.Fatalf("a x b != -(b x a) for %v, %v", a, b)
+		}
+	}
+}
+
+func TestDotCommutesAndBilinear(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		a, b, c := randVec(r, 5), randVec(r, 5), randVec(r, 5)
+		if math.Abs(a.Dot(b)-b.Dot(a)) > 1e-12 {
+			t.Fatal("dot not commutative")
+		}
+		lhs := a.Add(b).Dot(c)
+		rhs := a.Dot(c) + b.Dot(c)
+		if math.Abs(lhs-rhs) > 1e-9*(1+math.Abs(lhs)) {
+			t.Fatalf("dot not additive: %v vs %v", lhs, rhs)
+		}
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	v := V(3, 4, 0).Normalize()
+	if math.Abs(v.Len()-1) > 1e-12 {
+		t.Fatalf("normalized length = %v", v.Len())
+	}
+	zero := Vec3{}.Normalize()
+	if zero != (Vec3{}) {
+		t.Fatalf("Normalize(0) = %v, want zero vector", zero)
+	}
+	if !zero.IsFinite() {
+		t.Fatal("Normalize(0) produced non-finite components")
+	}
+}
+
+func TestMinMaxLerp(t *testing.T) {
+	a, b := V(1, 5, -2), V(3, 0, -4)
+	if a.Min(b) != V(1, 0, -4) {
+		t.Fatal("Min wrong")
+	}
+	if a.Max(b) != V(3, 5, -2) {
+		t.Fatal("Max wrong")
+	}
+	if a.Lerp(b, 0) != a || a.Lerp(b, 1) != b {
+		t.Fatal("Lerp endpoints wrong")
+	}
+	mid := a.Lerp(b, 0.5)
+	if !mid.ApproxEq(V(2, 2.5, -3), 1e-12) {
+		t.Fatalf("Lerp midpoint = %v", mid)
+	}
+}
+
+func TestMaxAxis(t *testing.T) {
+	cases := []struct {
+		v    Vec3
+		want Axis
+	}{
+		{V(3, 1, 2), AxisX},
+		{V(1, 3, 2), AxisY},
+		{V(1, 2, 3), AxisZ},
+		{V(2, 2, 2), AxisX}, // tie prefers X
+		{V(1, 2, 2), AxisY}, // tie prefers Y over Z
+	}
+	for _, c := range cases {
+		if got := c.v.MaxAxis(); got != c.want {
+			t.Errorf("MaxAxis(%v) = %v, want %v", c.v, got, c.want)
+		}
+	}
+}
+
+func TestIsFinite(t *testing.T) {
+	if !V(1, 2, 3).IsFinite() {
+		t.Fatal("finite vector reported non-finite")
+	}
+	bad := []Vec3{
+		{math.NaN(), 0, 0}, {0, math.NaN(), 0}, {0, 0, math.NaN()},
+		{math.Inf(1), 0, 0}, {0, math.Inf(-1), 0}, {0, 0, math.Inf(1)},
+	}
+	for _, v := range bad {
+		if v.IsFinite() {
+			t.Errorf("%v reported finite", v)
+		}
+	}
+}
+
+func TestSplatAndString(t *testing.T) {
+	if Splat(2) != V(2, 2, 2) {
+		t.Fatal("Splat wrong")
+	}
+	if V(1, 2, 3).String() == "" {
+		t.Fatal("String empty")
+	}
+}
+
+func TestQuickLengthScaling(t *testing.T) {
+	f := func(x, y, z, s float64) bool {
+		// Keep inputs bounded to avoid overflow-driven false negatives.
+		x, y, z = math.Mod(x, 1e6), math.Mod(y, 1e6), math.Mod(z, 1e6)
+		s = math.Mod(s, 1e3)
+		if math.IsNaN(x + y + z + s) {
+			return true
+		}
+		v := V(x, y, z)
+		got := v.Scale(s).Len()
+		want := math.Abs(s) * v.Len()
+		return math.Abs(got-want) <= 1e-9*(1+want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLerpBetweenMinMax(t *testing.T) {
+	f := func(ax, ay, az, bx, by, bz uint8, tt uint8) bool {
+		a := V(float64(ax), float64(ay), float64(az))
+		b := V(float64(bx), float64(by), float64(bz))
+		u := float64(tt) / 255
+		p := a.Lerp(b, u)
+		lo, hi := a.Min(b), a.Max(b)
+		eps := 1e-9
+		return p.X >= lo.X-eps && p.X <= hi.X+eps &&
+			p.Y >= lo.Y-eps && p.Y <= hi.Y+eps &&
+			p.Z >= lo.Z-eps && p.Z <= hi.Z+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
