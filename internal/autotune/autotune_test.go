@@ -556,3 +556,72 @@ func TestRetuneWithoutHistoryIsNoop(t *testing.T) {
 		t.Fatal("retune counted without a search")
 	}
 }
+
+func TestRetuneKeepsBestMeaningful(t *testing.T) {
+	// Regression test: Retune used to reset bestCost to +Inf while keeping
+	// the best indices, so Best() returned ok=true with cost=+Inf.
+	tn := New(Options{Seed: 7})
+	var v int
+	_ = tn.RegisterParameter(&v, 1, 50, 1)
+	driveTuner(tn, func(vals []int) float64 {
+		d := float64(vals[0] - 30)
+		return 1 + d*d
+	}, 400, &v)
+	wantVals, wantCost, ok := tn.Best()
+	if !ok || math.IsInf(wantCost, 1) {
+		t.Fatalf("pre-retune Best broken: %v %v %v", wantVals, wantCost, ok)
+	}
+
+	tn.Retune()
+	if tn.Restarts() != 1 {
+		t.Fatalf("Restarts = %d after one Retune", tn.Restarts())
+	}
+	gotVals, gotCost, ok := tn.Best()
+	if !ok {
+		t.Fatal("Best reports ok=false right after Retune")
+	}
+	if math.IsInf(gotCost, 1) {
+		t.Fatal("Best reports cost=+Inf right after Retune")
+	}
+	if gotVals[0] != wantVals[0] || gotCost != wantCost {
+		t.Fatalf("incumbent lost across Retune: got (%v, %v), want (%v, %v)",
+			gotVals, gotCost, wantVals, wantCost)
+	}
+	if !tn.ApplyBest() || v != wantVals[0] {
+		t.Fatalf("ApplyBest after Retune wrote %d, want %d", v, wantVals[0])
+	}
+
+	// The first post-restart measurement becomes the new round's best.
+	tn.Start()
+	tn.StopWithCost(123.0)
+	if _, cost, ok := tn.Best(); !ok || math.IsInf(cost, 1) {
+		t.Fatalf("Best after first post-restart cycle: cost=%v ok=%v", cost, ok)
+	}
+}
+
+func TestRetuneNoOpForNonRestartableSearch(t *testing.T) {
+	// Regression test: restarts must not be counted when the searcher
+	// cannot restart (only Nelder-Mead supports it).
+	var v int
+	tn, err := NewExhaustiveTuner(Options{Seed: 3}, func(t *Tuner) error {
+		return t.RegisterParameter(&v, 1, 4, 1)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tn.Start()
+	tn.StopWithCost(5)
+	before, beforeCost, ok := tn.Best()
+	if !ok {
+		t.Fatal("no best after one cycle")
+	}
+	tn.Retune()
+	if tn.Restarts() != 0 {
+		t.Fatalf("Restarts = %d for exhaustive search, want 0", tn.Restarts())
+	}
+	after, afterCost, ok := tn.Best()
+	if !ok || after[0] != before[0] || afterCost != beforeCost {
+		t.Fatalf("Retune corrupted exhaustive best: (%v,%v,%v) vs (%v,%v)",
+			after, afterCost, ok, before, beforeCost)
+	}
+}

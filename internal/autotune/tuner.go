@@ -49,9 +49,16 @@ type Tuner struct {
 	current    []int // indices per parameter of the active configuration
 
 	iterations int
-	best       []int // indices of the best configuration seen
+	best       []int // indices of the best configuration of the current search round
 	bestCost   float64
 	history    []Sample
+
+	// The incumbent carries the best configuration across Retune restarts:
+	// Retune invalidates the current round's cost baseline (it reflects a
+	// stale context) but Best/ApplyBest must keep answering with real
+	// values until the new round has measured something.
+	incumbent     []int
+	incumbentCost float64
 
 	badStreak int // consecutive over-threshold cycles after convergence
 	restarts  int
@@ -70,9 +77,10 @@ func New(opts Options) *Tuner {
 		opts.RetuneWindow = 5
 	}
 	return &Tuner{
-		opts:     opts,
-		rng:      rand.New(rand.NewSource(opts.Seed)),
-		bestCost: math.Inf(1),
+		opts:          opts,
+		rng:           rand.New(rand.NewSource(opts.Seed)),
+		bestCost:      math.Inf(1),
+		incumbentCost: math.Inf(1),
 	}
 }
 
@@ -217,27 +225,41 @@ func (t *Tuner) Iterations() int { return t.iterations }
 // Restarts returns how many drift-triggered re-tunes have happened.
 func (t *Tuner) Restarts() int { return t.restarts }
 
+// bestIndices selects the configuration Best/ApplyBest answer with: the
+// current round's best once it has measured anything, otherwise the
+// incumbent carried over from before the last restart.
+func (t *Tuner) bestIndices() ([]int, float64) {
+	if t.best != nil {
+		return t.best, t.bestCost
+	}
+	return t.incumbent, t.incumbentCost
+}
+
 // Best returns the parameter values and cost of the best configuration
-// measured so far. ok is false before the first completed cycle.
+// measured so far (in the current search round, falling back to the
+// incumbent right after a restart). ok is false before the first completed
+// cycle.
 func (t *Tuner) Best() (values []int, cost float64, ok bool) {
-	if t.best == nil {
+	idx, cost := t.bestIndices()
+	if idx == nil {
 		return nil, 0, false
 	}
-	values = make([]int, len(t.best))
+	values = make([]int, len(idx))
 	for i, p := range t.params {
-		values[i] = p.values[t.best[i]]
+		values[i] = p.values[idx[i]]
 	}
-	return values, t.bestCost, true
+	return values, cost, true
 }
 
 // ApplyBest writes the best known configuration into the client variables,
 // e.g. after tuning is declared finished.
 func (t *Tuner) ApplyBest() bool {
-	if t.best == nil {
+	idx, _ := t.bestIndices()
+	if idx == nil {
 		return false
 	}
 	for i, p := range t.params {
-		p.apply(t.best[i])
+		p.apply(idx[i])
 	}
 	return true
 }
@@ -248,20 +270,29 @@ func (t *Tuner) History() []Sample { return t.history }
 
 // Retune restarts the search around the incumbent best configuration —
 // online adaptation when the measuring context K changes (new scene,
-// changed system load).
+// changed system load). It is a no-op for searchers that do not support
+// restarting (only Nelder–Mead does), so Restarts() counts only actual
+// restarts.
 func (t *Tuner) Retune() {
 	if t.search == nil || t.best == nil {
 		return
 	}
-	if nm, ok := t.search.(*nelderMead); ok {
-		seeds := t.opts.SeedSamples
-		if seeds <= 0 {
-			seeds = 2 * (len(t.params) + 1)
-		}
-		nm.restart(t.best, seeds)
+	nm, ok := t.search.(*nelderMead)
+	if !ok {
+		return
 	}
+	seeds := t.opts.SeedSamples
+	if seeds <= 0 {
+		seeds = 2 * (len(t.params) + 1)
+	}
+	nm.restart(t.best, seeds)
+	// Promote the round's best to incumbent, then invalidate the round:
+	// the recorded cost may reflect a stale context, but Best() keeps
+	// answering with the incumbent until the new round measures.
+	t.incumbent = append(t.incumbent[:0], t.best...)
+	t.incumbentCost = t.bestCost
+	t.best = nil
+	t.bestCost = math.Inf(1)
 	t.badStreak = 0
 	t.restarts++
-	// The incumbent's recorded cost may reflect a stale context.
-	t.bestCost = math.Inf(1)
 }

@@ -81,6 +81,7 @@ type RunResult struct {
 	Config                       RunConfig
 	Frames                       []FrameRecord
 	ConvergedAt                  int // iteration index of convergence, -1 if never
+	Restarts                     int // drift-triggered search restarts (§V-D4)
 	BestCI, BestCB, BestS, BestR int
 	BestTotal                    time.Duration
 }
@@ -213,6 +214,7 @@ func Run(rc RunConfig) *RunResult {
 	}
 
 	if tuner != nil {
+		res.Restarts = tuner.Restarts()
 		if best, _, ok := tuner.Best(); ok {
 			res.BestCI, res.BestCB, res.BestS = best[0], best[1], best[2]
 			if rc.Algorithm.HasR() {

@@ -2,7 +2,6 @@ package kdtree
 
 import (
 	"sync"
-	"sync/atomic"
 
 	"kdtune/internal/parallel"
 	"kdtune/internal/sah"
@@ -19,6 +18,10 @@ type levelNode struct {
 	depth  int
 }
 
+// scatterGrain is the minimum number of (triangle, node) pairs classified or
+// scattered per chunk during a breadth-first level step.
+const scatterGrain = 4096
+
 // buildBreadthFirst implements the in-place parallel algorithm of §IV-C and
 // its lazy variant of §IV-D. The tree is built one level at a time:
 //
@@ -27,7 +30,7 @@ type levelNode struct {
 //     across primitives (parallel histogram + merge).
 //  2. Every (triangle, node) pair is reassigned to the children —
 //     embarrassingly parallel across pairs, with duplication for
-//     straddlers; offsets come from per-node prefix sums.
+//     straddlers; offsets come from per-node, per-chunk prefix sums.
 //
 // Once the frontier is wide enough to keep every worker busy with S
 // subtrees each (the S parameter), the remaining nodes are finished as
@@ -37,6 +40,11 @@ type levelNode struct {
 //
 // When lazy is true, nodes holding fewer than R primitives are suspended
 // instead of subdivided; they expand on first ray contact (§IV-D).
+//
+// The switch point between the two phases depends on the worker count, but
+// both phases apply identical split, leaf and suspension rules (see
+// shouldDefer and decideSplitLevel), so the resulting tree does not: the
+// output is worker-count-independent.
 func (c *buildCtx) buildBreadthFirst(lazy bool) *buildNode {
 	items, bounds := c.rootItems()
 	if len(items) == 0 {
@@ -69,15 +77,54 @@ func (c *buildCtx) buildBreadthFirst(lazy bool) *buildNode {
 	return root
 }
 
-// finishSubtree completes one frontier node depth-first (sweep-based
-// recursion), honouring the lazy threshold.
+// shouldDefer reports whether the lazy builder suspends a node of n
+// primitives at the given depth instead of subdividing it (§IV-D). The rule
+// must be applied identically by the breadth-first and subtree phases:
+// which phase reaches a node depends on the worker count, and determinism
+// across worker counts requires both phases to agree.
+func (c *buildCtx) shouldDefer(lazy bool, n, depth int) bool {
+	return lazy && n > 1 && n < c.cfg.R && depth < c.cfg.MaxDepth
+}
+
+// decideSplitLevel picks the SAH split for one node of the breadth-first
+// builders or reports that it should terminate (leaf). Node size selects the
+// search — the binned histogram above nestedSequentialCutoff, where its O(n)
+// pass beats the sweep's sort, and the exact sweep below it, where the
+// binned search's fixed per-node cost (bins·axes candidate evaluations plus
+// histogram allocation) would dominate the tiny workload. The cutoff depends
+// only on the node size and workers only bounds the intra-node parallelism,
+// so the returned split is identical for every worker count — a property
+// both phases of the breadth-first builders rely on.
+func (c *buildCtx) decideSplitLevel(sub []item, bounds vecmath.AABB, depth, workers int) (sah.Split, bool) {
+	if len(sub) < nestedSequentialCutoff {
+		return c.decideSplitSweep(sub, bounds, depth)
+	}
+	if depth >= c.cfg.MaxDepth {
+		return sah.Split{}, false
+	}
+	split, ok := sah.FindBestSplitBinnedChunks(c.params, bounds, len(sub), c.cfg.Bins, workers,
+		func(bs *sah.BinSet, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				bs.Add(sub[i].bounds)
+			}
+		})
+	if !ok || c.params.ShouldTerminate(len(sub), split) {
+		return sah.Split{}, false
+	}
+	return split, true
+}
+
+// finishSubtree completes one frontier node depth-first. It must reproduce
+// exactly the decisions processLevel would have made for the same node —
+// same suspension rule, same size-hybrid split search, same degenerate-split
+// bailout — because the worker count decides which of the two phases a node
+// lands in.
 func (c *buildCtx) finishSubtree(bn *buildNode, items []item, bounds vecmath.AABB, depth int, lazy bool) {
-	if lazy && len(items) < c.cfg.R {
-		d := c.makeDeferred(items, bounds, depth)
-		*bn = *d
+	if c.shouldDefer(lazy, len(items), depth) {
+		*bn = *c.makeDeferred(items, bounds, depth)
 		return
 	}
-	split, ok := c.decideSplitSweep(items, bounds, depth)
+	split, ok := c.decideSplitLevel(items, bounds, depth, 1)
 	if !ok {
 		*bn = *c.makeLeaf(items, bounds, depth)
 		return
@@ -103,41 +150,46 @@ type levelDecision struct {
 	doit  bool
 }
 
+// childPlan describes where one split node's children land in the next
+// level's item array. chunkOff holds the exclusive per-chunk write offsets
+// (left, right) computed from the classification pass, which makes the
+// scatter fully deterministic: chunk geometry is shared between the two
+// passes, so every item has a fixed destination slot and the next level's
+// item order is the sequential partition order regardless of scheduling.
+type childPlan struct {
+	leftStart, rightStart int
+	nl, nr                int
+	chunkOff              [][2]int
+}
+
 // processLevel performs one breadth-first step over the whole frontier and
-// returns the next frontier plus its item array.
+// returns the next frontier plus its item array. The worker budget is
+// shared between the across-nodes and within-node loops via SplitBudget, so
+// nesting them cannot spawn more than Workers goroutines' worth of work.
 func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) ([]levelNode, []item) {
-	workers := c.cfg.Workers
+	outerW, innerW := parallel.SplitBudget(c.cfg.Workers, len(frontier))
 
 	// Phase 1: best split per node. Parallel across nodes; within a node
-	// the histogram is built by per-worker private BinSets merged at the
+	// the histogram is built by per-chunk private BinSets merged at the
 	// end (the parallel prefix structure of Choi et al.).
 	decisions := make([]levelDecision, len(frontier))
-	parallel.ForEach(len(frontier), workers, func(ni int) {
+	parallel.ForEach(len(frontier), outerW, func(ni int) {
 		ln := frontier[ni]
 		sub := items[ln.start:ln.end]
-		if lazy && len(sub) < c.cfg.R {
-			return // suspend below
+		if c.shouldDefer(lazy, len(sub), ln.depth) {
+			return // suspend in phase 3
 		}
-		if len(sub) <= 1 || ln.depth >= c.cfg.MaxDepth {
-			return
-		}
-		split, ok := c.binnedSplitMaybeParallel(sub, ln.bounds)
-		if !ok || c.params.ShouldTerminate(len(sub), split) {
+		split, ok := c.decideSplitLevel(sub, ln.bounds, ln.depth, innerW)
+		if !ok {
 			return
 		}
 		decisions[ni] = levelDecision{split: split, doit: true}
 	})
 
-	// Phase 2: classify every (triangle, node) pair and compute per-node
-	// child sizes, then scatter into the next level's item array.
-	type childPlan struct {
-		leftStart, rightStart int // offsets into the next item array
-		nl, nr                int
-	}
+	// Phase 2: classify every (triangle, node) pair, counting per chunk and
+	// turning the counts into exclusive per-chunk write offsets.
 	plans := make([]childPlan, len(frontier))
-	counts := make([][2]atomic.Int64, len(frontier))
-
-	parallel.ForEach(len(frontier), workers, func(ni int) {
+	parallel.ForEach(len(frontier), outerW, func(ni int) {
 		if !decisions[ni].doit {
 			return
 		}
@@ -145,8 +197,9 @@ func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) (
 		split := decisions[ni].split
 		lb, rb := ln.bounds.Split(split.Axis, split.Pos)
 		sub := items[ln.start:ln.end]
-		parallel.ForGrain(len(sub), workers, 4096, func(lo, hi int) {
-			var nl, nr int64
+		counts := make([][2]int, parallel.ChunkCount(len(sub), innerW, scatterGrain))
+		parallel.ForChunks(len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
+			var nl, nr int
 			for i := lo; i < hi; i++ {
 				gl, gr := c.classify(sub[i], split, lb, rb)
 				if gl {
@@ -156,9 +209,16 @@ func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) (
 					nr++
 				}
 			}
-			counts[ni][0].Add(nl)
-			counts[ni][1].Add(nr)
+			counts[chunk] = [2]int{nl, nr}
 		})
+		var nl, nr int
+		for ci := range counts {
+			cl, cr := counts[ci][0], counts[ci][1]
+			counts[ci] = [2]int{nl, nr}
+			nl += cl
+			nr += cr
+		}
+		plans[ni] = childPlan{nl: nl, nr: nr, chunkOff: counts}
 	})
 
 	next := 0
@@ -166,41 +226,40 @@ func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) (
 		if !decisions[ni].doit {
 			continue
 		}
-		plans[ni].nl = int(counts[ni][0].Load())
-		plans[ni].nr = int(counts[ni][1].Load())
 		plans[ni].leftStart = next
 		next += plans[ni].nl
 		plans[ni].rightStart = next
 		next += plans[ni].nr
 	}
 
+	// Scatter into the next level's item array at the precomputed offsets.
+	// The chunk geometry is identical to phase 2's (same n, workers, grain),
+	// so each chunk's writes start exactly where its counts said they would.
 	nextItems := make([]item, next)
-	nextFrontier := make([]levelNode, 0, 2*len(frontier))
-	var cursors []struct{ l, r atomic.Int64 }
-	cursors = make([]struct{ l, r atomic.Int64 }, len(frontier))
-
-	parallel.ForEach(len(frontier), workers, func(ni int) {
-		ln := frontier[ni]
-		sub := items[ln.start:ln.end]
+	parallel.ForEach(len(frontier), outerW, func(ni int) {
 		if !decisions[ni].doit {
 			return
 		}
+		ln := frontier[ni]
 		split := decisions[ni].split
 		lb, rb := ln.bounds.Split(split.Axis, split.Pos)
+		sub := items[ln.start:ln.end]
 		plan := plans[ni]
-		parallel.ForGrain(len(sub), workers, 4096, func(lo, hi int) {
+		parallel.ForChunks(len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
+			l := plan.leftStart + plan.chunkOff[chunk][0]
+			r := plan.rightStart + plan.chunkOff[chunk][1]
 			for i := lo; i < hi; i++ {
 				it := sub[i]
 				gl, gr := c.classify(it, split, lb, rb)
 				if gl {
 					b, _ := c.childBounds(it, lb)
-					dst := plan.leftStart + int(cursors[ni].l.Add(1)-1)
-					nextItems[dst] = item{it.tri, b}
+					nextItems[l] = item{it.tri, b}
+					l++
 				}
 				if gr {
 					b, _ := c.childBounds(it, rb)
-					dst := plan.rightStart + int(cursors[ni].r.Add(1)-1)
-					nextItems[dst] = item{it.tri, b}
+					nextItems[r] = item{it.tri, b}
+					r++
 				}
 			}
 		})
@@ -208,10 +267,11 @@ func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) (
 
 	// Phase 3: materialise tree nodes and the next frontier; leaves and
 	// suspended nodes terminate here.
+	nextFrontier := make([]levelNode, 0, 2*len(frontier))
 	for ni, ln := range frontier {
 		sub := items[ln.start:ln.end]
 		if !decisions[ni].doit {
-			if lazy && len(sub) >= 1 && len(sub) < c.cfg.R && ln.depth < c.cfg.MaxDepth && len(sub) > 1 {
+			if c.shouldDefer(lazy, len(sub), ln.depth) {
 				*ln.bn = *c.makeDeferred(sub, ln.bounds, ln.depth)
 			} else {
 				*ln.bn = *c.makeLeaf(sub, ln.bounds, ln.depth)
@@ -258,13 +318,4 @@ func (c *buildCtx) classify(it item, split sah.Split, lb, rb vecmath.AABB) (goes
 		}
 	}
 	return goesLeft, goesRight
-}
-
-// binnedSplitMaybeParallel picks the split for one frontier node, using
-// intra-node parallelism only when the node is large enough to amortise it.
-func (c *buildCtx) binnedSplitMaybeParallel(sub []item, bounds vecmath.AABB) (sah.Split, bool) {
-	if len(sub) < nestedSequentialCutoff {
-		return sah.FindBestSplitBinned(c.params, bounds, itemBoxes(sub), c.cfg.Bins)
-	}
-	return c.parallelBestSplit(sub, bounds)
 }

@@ -70,27 +70,18 @@ func (c *buildCtx) recurseNested(items []item, bounds vecmath.AABB, depth int) *
 	return n
 }
 
-// parallelBestSplit evaluates the binned SAH split search with per-worker
-// private histograms merged at the barrier (parallel histogram + scan).
+// parallelBestSplit evaluates the binned SAH split search with per-chunk
+// private histograms merged at the barrier (parallel histogram + reduction).
+// The chunk geometry and the chunk index both come from the parallel
+// package, so no arithmetic here can drift out of sync with the scheduler;
+// worker counts <= 0 are normalised inside.
 func (c *buildCtx) parallelBestSplit(items []item, bounds vecmath.AABB) (sah.Split, bool) {
-	workers := c.cfg.Workers
-	sets := make([]*sah.BinSet, workers)
-	n := len(items)
-	chunk := (n + workers - 1) / workers
-	parallel.For(n, workers, func(lo, hi int) {
-		bs := sah.NewBinSet(bounds, c.cfg.Bins)
-		for i := lo; i < hi; i++ {
-			bs.Add(items[i].bounds)
-		}
-		sets[lo/chunk] = bs
-	})
-	total := sah.NewBinSet(bounds, c.cfg.Bins)
-	for _, bs := range sets {
-		if bs != nil {
-			total.Merge(bs)
-		}
-	}
-	return total.BestSplit(c.params)
+	return sah.FindBestSplitBinnedChunks(c.params, bounds, len(items), c.cfg.Bins, c.cfg.Workers,
+		func(bs *sah.BinSet, lo, hi int) {
+			for i := lo; i < hi; i++ {
+				bs.Add(items[i].bounds)
+			}
+		})
 }
 
 // sideFlag classifies one item against a split plane.

@@ -1,0 +1,154 @@
+package kdtree
+
+import (
+	"fmt"
+	"math/rand"
+	"slices"
+	"testing"
+
+	"kdtune/internal/scene"
+)
+
+// sameTree checks that two trees are structurally identical: same node
+// kinds, same split planes, same leaf triangle lists (including order, so
+// even the scatter passes must be deterministic), same suspended subtrees.
+func sameTree(a, b *Tree) error {
+	if a.bounds != b.bounds {
+		return fmt.Errorf("bounds differ: %v vs %v", a.bounds, b.bounds)
+	}
+	var walk func(ia, ib int32, path string) error
+	walk = func(ia, ib int32, path string) error {
+		na, nb := a.nodes[ia], b.nodes[ib]
+		if na.kind != nb.kind {
+			return fmt.Errorf("node %s: kind %d vs %d", path, na.kind, nb.kind)
+		}
+		switch na.kind {
+		case kindInner:
+			if na.axis != nb.axis || na.pos != nb.pos {
+				return fmt.Errorf("node %s: split (%v,%v) vs (%v,%v)", path, na.axis, na.pos, nb.axis, nb.pos)
+			}
+			if err := walk(na.left, nb.left, path+"L"); err != nil {
+				return err
+			}
+			return walk(na.right, nb.right, path+"R")
+		case kindLeaf:
+			ta := a.leafTris[na.triStart : na.triStart+na.triCount]
+			tb := b.leafTris[nb.triStart : nb.triStart+nb.triCount]
+			if !slices.Equal(ta, tb) {
+				return fmt.Errorf("leaf %s: tris %v vs %v", path, ta, tb)
+			}
+		case kindDeferred:
+			da, db := a.deferred[na.deferred], b.deferred[nb.deferred]
+			if da.bounds != db.bounds || !slices.Equal(da.tris, db.tris) {
+				return fmt.Errorf("deferred %s: differs (%d vs %d tris)", path, len(da.tris), len(db.tris))
+			}
+		}
+		return nil
+	}
+	return walk(a.root, b.root, "·")
+}
+
+func TestBuildersDeterministicAcrossWorkerCounts(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	sizes := []int{37, 500, 5000}
+	if !testing.Short() {
+		sizes = append(sizes, 12000)
+	}
+	workerCounts := []int{2, 3, 5, 8, 2 + r.Intn(30)}
+	t.Logf("randomized worker count: %d", workerCounts[len(workerCounts)-1])
+
+	for _, n := range sizes {
+		tris := randomTriangles(r, n, 10, 0.25)
+		for _, a := range Algorithms {
+			cfg := testConfig(a)
+			ref := cfg
+			ref.Workers = 1
+			want := Build(tris, ref)
+			wantCost := want.SAHCost(ref.sahParams())
+			for _, w := range workerCounts {
+				c := cfg
+				c.Workers = w
+				got := Build(tris, c)
+				if err := sameTree(want, got); err != nil {
+					t.Fatalf("%v n=%d workers=%d: tree differs from workers=1: %v", a, n, w, err)
+				}
+				if gotCost := got.SAHCost(c.sahParams()); gotCost != wantCost {
+					t.Fatalf("%v n=%d workers=%d: SAH cost %v, want %v", a, n, w, gotCost, wantCost)
+				}
+			}
+		}
+	}
+}
+
+func TestBuildersDeterministicWithClipping(t *testing.T) {
+	r := rand.New(rand.NewSource(602))
+	// Large triangles so the perfect-split clipping path actually runs.
+	tris := randomTriangles(r, 3000, 10, 1.2)
+	for _, a := range Algorithms {
+		cfg := testConfig(a)
+		cfg.UseClipping = true
+		ref := cfg
+		ref.Workers = 1
+		want := Build(tris, ref)
+		for _, w := range []int{2, 6, 16} {
+			c := cfg
+			c.Workers = w
+			if err := sameTree(want, Build(tris, c)); err != nil {
+				t.Fatalf("%v clipped workers=%d: %v", a, w, err)
+			}
+		}
+	}
+}
+
+// TestBuildersDeterministicOnScenes is the cross-algorithm determinism test
+// over the procedural evaluation scenes: for every algorithm, the parallel
+// build must equal the sequential build exactly.
+func TestBuildersDeterministicOnScenes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scene-scale builds are slow under -short")
+	}
+	scenes := []*scene.Scene{scene.WoodDoll(), scene.Toasters()}
+	for _, sc := range scenes {
+		tris := sc.Triangles(0)
+		for _, a := range Algorithms {
+			cfg := BaseConfig(a)
+			cfg.R = 256 // make the lazy builder actually suspend subtrees
+			ref := cfg
+			ref.Workers = 1
+			want := Build(tris, ref)
+			wantCost := want.SAHCost(ref.sahParams())
+			for _, w := range []int{4, 13} {
+				c := cfg
+				c.Workers = w
+				got := Build(tris, c)
+				if err := sameTree(want, got); err != nil {
+					t.Fatalf("%v on %s workers=%d: %v", a, sc, w, err)
+				}
+				if gotCost := got.SAHCost(c.sahParams()); gotCost != wantCost {
+					t.Fatalf("%v on %s workers=%d: SAH cost %v, want %v", a, sc, w, gotCost, wantCost)
+				}
+			}
+		}
+	}
+}
+
+// TestBreadthFirstPhasesAgree pins the invariant the in-place/lazy builders'
+// determinism rests on: the subtree phase must make the same decisions as
+// the breadth-first phase. S=1, workers=1 forces the earliest possible
+// switch to subtree tasks; a huge S keeps the build breadth-first to the
+// leaves. Both schedules must emit the same tree.
+func TestBreadthFirstPhasesAgree(t *testing.T) {
+	r := rand.New(rand.NewSource(603))
+	tris := randomTriangles(r, 4000, 10, 0.25)
+	for _, a := range []Algorithm{AlgoInPlace, AlgoLazy} {
+		early := testConfig(a)
+		early.S = 1
+		early.Workers = 1
+		late := testConfig(a)
+		late.S = 1 << 20 // switchWidth never reached
+		late.Workers = 1
+		if err := sameTree(Build(tris, early), Build(tris, late)); err != nil {
+			t.Fatalf("%v: subtree phase disagrees with breadth-first phase: %v", a, err)
+		}
+	}
+}

@@ -1,0 +1,14 @@
+//go:build !parallelcheck
+
+package parallel
+
+// chunkChecks disables the invariant layer in default builds; see
+// check_on.go. All call sites guard with `if chunkChecks`, so the stubs
+// below are dead code the compiler removes.
+const chunkChecks = false
+
+func wrapChunkBody(n, chunks, size int, body func(chunk, lo, hi int)) (func(chunk, lo, hi int), func()) {
+	return body, func() {}
+}
+
+func verifyScan[T Number](src, dst []T, total T) {}

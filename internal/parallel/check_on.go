@@ -1,0 +1,73 @@
+//go:build parallelcheck
+
+package parallel
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// chunkChecks enables the invariant layer: chunk dispatch assertions in
+// ForChunks and scan-vs-sequential cross-checks in ExclusiveScan. Build with
+// -tags parallelcheck to turn it on (CI does, for the race jobs); the
+// default build compiles all of it away.
+const chunkChecks = true
+
+// wrapChunkBody instruments a ForChunks body with the chunk-contract
+// assertions: every chunk index is in range, dispatched exactly once, and
+// its [lo, hi) range agrees with the published geometry (chunks tile [0, n)
+// disjointly in ascending index order). The returned verify func must run
+// after the dispatch completes.
+func wrapChunkBody(n, chunks, size int, body func(chunk, lo, hi int)) (func(chunk, lo, hi int), func()) {
+	calls := make([]int32, chunks)
+	wrapped := func(chunk, lo, hi int) {
+		if chunk < 0 || chunk >= chunks {
+			panic(fmt.Sprintf("parallel: chunk index %d outside [0,%d)", chunk, chunks))
+		}
+		if atomic.AddInt32(&calls[chunk], 1) != 1 {
+			panic(fmt.Sprintf("parallel: chunk %d dispatched more than once", chunk))
+		}
+		if lo != chunk*size || lo >= hi || hi > n || (hi-lo != size && hi != n) {
+			panic(fmt.Sprintf("parallel: chunk %d range [%d,%d) inconsistent with geometry n=%d size=%d", chunk, lo, hi, n, size))
+		}
+		body(chunk, lo, hi)
+	}
+	verify := func() {
+		for c := range calls {
+			if got := atomic.LoadInt32(&calls[c]); got != 1 {
+				panic(fmt.Sprintf("parallel: chunk %d ran %d times, want exactly once", c, got))
+			}
+		}
+		if last := (chunks - 1) * size; last >= n || chunks*size < n {
+			panic(fmt.Sprintf("parallel: %d chunks of size %d do not tile [0,%d)", chunks, size, n))
+		}
+	}
+	return wrapped, verify
+}
+
+// verifyScan cross-checks a parallel exclusive scan against the sequential
+// reference. Integer scans must match exactly; float scans tolerate the
+// reassociation error of the blocked algorithm.
+func verifyScan[T Number](src, dst []T, total T) {
+	var sum T
+	for i, v := range src {
+		if !scanNear(float64(dst[i]), float64(sum)) {
+			panic(fmt.Sprintf("parallel: scan mismatch at %d: got %v, want %v", i, dst[i], sum))
+		}
+		sum += v
+	}
+	if !scanNear(float64(total), float64(sum)) {
+		panic(fmt.Sprintf("parallel: scan total mismatch: got %v, want %v", total, sum))
+	}
+}
+
+// scanNear compares two scan values with a relative tolerance that is zero
+// for integers (exact float64 representations compare equal) and absorbs
+// reassociation rounding for floats.
+func scanNear(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) <= 1e-9*math.Max(math.Abs(a), math.Abs(b))
+}

@@ -1,0 +1,21 @@
+//go:build parallelcheck
+
+package parallel
+
+import "testing"
+
+// TestInvariantLayerActive makes the -tags parallelcheck CI job fail loudly
+// if the invariant layer is ever wired out; the checks themselves run inside
+// every ForChunks/ExclusiveScan call of the whole suite.
+func TestInvariantLayerActive(t *testing.T) {
+	if !chunkChecks {
+		t.Fatal("built with parallelcheck but chunkChecks is false")
+	}
+	// A scan above the parallel cutoff exercises the scan cross-check.
+	src := make([]float64, 10000)
+	for i := range src {
+		src[i] = float64(i%17) * 0.25
+	}
+	dst := make([]float64, len(src))
+	ExclusiveScan(dst, src, 8)
+}

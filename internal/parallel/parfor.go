@@ -2,37 +2,85 @@ package parallel
 
 import "sync"
 
-// For divides the index range [0, n) into one contiguous chunk per worker
-// and runs body(lo, hi) on each chunk concurrently. It is the analogue of
-// "#pragma omp parallel for" with static scheduling. workers <= 0 selects
-// DefaultWorkers(); small n degrades gracefully to fewer chunks or a plain
-// sequential call.
-func For(n, workers int, body func(lo, hi int)) {
-	workers = normWorkers(workers)
+// chunkGeometry is the single source of truth for how a loop over [0, n) is
+// tiled into contiguous chunks: every chunk-dispatching primitive in this
+// package derives its schedule from here, so callers never have to
+// reverse-engineer chunk boundaries. grain <= 1 imposes no minimum chunk
+// size; grain > 1 caps the chunk count so each chunk holds at least grain
+// elements (except possibly the final remainder). workers <= 0 selects
+// DefaultWorkers().
+func chunkGeometry(n, workers, grain int) (chunks, size int) {
 	if n <= 0 {
-		return
+		return 0, 0
 	}
-	if workers == 1 || n == 1 {
-		body(0, n)
-		return
+	workers = normWorkers(workers)
+	if grain > 1 {
+		maxChunks := (n + grain - 1) / grain
+		if workers > maxChunks {
+			workers = maxChunks
+		}
 	}
 	if workers > n {
 		workers = n
 	}
-	chunk := (n + workers - 1) / workers
+	size = (n + workers - 1) / workers
+	return (n + size - 1) / size, size
+}
+
+// ChunkCount returns the number of chunks ForChunks dispatches for the same
+// (n, workers, grain) triple. Callers sizing per-chunk result arrays must
+// use this instead of re-deriving the geometry themselves.
+func ChunkCount(n, workers, grain int) int {
+	chunks, _ := chunkGeometry(n, workers, grain)
+	return chunks
+}
+
+// ForChunks divides [0, n) into contiguous chunks — at most one per worker,
+// each at least grain elements long (grain <= 1 disables the floor) — and
+// runs body(chunk, lo, hi) on each concurrently. The chunk index is passed
+// explicitly so per-chunk outputs can be written without any implicit
+// contract between the caller's arithmetic and the scheduler's: chunk is
+// always in [0, ChunkCount(n, workers, grain)) and chunks are numbered in
+// ascending range order. A single chunk runs inline on the caller.
+// workers <= 0 selects DefaultWorkers().
+func ForChunks(n, workers, grain int, body func(chunk, lo, hi int)) {
+	chunks, size := chunkGeometry(n, workers, grain)
+	if chunks == 0 {
+		return
+	}
+	if chunkChecks {
+		var verify func()
+		body, verify = wrapChunkBody(n, chunks, size, body)
+		defer verify()
+	}
+	if chunks == 1 {
+		body(0, 0, n)
+		return
+	}
 	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo := c * size
+		hi := lo + size
 		if hi > n {
 			hi = n
 		}
-		wg.Add(1)
-		go func(lo, hi int) {
+		go func(c, lo, hi int) {
 			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
+			body(c, lo, hi)
+		}(c, lo, hi)
 	}
 	wg.Wait()
+}
+
+// For divides the index range [0, n) into one contiguous chunk per worker
+// and runs body(lo, hi) on each chunk concurrently. It is the analogue of
+// "#pragma omp parallel for" with static scheduling. workers <= 0 selects
+// DefaultWorkers(); small n degrades gracefully to fewer chunks or a plain
+// sequential call. Callers that need to know which chunk they are in must
+// use ForChunks instead of deriving it from lo.
+func For(n, workers int, body func(lo, hi int)) {
+	ForChunks(n, workers, 1, func(_, lo, hi int) { body(lo, hi) })
 }
 
 // ForGrain is For with an explicit minimum chunk size (grain). Ranges
@@ -41,21 +89,7 @@ func For(n, workers int, body func(lo, hi int)) {
 // against parallelisation overhead dominating tiny loops, the same purpose
 // OpenMP's schedule chunk size serves.
 func ForGrain(n, workers, grain int, body func(lo, hi int)) {
-	if grain < 1 {
-		grain = 1
-	}
-	if n <= grain {
-		if n > 0 {
-			body(0, n)
-		}
-		return
-	}
-	workers = normWorkers(workers)
-	maxChunks := (n + grain - 1) / grain
-	if workers > maxChunks {
-		workers = maxChunks
-	}
-	For(n, workers, body)
+	ForChunks(n, workers, grain, func(_, lo, hi int) { body(lo, hi) })
 }
 
 // ForEach runs body(i) for every i in [0, n) using For with per-chunk
@@ -66,4 +100,25 @@ func ForEach(n, workers int, body func(i int)) {
 			body(i)
 		}
 	})
+}
+
+// SplitBudget divides a worker budget between an outer loop of outerN
+// independent tasks and the parallelism available inside each task, so that
+// nesting parallel loops cannot oversubscribe the budget (outer·inner <=
+// workers always holds). Once the outer loop alone saturates the budget the
+// inner loops run sequentially. workers <= 0 selects DefaultWorkers().
+func SplitBudget(workers, outerN int) (outer, inner int) {
+	workers = normWorkers(workers)
+	if outerN < 1 {
+		outerN = 1
+	}
+	outer = workers
+	if outer > outerN {
+		outer = outerN
+	}
+	inner = workers / outer
+	if inner < 1 {
+		inner = 1
+	}
+	return outer, inner
 }

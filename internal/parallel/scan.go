@@ -37,6 +37,11 @@ func ExclusiveScan[T Number](dst, src []T, workers int) T {
 		return sum
 	}
 
+	var ref []T
+	if chunkChecks {
+		ref = append([]T(nil), src...) // dst may alias src
+	}
+
 	blocks := workers
 	blockLen := (n + blocks - 1) / blocks
 	sums := make([]T, blocks)
@@ -82,36 +87,37 @@ func ExclusiveScan[T Number](dst, src []T, workers int) T {
 			}
 		}
 	})
+	if chunkChecks {
+		verifyScan(ref, dst, total)
+	}
 	return total
 }
 
-// Reduce combines f(i) for all i in [0, n) with the associative, commutative
-// merge function, starting from identity. Each worker folds a contiguous
-// chunk locally and the per-chunk partials are merged sequentially, so merge
-// is called O(workers) times under the lock-free fork-join of For.
+// Reduce combines f(i) for all i in [0, n) with the associative merge
+// function, starting from identity. Each worker folds a contiguous chunk
+// locally and the per-chunk partials are merged sequentially in ascending
+// chunk order, so merge is called O(workers) times and — because the merge
+// order is fixed — the result is deterministic for any worker count as long
+// as merge is associative (commutativity is not required).
 func Reduce[T any](n, workers int, identity T, f func(i int) T, merge func(a, b T) T) T {
-	workers = normWorkers(workers)
 	if n <= 0 {
 		return identity
 	}
-	if workers == 1 || n == 1 {
+	chunks := ChunkCount(n, workers, 1)
+	if chunks == 1 {
 		acc := identity
 		for i := 0; i < n; i++ {
 			acc = merge(acc, f(i))
 		}
 		return acc
 	}
-	if workers > n {
-		workers = n
-	}
-	partials := make([]T, workers)
-	chunk := (n + workers - 1) / workers
-	For(n, workers, func(lo, hi int) {
+	partials := make([]T, chunks)
+	ForChunks(n, workers, 1, func(chunk, lo, hi int) {
 		acc := identity
 		for i := lo; i < hi; i++ {
 			acc = merge(acc, f(i))
 		}
-		partials[lo/chunk] = acc
+		partials[chunk] = acc
 	})
 	acc := identity
 	for _, p := range partials {

@@ -3,6 +3,7 @@ package sah
 import (
 	"math"
 
+	"kdtune/internal/parallel"
 	"kdtune/internal/vecmath"
 )
 
@@ -132,4 +133,39 @@ func FindBestSplitBinned(p Params, node vecmath.AABB, prims []vecmath.AABB, bins
 		bs.Add(b)
 	}
 	return bs.BestSplit(p)
+}
+
+// binnedParallelGrain is the minimum number of primitives binned per chunk;
+// below it the fork-join overhead exceeds the histogramming work and the
+// search runs inline on the caller.
+const binnedParallelGrain = 2048
+
+// FindBestSplitBinnedChunks is the parallel histogram + reduction form of
+// the binned search (Choi et al.): per-chunk private BinSets are filled
+// concurrently and merged in ascending chunk order. fill must call
+// bs.Add for every primitive in [lo, hi) — the caller keeps the tight loop
+// so primitive storage stays behind one indirection per chunk, not per
+// item.
+//
+// The result is identical to the sequential search for every worker count —
+// bin counts are integers, bin bounds come from min/max, and the merge
+// order is fixed by the explicit chunk index — which is what lets the
+// builders guarantee worker-count-independent trees.
+func FindBestSplitBinnedChunks(p Params, node vecmath.AABB, n, bins, workers int, fill func(bs *BinSet, lo, hi int)) (Split, bool) {
+	sets := make([]*BinSet, parallel.ChunkCount(n, workers, binnedParallelGrain))
+	parallel.ForChunks(n, workers, binnedParallelGrain, func(chunk, lo, hi int) {
+		bs := NewBinSet(node, bins)
+		fill(bs, lo, hi)
+		sets[chunk] = bs
+	})
+	if len(sets) == 1 {
+		return sets[0].BestSplit(p)
+	}
+	total := NewBinSet(node, bins)
+	for _, bs := range sets {
+		if bs != nil {
+			total.Merge(bs)
+		}
+	}
+	return total.BestSplit(p)
 }
