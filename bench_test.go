@@ -18,6 +18,7 @@ import (
 	"kdtune/internal/bvh"
 	"kdtune/internal/harness"
 	"kdtune/internal/kdtree"
+	"kdtune/internal/oracle"
 	"kdtune/internal/parallel"
 	"kdtune/internal/sah"
 	"kdtune/internal/scene"
@@ -462,6 +463,31 @@ func BenchmarkKDTreeVsBVH(b *testing.B) {
 	b.Run("bvh/intersect", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			bv.Intersect(rays[i%len(rays)], 1e-9, math.Inf(1))
+		}
+	})
+}
+
+// BenchmarkOracleReference measures the linear-scan reference intersector
+// of the differential oracle (internal/oracle): the cost ceiling any
+// kD-tree traversal must beat, and the price of one oracle validation ray.
+func BenchmarkOracleReference(b *testing.B) {
+	sc := cachedScene(b, "Toasters")
+	tris := sc.Triangles(0)
+	opts := oracle.Options{CameraRays: 128, RandomRays: 128, Seed: 1}
+	rays := oracle.SceneRays(sc, 0, oracle.BoundsOf(tris), opts)
+	ref := oracle.NewReference(tris, rays, 1e-9, math.Inf(1), opts)
+	b.Run("build", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			oracle.NewReference(tris, rays, 1e-9, math.Inf(1), opts)
+		}
+	})
+	b.Run("check-tree", func(b *testing.B) {
+		tree := kdtree.Build(tris, kdtree.BaseConfig(kdtree.AlgoInPlace))
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := ref.CheckTree(tree, "bench"); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -1,0 +1,93 @@
+package bvh
+
+import (
+	"math"
+	"sort"
+
+	"kdtune/internal/vecmath"
+)
+
+// RangeQuery returns the indices of all triangles whose bounds overlap the
+// query box, in ascending order. Unlike the kD-tree, a BVH references every
+// primitive exactly once, so no dedup is needed — which is exactly why this
+// is a useful cross-check structure for the kD-tree's duplicate-aware range
+// query (internal/oracle compares the two against a linear scan).
+func (t *Tree) RangeQuery(box vecmath.AABB) []int {
+	if len(t.nodes) == 0 {
+		return nil
+	}
+	var out []int
+	var stackArr [64]int32
+	stack := append(stackArr[:0], 0)
+	for len(stack) > 0 {
+		idx := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[idx]
+		if !n.bounds.Overlaps(box) {
+			continue
+		}
+		if n.right < 0 && n.count > 0 {
+			for i := n.start; i < n.start+n.count; i++ {
+				ti := t.prims[i]
+				if t.tris[ti].Bounds().Overlaps(box) {
+					out = append(out, int(ti))
+				}
+			}
+			continue
+		}
+		if n.right >= 0 {
+			stack = append(stack, idx+1, n.right)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NearestNeighbor returns the non-degenerate triangle closest to p (by
+// Euclidean distance to the triangle surface) and that distance; ok is
+// false when the tree holds no such triangle. Branch-and-bound: subtrees
+// whose boxes are farther than the incumbent are pruned, nearer child
+// first.
+func (t *Tree) NearestNeighbor(p vecmath.Vec3) (tri int, dist float64, ok bool) {
+	best := math.Inf(1)
+	bestTri := -1
+	if len(t.nodes) > 0 {
+		t.nnNode(0, p, &bestTri, &best)
+	}
+	if bestTri < 0 {
+		return 0, 0, false
+	}
+	return bestTri, best, true
+}
+
+func (t *Tree) nnNode(idx int32, p vecmath.Vec3, bestTri *int, best *float64) {
+	n := &t.nodes[idx]
+	if vecmath.DistToBox(p, n.bounds) >= *best {
+		return
+	}
+	if n.right < 0 && n.count > 0 {
+		for i := n.start; i < n.start+n.count; i++ {
+			ti := t.prims[i]
+			tr := t.tris[ti]
+			if tr.IsDegenerate() {
+				continue
+			}
+			if d := vecmath.DistToTriangle(p, tr); d < *best {
+				*best = d
+				*bestTri = int(ti)
+			}
+		}
+		return
+	}
+	if n.right < 0 {
+		return
+	}
+	left, right := idx+1, n.right
+	dl := vecmath.DistToBox(p, t.nodes[left].bounds)
+	dr := vecmath.DistToBox(p, t.nodes[right].bounds)
+	if dr < dl {
+		left, right = right, left
+	}
+	t.nnNode(left, p, bestTri, best)
+	t.nnNode(right, p, bestTri, best)
+}

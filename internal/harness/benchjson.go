@@ -1,0 +1,359 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"kdtune/internal/kdtree"
+	"kdtune/internal/scene"
+)
+
+// Machine-readable benchmark records: `kdbench -bench-json` writes one
+// BenchReport per run, and `kdbench -compare old.json new.json` diffs two
+// reports and fails on frame-time regressions. The JSON schema is documented
+// in DESIGN.md §8.
+
+// BenchSchema identifies the record format; bump on incompatible change.
+const BenchSchema = "kdtune-bench/v1"
+
+// HostInfo captures the platform a report was produced on — enough to
+// recognise when two reports are not comparable.
+type HostInfo struct {
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoVersion  string `json:"go_version"`
+	NumCPU     int    `json:"num_cpu"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+// Host describes the current process's platform.
+func Host() HostInfo {
+	return HostInfo{
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+}
+
+// BenchStat summarises a sample of durations in milliseconds. CoV is the
+// coefficient of variation (stddev/mean), the run-to-run noise indicator.
+type BenchStat struct {
+	MedianMS float64 `json:"median_ms"`
+	IQRMS    float64 `json:"iqr_ms"`
+	MeanMS   float64 `json:"mean_ms"`
+	CoV      float64 `json:"cov"`
+	N        int     `json:"n"`
+}
+
+// NewBenchStat computes the summary of a duration sample.
+func NewBenchStat(ds []time.Duration) BenchStat {
+	if len(ds) == 0 {
+		return BenchStat{}
+	}
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d) / float64(time.Millisecond)
+	}
+	sort.Float64s(xs)
+	s := Summarize(xs)
+	variance := 0.0
+	for _, x := range xs {
+		variance += (x - s.Mean) * (x - s.Mean)
+	}
+	variance /= float64(len(xs))
+	cov := 0.0
+	if s.Mean > 0 {
+		cov = math.Sqrt(variance) / s.Mean
+	}
+	return BenchStat{
+		MedianMS: s.Median, IQRMS: s.Q3 - s.Q1, MeanMS: s.Mean, CoV: cov, N: s.N,
+	}
+}
+
+// BenchSettings records the measurement protocol, so a -compare across
+// different protocols can be rejected.
+type BenchSettings struct {
+	Width         int   `json:"width"`
+	Height        int   `json:"height"`
+	Workers       int   `json:"workers"`
+	MaxIterations int   `json:"max_iterations"`
+	MeasureFrames int   `json:"measure_frames"`
+	WarmupFrames  int   `json:"warmup_frames"`
+	Seed          int64 `json:"seed"`
+}
+
+// BenchResult is one scene x algorithm cell: frame-time statistics under the
+// base configuration and under the tuned configuration, plus what the tuner
+// chose.
+type BenchResult struct {
+	Scene     string `json:"scene"`
+	Algorithm string `json:"algorithm"`
+	Triangles int    `json:"triangles"`
+	Dynamic   bool   `json:"dynamic"`
+
+	Base  BenchStat `json:"base_frame"`  // C_base total frame time
+	Frame BenchStat `json:"tuned_frame"` // tuned total frame time
+	Build BenchStat `json:"tuned_build"` // tuned build component
+	Rend  BenchStat `json:"tuned_render"`
+
+	TunedCI     int     `json:"tuned_ci"`
+	TunedCB     int     `json:"tuned_cb"`
+	TunedS      int     `json:"tuned_s"`
+	TunedR      int     `json:"tuned_r"`
+	ConvergedAt int     `json:"converged_at"` // -1 = never
+	Speedup     float64 `json:"speedup"`      // base median / tuned median
+}
+
+// Key identifies a result across reports.
+func (r BenchResult) Key() string { return r.Scene + "/" + r.Algorithm }
+
+// BenchReport is the top-level record `kdbench -bench-json` emits.
+type BenchReport struct {
+	Schema      string        `json:"schema"`
+	Tag         string        `json:"tag"`
+	CreatedUnix int64         `json:"created_unix"`
+	Host        HostInfo      `json:"host"`
+	Settings    BenchSettings `json:"settings"`
+	Results     []BenchResult `json:"results"`
+}
+
+// BenchOptions configures RunBench.
+type BenchOptions struct {
+	Scenes     []*scene.Scene     // default: all evaluation scenes
+	Algorithms []kdtree.Algorithm // default: the four paper builders
+	Settings   BenchSettings      // zero fields get defaults
+	Tag        string             // free-form label stored in the report
+	Progress   io.Writer          // optional per-cell progress lines
+}
+
+func (o BenchOptions) normalized() BenchOptions {
+	if len(o.Scenes) == 0 {
+		o.Scenes = scene.All()
+	}
+	if len(o.Algorithms) == 0 {
+		o.Algorithms = kdtree.Algorithms
+	}
+	s := &o.Settings
+	if s.Width <= 0 {
+		s.Width = 160
+	}
+	if s.Height <= 0 {
+		s.Height = s.Width * 3 / 4
+	}
+	if s.MaxIterations <= 0 {
+		s.MaxIterations = 60
+	}
+	if s.MeasureFrames <= 0 {
+		s.MeasureFrames = 9
+	}
+	if s.WarmupFrames < 0 {
+		s.WarmupFrames = 0
+	}
+	if s.WarmupFrames == 0 {
+		s.WarmupFrames = 2
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return o
+}
+
+// measureStats renders warmup+measure frames under a fixed configuration,
+// discards the warmup (cold caches, first-touch allocation), and summarises
+// the rest.
+func measureStats(rc RunConfig, s BenchSettings) (frame, build, rend BenchStat) {
+	rc.Search = SearchFixed
+	rc.MaxIterations = s.WarmupFrames + s.MeasureFrames
+	res := Run(rc)
+	frames := res.Frames
+	if len(frames) > s.WarmupFrames {
+		frames = frames[s.WarmupFrames:]
+	}
+	var totals, builds, rends []time.Duration
+	for _, f := range frames {
+		totals = append(totals, f.Total)
+		builds = append(builds, f.Build)
+		rends = append(rends, f.Render)
+	}
+	return NewBenchStat(totals), NewBenchStat(builds), NewBenchStat(rends)
+}
+
+// RunBench executes the benchmark protocol for every scene x algorithm pair:
+// measure C_base frame times (warmup discarded), tune with Nelder-Mead, then
+// re-measure under the tuned configuration.
+func RunBench(o BenchOptions) *BenchReport {
+	o = o.normalized()
+	s := o.Settings
+	rep := &BenchReport{
+		Schema:      BenchSchema,
+		Tag:         o.Tag,
+		CreatedUnix: time.Now().Unix(),
+		Host:        Host(),
+		Settings:    s,
+	}
+	for _, sc := range o.Scenes {
+		for _, algo := range o.Algorithms {
+			rc := RunConfig{
+				Scene: sc, Algorithm: algo, Workers: s.Workers,
+				Width: s.Width, Height: s.Height, Seed: s.Seed,
+			}
+			baseFrame, _, _ := measureStats(rc, s)
+
+			tune := rc
+			tune.Search = SearchNelderMead
+			tune.MaxIterations = s.MaxIterations
+			run := Run(tune)
+
+			tuned := rc
+			tuned.Base = run.BestConfig()
+			frame, build, rend := measureStats(tuned, s)
+
+			speedup := 0.0
+			if frame.MedianMS > 0 {
+				speedup = baseFrame.MedianMS / frame.MedianMS
+			}
+			res := BenchResult{
+				Scene: sc.Name, Algorithm: algo.String(),
+				Triangles: sc.NumTriangles(), Dynamic: sc.IsDynamic(),
+				Base: baseFrame, Frame: frame, Build: build, Rend: rend,
+				TunedCI: run.BestCI, TunedCB: run.BestCB,
+				TunedS: run.BestS, TunedR: run.BestR,
+				ConvergedAt: run.ConvergedAt,
+				Speedup:     speedup,
+			}
+			rep.Results = append(rep.Results, res)
+			if o.Progress != nil {
+				fmt.Fprintf(o.Progress, "bench %-12s %-10s base %.2fms tuned %.2fms (%.2fx) cfg=(%d,%d,%d,%d)\n",
+					res.Scene, res.Algorithm, res.Base.MedianMS, res.Frame.MedianMS,
+					res.Speedup, res.TunedCI, res.TunedCB, res.TunedS, res.TunedR)
+			}
+		}
+	}
+	return rep
+}
+
+// WriteBenchReport writes the report as indented JSON.
+func WriteBenchReport(w io.Writer, rep *BenchReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// WriteBenchReportFile writes the report to path.
+func WriteBenchReportFile(path string, rep *BenchReport) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBenchReport(f, rep); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadBenchReport parses a report and validates its schema tag.
+func ReadBenchReport(r io.Reader) (*BenchReport, error) {
+	var rep BenchReport
+	if err := json.NewDecoder(r).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("bench report: %w", err)
+	}
+	if rep.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench report: schema %q, want %q", rep.Schema, BenchSchema)
+	}
+	return &rep, nil
+}
+
+// ReadBenchReportFile reads a report from path.
+func ReadBenchReportFile(path string) (*BenchReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rep, err := ReadBenchReport(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rep, nil
+}
+
+// Regression is one cell whose tuned frame time got worse than the
+// threshold allows.
+type Regression struct {
+	Key            string  // scene/algorithm
+	OldMS, NewMS   float64 // tuned frame-time medians
+	Pct            float64 // (new-old)/old * 100
+	OldCoV, NewCoV float64
+}
+
+// CompareResult is the outcome of diffing two reports.
+type CompareResult struct {
+	ThresholdPct float64
+	Checked      int          // cells present in both reports
+	Missing      []string     // keys in old that new lacks
+	Regressions  []Regression // cells past the threshold
+}
+
+// OK reports whether the comparison passes: nothing missing, nothing
+// regressed.
+func (c CompareResult) OK() bool {
+	return len(c.Missing) == 0 && len(c.Regressions) == 0
+}
+
+// CompareBenchReports diffs the tuned frame-time medians of two reports.
+// A cell regresses when its median grows by more than thresholdPct percent;
+// cells present only in the old report are flagged as missing (a silently
+// dropped benchmark must fail the gate too). Cells only in the new report
+// are fine — coverage grew.
+func CompareBenchReports(old, new *BenchReport, thresholdPct float64) CompareResult {
+	c := CompareResult{ThresholdPct: thresholdPct}
+	newBy := make(map[string]BenchResult, len(new.Results))
+	for _, r := range new.Results {
+		newBy[r.Key()] = r
+	}
+	for _, o := range old.Results {
+		n, ok := newBy[o.Key()]
+		if !ok {
+			c.Missing = append(c.Missing, o.Key())
+			continue
+		}
+		c.Checked++
+		if o.Frame.MedianMS <= 0 {
+			continue
+		}
+		pct := (n.Frame.MedianMS - o.Frame.MedianMS) / o.Frame.MedianMS * 100
+		if pct > thresholdPct {
+			c.Regressions = append(c.Regressions, Regression{
+				Key: o.Key(), OldMS: o.Frame.MedianMS, NewMS: n.Frame.MedianMS,
+				Pct: pct, OldCoV: o.Frame.CoV, NewCoV: n.Frame.CoV,
+			})
+		}
+	}
+	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Pct > c.Regressions[j].Pct })
+	sort.Strings(c.Missing)
+	return c
+}
+
+// Format renders the comparison for humans.
+func (c CompareResult) Format(w io.Writer) {
+	fmt.Fprintf(w, "compared %d cells (threshold %+.1f%%)\n", c.Checked, c.ThresholdPct)
+	for _, k := range c.Missing {
+		fmt.Fprintf(w, "  MISSING    %-30s present in old report only\n", k)
+	}
+	for _, r := range c.Regressions {
+		fmt.Fprintf(w, "  REGRESSION %-30s %8.2fms -> %8.2fms (%+.1f%%, cov %.2f -> %.2f)\n",
+			r.Key, r.OldMS, r.NewMS, r.Pct, r.OldCoV, r.NewCoV)
+	}
+	if c.OK() {
+		fmt.Fprintln(w, "  no regressions")
+	}
+}

@@ -1,0 +1,172 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"kdtune/internal/kdtree"
+	"kdtune/internal/scene"
+)
+
+func TestNewBenchStat(t *testing.T) {
+	if s := NewBenchStat(nil); s != (BenchStat{}) {
+		t.Fatalf("empty sample: got %+v, want zero", s)
+	}
+	ds := []time.Duration{
+		4 * time.Millisecond, 2 * time.Millisecond, 6 * time.Millisecond,
+		8 * time.Millisecond, 10 * time.Millisecond,
+	}
+	s := NewBenchStat(ds)
+	if s.N != 5 || s.MedianMS != 6 || s.MeanMS != 6 {
+		t.Errorf("stat = %+v, want median 6, mean 6, n 5", s)
+	}
+	if s.IQRMS != 4 { // q1=4, q3=8 with linear interpolation
+		t.Errorf("IQR = %g, want 4", s.IQRMS)
+	}
+	wantCoV := math.Sqrt(8.0) / 6.0 // population stddev of {2,4,6,8,10} is sqrt(8)
+	if math.Abs(s.CoV-wantCoV) > 1e-12 {
+		t.Errorf("CoV = %g, want %g", s.CoV, wantCoV)
+	}
+}
+
+func syntheticReport(tag string, frameMS map[string]float64) *BenchReport {
+	rep := &BenchReport{Schema: BenchSchema, Tag: tag, Host: Host()}
+	for key, ms := range frameMS {
+		parts := strings.SplitN(key, "/", 2)
+		rep.Results = append(rep.Results, BenchResult{
+			Scene: parts[0], Algorithm: parts[1],
+			Frame: BenchStat{MedianMS: ms, N: 9},
+			Base:  BenchStat{MedianMS: ms * 1.3, N: 9},
+		})
+	}
+	return rep
+}
+
+func TestBenchReportRoundTrip(t *testing.T) {
+	rep := syntheticReport("trip", map[string]float64{"Sponza/in-place": 12.5})
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := WriteBenchReportFile(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBenchReportFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag != "trip" || len(got.Results) != 1 || got.Results[0].Frame.MedianMS != 12.5 {
+		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+}
+
+func TestReadBenchReportRejectsWrongSchema(t *testing.T) {
+	if _, err := ReadBenchReport(bytes.NewReader([]byte(`{"schema":"bogus/v9"}`))); err == nil {
+		t.Fatal("wrong schema accepted")
+	}
+	if _, err := ReadBenchReport(bytes.NewReader([]byte(`not json`))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+// TestCompareBenchReports covers the regression gate: a synthetic slowdown
+// past the threshold must fail the comparison (kdbench -compare turns a
+// non-OK result into a non-zero exit).
+func TestCompareBenchReports(t *testing.T) {
+	old := syntheticReport("old", map[string]float64{
+		"Sponza/in-place": 10, "Sponza/nested": 20, "Bunny/lazy": 5,
+	})
+
+	t.Run("regression detected", func(t *testing.T) {
+		new := syntheticReport("new", map[string]float64{
+			"Sponza/in-place": 12.5, // +25%: regressed
+			"Sponza/nested":   21,   // +5%: within threshold
+			"Bunny/lazy":      4,    // improved
+		})
+		c := CompareBenchReports(old, new, 10)
+		if c.OK() {
+			t.Fatal("25% slowdown passed the 10% gate")
+		}
+		if len(c.Regressions) != 1 || c.Regressions[0].Key != "Sponza/in-place" {
+			t.Fatalf("regressions = %+v, want exactly Sponza/in-place", c.Regressions)
+		}
+		if math.Abs(c.Regressions[0].Pct-25) > 1e-9 {
+			t.Errorf("Pct = %g, want 25", c.Regressions[0].Pct)
+		}
+		if c.Checked != 3 {
+			t.Errorf("Checked = %d, want 3", c.Checked)
+		}
+	})
+
+	t.Run("missing cell fails", func(t *testing.T) {
+		new := syntheticReport("new", map[string]float64{
+			"Sponza/in-place": 10, "Sponza/nested": 20,
+		})
+		c := CompareBenchReports(old, new, 10)
+		if c.OK() {
+			t.Fatal("dropped benchmark cell passed the gate")
+		}
+		if len(c.Missing) != 1 || c.Missing[0] != "Bunny/lazy" {
+			t.Fatalf("missing = %v, want [Bunny/lazy]", c.Missing)
+		}
+	})
+
+	t.Run("clean pass", func(t *testing.T) {
+		new := syntheticReport("new", map[string]float64{
+			"Sponza/in-place": 10.5, "Sponza/nested": 19, "Bunny/lazy": 5,
+			"Extra/in-place": 7, // new coverage is fine
+		})
+		c := CompareBenchReports(old, new, 10)
+		if !c.OK() {
+			t.Fatalf("clean comparison failed: %+v", c)
+		}
+	})
+
+	t.Run("format mentions failures", func(t *testing.T) {
+		new := syntheticReport("new", map[string]float64{
+			"Sponza/in-place": 30, "Sponza/nested": 20,
+		})
+		var buf bytes.Buffer
+		CompareBenchReports(old, new, 10).Format(&buf)
+		out := buf.String()
+		if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "MISSING") {
+			t.Fatalf("format output lacks REGRESSION/MISSING lines:\n%s", out)
+		}
+	})
+}
+
+// TestRunBenchSmall runs the full protocol at a tiny scale on one scene and
+// checks the report's shape.
+func TestRunBenchSmall(t *testing.T) {
+	rep := RunBench(BenchOptions{
+		Scenes:     []*scene.Scene{scene.WoodDoll()},
+		Algorithms: []kdtree.Algorithm{kdtree.AlgoInPlace},
+		Tag:        "unit",
+		Settings: BenchSettings{
+			Width: 48, MaxIterations: 6, MeasureFrames: 3, WarmupFrames: 1, Seed: 1,
+		},
+	})
+	if rep.Schema != BenchSchema || rep.Tag != "unit" {
+		t.Fatalf("report header wrong: %+v", rep)
+	}
+	if rep.Host.NumCPU <= 0 || rep.Host.GoVersion == "" {
+		t.Fatalf("host info incomplete: %+v", rep.Host)
+	}
+	if len(rep.Results) != 1 {
+		t.Fatalf("got %d results, want 1", len(rep.Results))
+	}
+	r := rep.Results[0]
+	if r.Key() != "WoodDoll/in-place" {
+		t.Errorf("key = %q", r.Key())
+	}
+	if r.Frame.N != 3 || r.Base.N != 3 {
+		t.Errorf("warmup discard wrong: frame n=%d base n=%d, want 3", r.Frame.N, r.Base.N)
+	}
+	if r.Frame.MedianMS <= 0 || r.Speedup <= 0 {
+		t.Errorf("degenerate stats: %+v", r)
+	}
+	if r.TunedCI < CIMin || r.TunedCI > CIMax {
+		t.Errorf("tuned CI %d outside [%d, %d]", r.TunedCI, CIMin, CIMax)
+	}
+}

@@ -2,6 +2,8 @@ package kdtree
 
 import (
 	"bytes"
+	"encoding/binary"
+	"math"
 	"math/rand"
 	"testing"
 
@@ -34,5 +36,149 @@ func FuzzReadTree(f *testing.F) {
 		probe := vecmath.NewRay(vecmath.V(-10, 0.1, 0.2), vecmath.V(1, 0.01, 0.02))
 		tree.Intersect(probe, 0, 1e18)
 		tree.Occluded(probe, 0, 1e18)
+	})
+}
+
+// fuzzTriangles decodes raw fuzzer bytes into a triangle soup: 9 float64
+// coordinates per triangle, bit-for-bit, so NaNs, infinities, denormals and
+// exactly-duplicated vertices all occur naturally.
+func fuzzTriangles(data []byte) []vecmath.Triangle {
+	const triBytes = 9 * 8
+	n := len(data) / triBytes
+	if n > 256 {
+		n = 256 // bound build cost per fuzz execution
+	}
+	tris := make([]vecmath.Triangle, n)
+	for i := range tris {
+		var c [9]float64
+		for j := range c {
+			c[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*triBytes+j*8:]))
+		}
+		tris[i] = vecmath.Tri(vecmath.V(c[0], c[1], c[2]), vecmath.V(c[3], c[4], c[5]), vecmath.V(c[6], c[7], c[8]))
+	}
+	return tris
+}
+
+func fuzzSeedBytes(tris ...vecmath.Triangle) []byte {
+	var buf bytes.Buffer
+	for _, tr := range tris {
+		for _, v := range []vecmath.Vec3{tr.A, tr.B, tr.C} {
+			for _, x := range []float64{v.X, v.Y, v.Z} {
+				var b [8]byte
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+				buf.Write(b[:])
+			}
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzBuild hammers every builder with adversarial triangle soups: whatever
+// geometry arrives, construction must terminate without panicking, the
+// resulting tree must satisfy the structural invariants, and closest-hit
+// queries on finite geometry must agree with the brute-force reference.
+func FuzzBuild(f *testing.F) {
+	nan, inf := math.NaN(), math.Inf(1)
+	f.Add([]byte{}, uint8(0), uint8(0))
+	f.Add(fuzzSeedBytes(
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+	), uint8(1), uint8(1))
+	// Zero-area: a point triangle and a collinear sliver.
+	f.Add(fuzzSeedBytes(
+		vecmath.Tri(vecmath.V(2, 2, 2), vecmath.V(2, 2, 2), vecmath.V(2, 2, 2)),
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 1, 1), vecmath.V(2, 2, 2)),
+	), uint8(2), uint8(2))
+	// Non-finite vertices mixed with valid geometry.
+	f.Add(fuzzSeedBytes(
+		vecmath.Tri(vecmath.V(nan, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+		vecmath.Tri(vecmath.V(inf, -inf, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+	), uint8(3), uint8(3))
+	// All-coplanar soup: every triangle in the z=0 plane, so every z split
+	// is degenerate and planar-triangle placement rules carry all the load.
+	coplanar := make([]vecmath.Triangle, 0, 8)
+	for i := 0; i < 8; i++ {
+		x := float64(i % 4)
+		y := float64(i / 4)
+		coplanar = append(coplanar, vecmath.Tri(
+			vecmath.V(x, y, 0), vecmath.V(x+1, y, 0), vecmath.V(x, y+1, 0)))
+	}
+	f.Add(fuzzSeedBytes(coplanar...), uint8(0), uint8(2))
+	// Many exact duplicates: forces unsplittable leaves past the termination
+	// criteria.
+	dup := vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0))
+	f.Add(fuzzSeedBytes(dup, dup, dup, dup, dup, dup, dup, dup), uint8(1), uint8(3))
+
+	f.Fuzz(func(t *testing.T, data []byte, algoPick, workerPick uint8) {
+		tris := fuzzTriangles(data)
+		algo := Algorithms[int(algoPick)%len(Algorithms)]
+		cfg := testConfig(algo)
+		cfg.Workers = 1 + int(workerPick%4)
+
+		tree := Build(tris, cfg)
+		tree.ExpandAll()
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("%v: invalid tree from fuzzed soup: %v", algo, err)
+		}
+
+		// The differential check only runs on well-conditioned geometry:
+		// finite and of moderate magnitude. Beyond that the brute-force
+		// reference itself produces numerical artifacts (Möller–Trumbore at
+		// 1e120-scale coordinates reports "hits" whose hit points are
+		// nowhere near the triangle), so disagreement proves nothing.
+		maxAbs := func(v vecmath.Vec3) float64 {
+			return math.Max(math.Abs(v.X), math.Max(math.Abs(v.Y), math.Abs(v.Z)))
+		}
+		wellConditioned := true
+		for _, tr := range tris {
+			b := tr.Bounds()
+			if !b.Min.IsFinite() || !b.Max.IsFinite() ||
+				math.Max(maxAbs(b.Min), maxAbs(b.Max)) > 1e6 {
+				wellConditioned = false
+				break
+			}
+		}
+		if !wellConditioned {
+			// Queries must still be panic-free whatever the geometry.
+			probe := vecmath.NewRay(vecmath.V(-1, 0.1, 0.2), vecmath.V(1, 0.3, 0.1))
+			tree.Intersect(probe, 1e-9, math.Inf(1))
+			tree.Occluded(probe, 1e-9, math.Inf(1))
+			return
+		}
+		// Differential probes: rays through the scene from varied origins.
+		// The tree must find a hit no farther than the brute-force closest
+		// (it may report a different triangle at the same distance).
+		for i, probe := range []vecmath.Ray{
+			vecmath.NewRay(vecmath.V(-3, 0.25, 0.25), vecmath.V(1, 0.01, 0.02)),
+			vecmath.NewRay(vecmath.V(0.3, 0.3, 5), vecmath.V(0, 0, -1)),
+			vecmath.NewRay(vecmath.V(0.1, -4, 0), vecmath.V(0.02, 1, 0.01)),
+		} {
+			want, wantHit := bruteForceClosest(tris, probe, 1e-9, math.Inf(1))
+			if wantHit {
+				// Trust the reference hit only if it is geometrically
+				// plausible: sliver triangles near the determinant epsilon
+				// can yield hit points far off the actual triangle.
+				p := probe.At(want.T)
+				box := tris[want.Tri].Bounds()
+				if !box.Grow(1e-6 * (1 + box.Diagonal().Len() + maxAbs(p))).Contains(p) {
+					continue
+				}
+			}
+			got, gotHit := tree.Intersect(probe, 1e-9, math.Inf(1))
+			if gotHit != wantHit {
+				t.Fatalf("%v: probe %d hit=%v, brute force hit=%v", algo, i, gotHit, wantHit)
+			}
+			if !gotHit {
+				continue
+			}
+			tol := 1e-9 * math.Max(1, math.Abs(want.T))
+			if got.T > want.T+tol || got.T < want.T-tol {
+				t.Fatalf("%v: probe %d t=%v (tri %d), brute force t=%v (tri %d)",
+					algo, i, got.T, got.Tri, want.T, want.Tri)
+			}
+			if !tree.Occluded(probe, 1e-9, math.Inf(1)) {
+				t.Fatalf("%v: probe %d Occluded=false despite closest hit at t=%v", algo, i, got.T)
+			}
+		}
 	})
 }

@@ -169,11 +169,22 @@ func ReadTree(r io.Reader) (*Tree, error) {
 		return nil, err
 	}
 	const maxCount = 1 << 31
+	// Element counts come from the (possibly corrupt) input, so slices are
+	// grown while reading rather than pre-allocated: a bogus multi-billion
+	// count then fails with EOF after a few appends instead of attempting a
+	// monstrous up-front allocation.
+	const maxPrealloc = 1 << 16
+	prealloc := func(n uint64) int {
+		if n > maxPrealloc {
+			return maxPrealloc
+		}
+		return int(n)
+	}
 	if numTris > maxCount {
 		return nil, fmt.Errorf("kdtree: implausible triangle count %d", numTris)
 	}
-	t := &Tree{tris: make([]vecmath.Triangle, numTris)}
-	for i := range t.tris {
+	t := &Tree{tris: make([]vecmath.Triangle, 0, prealloc(numTris))}
+	for i := uint64(0); i < numTris; i++ {
 		a, err := readVec()
 		if err != nil {
 			return nil, err
@@ -186,7 +197,7 @@ func ReadTree(r io.Reader) (*Tree, error) {
 		if err != nil {
 			return nil, err
 		}
-		t.tris[i] = vecmath.Tri(a, b, c)
+		t.tris = append(t.tris, vecmath.Tri(a, b, c))
 	}
 	if t.bounds.Min, err = readVec(); err != nil {
 		return nil, err
@@ -202,8 +213,8 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	if numNodes > maxCount {
 		return nil, fmt.Errorf("kdtree: implausible node count %d", numNodes)
 	}
-	t.nodes = make([]node, numNodes)
-	for i := range t.nodes {
+	t.nodes = make([]node, 0, prealloc(numNodes))
+	for i := 0; uint64(i) < numNodes; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
 			return nil, err
@@ -249,10 +260,32 @@ func ReadTree(r io.Reader) (*Tree, error) {
 				return nil, fmt.Errorf("kdtree: node %d: right child %d violates DFS order", i, right)
 			}
 		}
-		t.nodes[i] = node{
+		t.nodes = append(t.nodes, node{
 			kind: nodeKind(kind), axis: vecmath.Axis(axis), pos: pos,
 			left: int32(left), right: int32(right),
 			triStart: int32(triStart), triCount: int32(triCount),
+		})
+	}
+
+	// The DFS-order check above makes the node graph acyclic but still
+	// admits DAGs: two inner nodes may share a child. Traversal cost over a
+	// shared-child chain grows exponentially in its length (every path is
+	// walked separately), so a kilobyte of crafted input could spin a query
+	// for hours — found by fuzzing. Requiring a unique parent per node
+	// restores the tree shape and with it the linear traversal bound.
+	parent := make([]int32, len(t.nodes))
+	for i := range parent {
+		parent[i] = -1
+	}
+	for i, n := range t.nodes {
+		if n.kind != kindInner {
+			continue
+		}
+		for _, c := range [2]int32{n.left, n.right} {
+			if parent[c] != -1 {
+				return nil, fmt.Errorf("kdtree: node %d has multiple parents (%d and %d)", c, parent[c], i)
+			}
+			parent[c] = int32(i)
 		}
 	}
 
@@ -263,8 +296,8 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	if numLeafTris > maxCount {
 		return nil, fmt.Errorf("kdtree: implausible leaf reference count %d", numLeafTris)
 	}
-	t.leafTris = make([]int32, numLeafTris)
-	for i := range t.leafTris {
+	t.leafTris = make([]int32, 0, prealloc(numLeafTris))
+	for i := uint64(0); i < numLeafTris; i++ {
 		v, err := readU32()
 		if err != nil {
 			return nil, err
@@ -272,7 +305,7 @@ func ReadTree(r io.Reader) (*Tree, error) {
 		if uint64(v) >= numTris {
 			return nil, fmt.Errorf("kdtree: leaf reference %d out of range", v)
 		}
-		t.leafTris[i] = int32(v)
+		t.leafTris = append(t.leafTris, int32(v))
 	}
 	for i, n := range t.nodes {
 		if n.kind == kindLeaf && uint64(n.triStart)+uint64(n.triCount) > numLeafTris {

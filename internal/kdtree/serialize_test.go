@@ -2,9 +2,11 @@ package kdtree
 
 import (
 	"bytes"
+	"encoding/binary"
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"kdtune/internal/vecmath"
 )
@@ -126,5 +128,72 @@ func TestSerializePreservesConfig(t *testing.T) {
 	}
 	if back.cfg.CI != 42 || back.cfg.CB != 7 || back.cfg.Algorithm != AlgoNested {
 		t.Fatalf("config drifted: %+v", back.cfg)
+	}
+}
+
+// TestReadTreeRejectsSharedChildren pins a fuzzer finding: the DFS-order
+// check alone admits DAGs where inner nodes share a child, and traversal
+// cost over a shared-child chain grows exponentially (every root-to-leaf
+// path is walked separately) — a denial-of-service via a few hundred bytes.
+func TestReadTreeRejectsSharedChildren(t *testing.T) {
+	var buf bytes.Buffer
+	w32 := func(v uint32) { binary.Write(&buf, binary.LittleEndian, v) }
+	w64 := func(v uint64) { binary.Write(&buf, binary.LittleEndian, v) }
+	wf := func(v float64) { binary.Write(&buf, binary.LittleEndian, math.Float64bits(v)) }
+	node := func(kind, axis byte, pos float64, left, right, triStart, triCount uint32) {
+		buf.WriteByte(kind)
+		buf.WriteByte(axis)
+		wf(pos)
+		w32(left)
+		w32(right)
+		w32(triStart)
+		w32(triCount)
+	}
+
+	buf.WriteString("KDTN")
+	w32(1) // version
+	w64(0) // no triangles
+	for i := 0; i < 6; i++ {
+		wf(0) // bounds
+	}
+	w64(2)                      // two nodes:
+	node(0, 0, 0.5, 1, 1, 0, 0) // inner whose children are BOTH node 1
+	node(1, 0, 0, 0, 0, 0, 0)   // leaf
+	w64(0)                      // no leaf references
+	w32(0)                      // root
+	w32(0)                      // config: algorithm
+	wf(17)
+	wf(10)
+	w32(3)
+	w32(4096)
+
+	if _, err := ReadTree(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Fatal("tree with a shared child accepted")
+	}
+}
+
+// TestReadTreeHugeCountFailsFast pins the companion fuzzer finding: element
+// counts are attacker-controlled, so the reader must not pre-allocate from
+// them (a declared 2^31 triangles would reserve ~150 GB before noticing the
+// stream is 20 bytes long).
+func TestReadTreeHugeCountFailsFast(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("KDTN")
+	binary.Write(&buf, binary.LittleEndian, uint32(1))
+	binary.Write(&buf, binary.LittleEndian, uint64(1<<31)) // numTris at the cap
+	buf.WriteString("short")
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := ReadTree(bytes.NewReader(buf.Bytes()))
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("truncated huge-count input accepted")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("huge declared count did not fail fast")
 	}
 }

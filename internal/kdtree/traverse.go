@@ -24,6 +24,22 @@ type stackEntry struct {
 	tMin, tMax float64
 }
 
+// boundarySlack widens the tSplit-vs-interval comparisons during traversal.
+// The interval endpoints and tSplit are rounded independently (the AABB clip
+// multiplies by a precomputed reciprocal, the traversal divides, and
+// adjacent split planes round on their own), so orderings that hold in
+// exact arithmetic can invert by a few ulps. Without the slack, a cell the
+// ray only grazes at a boundary point can be skipped outright — the
+// differential ray oracle caught a planar triangle lying exactly on a split
+// plane whose hit was lost because tSplit landed 1 ulp below curMin. The
+// slack is relative (~45 ulps), far below any geometric feature size, and
+// only ever causes a few extra node visits right at cell boundaries.
+const boundarySlack = 1e-14
+
+func splitSlack(curMin, curMax float64) float64 {
+	return boundarySlack * math.Max(math.Abs(curMin), math.Abs(curMax))
+}
+
 // Intersect finds the closest intersection of r with the scene in the
 // parametric interval (tMin, tMax). It is safe for concurrent use; on lazy
 // trees the first ray to reach a suspended node expands it (all other rays
@@ -56,8 +72,21 @@ func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64)
 
 	for {
 		if found && best.T < curMin {
-			// Everything left to visit is farther than the known hit.
-			break
+			// This subtree lies entirely beyond the known closest hit —
+			// skip it and move to the next pending one. The stack is NOT
+			// monotone in tMin (an in-plane graze pushes the far child
+			// with the full parent interval, so a near entry can sit below
+			// a farther one), so breaking out entirely here would abandon
+			// closer pending subtrees — a differential-oracle finding on a
+			// z-symmetric scene with a ray lying exactly in the symmetry
+			// plane.
+			if len(stack) == 0 {
+				break
+			}
+			top := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			node, curMin, curMax = top.node, top.tMin, top.tMax
+			continue
 		}
 		n := &t.nodes[node]
 		switch n.kind {
@@ -83,15 +112,18 @@ func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64)
 				continue
 			}
 			tSplit := (n.pos - o) / d
-			// Boundary comparisons are strict: a hit exactly on the split
-			// plane (tSplit == curMin or curMax) lies in the degenerate
-			// interval of one child, and planar primitives live in exactly
-			// one of them — both children must be visited or the hit is
-			// lost (found by differential testing against the BVH).
+			// Boundary comparisons carry a conservative slack: a hit
+			// exactly on the split plane (tSplit == curMin or curMax) lies
+			// in the degenerate interval of one child, planar primitives
+			// live in exactly one of them, and independent rounding can
+			// push tSplit a few ulps outside the interval — both children
+			// must be visited or the hit is lost (found by differential
+			// testing; see boundarySlack).
+			slack := splitSlack(curMin, curMax)
 			switch {
-			case tSplit > curMax || tSplit < 0:
+			case tSplit > curMax+slack || tSplit < 0:
 				node = near
-			case tSplit < curMin:
+			case tSplit < curMin-slack:
 				node = far
 			default:
 				stack = append(stack, stackEntry{far, tSplit, curMax})
@@ -169,15 +201,12 @@ func (t *Tree) occludedRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) 
 				continue
 			}
 			tSplit := (n.pos - o) / d
-			// Boundary comparisons are strict: a hit exactly on the split
-			// plane (tSplit == curMin or curMax) lies in the degenerate
-			// interval of one child, and planar primitives live in exactly
-			// one of them — both children must be visited or the hit is
-			// lost (found by differential testing against the BVH).
+			// Same boundary slack as Intersect (see boundarySlack).
+			slack := splitSlack(curMin, curMax)
 			switch {
-			case tSplit > curMax || tSplit < 0:
+			case tSplit > curMax+slack || tSplit < 0:
 				node = near
-			case tSplit < curMin:
+			case tSplit < curMin-slack:
 				node = far
 			default:
 				stack = append(stack, stackEntry{far, tSplit, curMax})

@@ -1,0 +1,76 @@
+package kdtree
+
+import (
+	"kdtune/internal/vecmath"
+)
+
+// NodeView is the read-only view of one tree node handed to Walk visitors.
+// Exactly one of the three kinds holds per node: inner (Leaf == false,
+// Deferred == false, Axis/Pos valid), leaf (Leaf == true, Tris valid) or
+// suspended lazy subtree (Deferred == true, Tris holds the pending primitive
+// indices). Slices are shared with the tree and must not be modified.
+type NodeView struct {
+	Depth  int
+	Region vecmath.AABB // node cell, derived from the root bounds and splits
+
+	Leaf     bool
+	Deferred bool
+
+	// Inner nodes only.
+	Axis vecmath.Axis
+	Pos  float64
+
+	// Leaf and deferred nodes: the triangle indices held by the node.
+	Tris []int32
+}
+
+// Walk visits every node in depth-first pre-order, threading each node's
+// spatial region down from the root bounds. The visitor returns false to
+// prune the subtree below an inner node (the return value is ignored for
+// leaves). Expanded lazy subtrees are descended into transparently;
+// suspended ones are reported as Deferred without forcing expansion — call
+// ExpandAll first for a fully structural view.
+//
+// Walk is the support surface for external validators (internal/oracle):
+// everything a structural invariant needs — cell geometry, split planes and
+// leaf contents — is exposed without reaching into the arena representation.
+func (t *Tree) Walk(fn func(NodeView) bool) {
+	if len(t.nodes) == 0 {
+		return
+	}
+	t.walkNode(t.root, t.bounds, 0, fn)
+}
+
+func (t *Tree) walkNode(idx int32, region vecmath.AABB, depth int, fn func(NodeView) bool) {
+	n := &t.nodes[idx]
+	switch n.kind {
+	case kindInner:
+		v := NodeView{Depth: depth, Region: region, Axis: n.axis, Pos: n.pos}
+		if !fn(v) {
+			return
+		}
+		lb, rb := region.Split(n.axis, n.pos)
+		t.walkNode(n.left, lb, depth+1, fn)
+		t.walkNode(n.right, rb, depth+1, fn)
+
+	case kindLeaf:
+		fn(NodeView{
+			Depth: depth, Region: region, Leaf: true,
+			Tris: t.leafTris[n.triStart : n.triStart+n.triCount],
+		})
+
+	case kindDeferred:
+		d := t.deferred[n.deferred]
+		if sub := d.sub.Load(); sub != nil {
+			// Expanded: continue into the subtree over this node's region.
+			sub.walkNode(sub.root, region, depth, fn)
+			return
+		}
+		fn(NodeView{Depth: depth, Region: region, Deferred: true, Tris: d.tris})
+	}
+}
+
+// UsesClipping reports whether the tree was built with Wald–Havran perfect
+// split re-clipping (Config.UseClipping). External validators need this to
+// pick the right containment predicate for leaf contents.
+func (t *Tree) UsesClipping() bool { return t.cfg.UseClipping }

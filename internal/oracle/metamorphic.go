@@ -1,0 +1,167 @@
+package oracle
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+
+	"kdtune/internal/kdtree"
+	"kdtune/internal/vecmath"
+)
+
+// Metamorphic properties: transformations of the input that must not change
+// what rays hit. Each check builds fresh trees, so these are the expensive
+// oracles — callers pick budgets via Options.
+
+// CheckPermutationInvariance builds one tree over tris and one over a
+// seeded random permutation of tris, then requires identical hit results
+// for every ray (indices mapped through the permutation; equal-t duplicate
+// surfaces may swap indices). Triangle data is bit-identical in both
+// builds, so matching triangles must produce bitwise-equal t.
+func CheckPermutationInvariance(tris []vecmath.Triangle, cfg kdtree.Config, rays []vecmath.Ray, o Options) error {
+	o = o.normalized()
+	perm := rand.New(rand.NewSource(o.Seed + 0x5eed)).Perm(len(tris))
+	shuffled := make([]vecmath.Triangle, len(tris))
+	for i, p := range perm {
+		shuffled[p] = tris[i] // triangle i moves to slot perm[i]
+	}
+
+	a := kdtree.Build(tris, cfg)
+	b := kdtree.Build(shuffled, cfg)
+
+	tMin, tMax := defaultInterval()
+	var m mismatch
+	for i, r := range rays {
+		ha, hitA := a.Intersect(r, tMin, tMax)
+		hb, hitB := b.Intersect(r, tMin, tMax)
+		switch {
+		case hitA != hitB:
+			m.addf("ray %d %v: original hit=%v, permuted hit=%v", i, r, hitA, hitB)
+		case hitA:
+			if perm[ha.Tri] == hb.Tri {
+				if ha.T != hb.T {
+					m.addf("ray %d: same triangle, different t: %.17g vs %.17g", i, ha.T, hb.T)
+				}
+			} else if math.Abs(ha.T-hb.T) > o.tolerance(ha.T) {
+				m.addf("ray %d: tri %d t=%.17g vs permuted tri %d t=%.17g (not a duplicate surface)",
+					i, ha.Tri, ha.T, hb.Tri, hb.T)
+			}
+		}
+		if a.Occluded(r, tMin, tMax) != b.Occluded(r, tMin, tMax) {
+			m.addf("ray %d %v: occlusion differs between original and permuted build", i, r)
+		}
+	}
+	return m.err("permutation invariance")
+}
+
+// CheckTransformInvariance applies a rigid-body (or uniformly scaled)
+// transform to the scene and the rays together, rebuilds, and checks two
+// things:
+//
+//  1. differential exactness in the transformed frame: the transformed tree
+//     must agree with a linear scan over the transformed triangles (this
+//     part is floating-point-exact, like CheckTree), and
+//  2. invariance across frames: on rays whose original-frame result is
+//     stable (no second surface within epsilon of the closest hit), the
+//     hit/miss verdict must survive the transform, and hit distances must
+//     match up to scale within a loose tolerance (coordinate permutation
+//     changes summation order, so exact equality is not required).
+func CheckTransformInvariance(tris []vecmath.Triangle, cfg kdtree.Config, rays []vecmath.Ray, m4 vecmath.Mat4, scale float64, o Options) error {
+	o = o.normalized()
+	if scale <= 0 {
+		scale = 1
+	}
+	moved := make([]vecmath.Triangle, len(tris))
+	for i, tr := range tris {
+		moved[i] = tr.Transform(m4)
+	}
+	movedRays := make([]vecmath.Ray, len(rays))
+	for i, r := range rays {
+		movedRays[i] = vecmath.Ray{Origin: m4.ApplyPoint(r.Origin), Dir: m4.ApplyDir(r.Dir)}
+	}
+
+	tMin, tMax := defaultInterval()
+	refOrig := NewReference(tris, rays, tMin, tMax, o)
+	refMoved := NewReference(moved, movedRays, tMin, tMax, o)
+
+	tree := kdtree.Build(moved, cfg)
+	if err := refMoved.CheckTree(tree, "transformed frame"); err != nil {
+		return err
+	}
+
+	// Loose cross-frame tolerance: rotation reorders coordinate sums, so
+	// allow ~1e-6 relative on distances.
+	const crossEps = 1e-6
+	var mm mismatch
+	for i := range rays {
+		if !refOrig.Stable(i) {
+			continue
+		}
+		ho := refOrig.hits[i]
+		hm := refMoved.hits[i]
+		if ho.hit != hm.hit {
+			mm.addf("ray %d: stable original hit=%v (t=%g) but transformed hit=%v", i, ho.hit, ho.t, hm.hit)
+			continue
+		}
+		if ho.hit {
+			// Ray.Dir is transformed with the same scale as the geometry, so
+			// the parametric t is scale-invariant.
+			if d := math.Abs(hm.t - ho.t); d > crossEps*math.Max(1, math.Abs(ho.t)) {
+				mm.addf("ray %d: stable hit moved from t=%.17g to t=%.17g under rigid transform", i, ho.t, hm.t)
+			}
+		}
+	}
+	return mm.err("transform invariance")
+}
+
+// CheckWorkerInvariance builds the same configuration at each worker count
+// and requires bitwise-identical serialized trees — the determinism
+// guarantee of DESIGN.md §7, restated as a metamorphic property over real
+// scenes. Lazy trees are expanded before serialization (Serialize inlines
+// deferred subtrees, and expansion order must not leak into the bytes).
+func CheckWorkerInvariance(tris []vecmath.Triangle, cfg kdtree.Config, workerCounts []int) error {
+	var wantSum uint64
+	var wantWorkers int
+	for i, w := range workerCounts {
+		c := cfg
+		c.Workers = w
+		tree := kdtree.Build(tris, c)
+		h := fnv.New64a()
+		if err := tree.Serialize(h); err != nil {
+			return fmt.Errorf("oracle: worker invariance: serialize at workers=%d: %w", w, err)
+		}
+		sum := h.Sum64()
+		if i == 0 {
+			wantSum, wantWorkers = sum, w
+			continue
+		}
+		if sum != wantSum {
+			return fmt.Errorf("oracle: worker invariance: %v tree bytes differ between workers=%d and workers=%d",
+				cfg.Algorithm, wantWorkers, w)
+		}
+	}
+	return nil
+}
+
+// CheckPairwise cross-checks the hit vectors of two trees built by
+// different algorithms over the same triangles: identical hit/miss verdicts
+// and t within epsilon (different builders may legitimately pick different
+// duplicate indices, and leaf shapes alter nothing about geometry).
+func CheckPairwise(a, b *kdtree.Tree, labelA, labelB string, rays []vecmath.Ray, o Options) error {
+	o = o.normalized()
+	tMin, tMax := defaultInterval()
+	var m mismatch
+	for i, r := range rays {
+		ha, hitA := a.Intersect(r, tMin, tMax)
+		hb, hitB := b.Intersect(r, tMin, tMax)
+		switch {
+		case hitA != hitB:
+			m.addf("ray %d %v: %s hit=%v, %s hit=%v", i, r, labelA, hitA, labelB, hitB)
+		case hitA && math.Abs(ha.T-hb.T) > o.tolerance(ha.T):
+			m.addf("ray %d: %s t=%.17g (tri %d) vs %s t=%.17g (tri %d)",
+				i, labelA, ha.T, ha.Tri, labelB, hb.T, hb.Tri)
+		}
+	}
+	return m.err(fmt.Sprintf("pairwise %s vs %s", labelA, labelB))
+}

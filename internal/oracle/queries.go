@@ -1,0 +1,166 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+
+	"kdtune/internal/bvh"
+	"kdtune/internal/kdtree"
+	"kdtune/internal/vecmath"
+)
+
+// Query oracles: the kD-tree's range and nearest-neighbor queries must
+// agree with both a linear scan and the independently implemented BVH
+// (internal/bvh) over the same triangles.
+
+// RandomBoxes generates n deterministic query boxes inside (and straddling
+// the edges of) bounds, with volumes spanning several orders of magnitude.
+func RandomBoxes(bounds vecmath.AABB, n int, seed int64) []vecmath.AABB {
+	if n <= 0 || bounds.IsEmpty() {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	d := bounds.Diagonal()
+	scale := math.Max(d.X, math.Max(d.Y, d.Z))
+	if scale == 0 {
+		scale = 1
+	}
+	out := make([]vecmath.AABB, n)
+	for i := range out {
+		c := vecmath.V(
+			bounds.Min.X+r.Float64()*d.X,
+			bounds.Min.Y+r.Float64()*d.Y,
+			bounds.Min.Z+r.Float64()*d.Z,
+		)
+		// Half-extent from 0.1% to ~half the scene scale.
+		h := scale * math.Pow(10, -3+2.7*r.Float64()) / 2
+		he := vecmath.V(h*(0.5+r.Float64()), h*(0.5+r.Float64()), h*(0.5+r.Float64()))
+		out[i] = vecmath.NewAABB(c.Sub(he), c.Add(he))
+	}
+	return out
+}
+
+// RandomPoints generates n deterministic query points in the grown bounds
+// (some outside the geometry, exercising far-field nearest-neighbor).
+func RandomPoints(bounds vecmath.AABB, n int, seed int64) []vecmath.Vec3 {
+	if n <= 0 || bounds.IsEmpty() {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	grown := bounds.Grow(0.3 * (1 + bounds.Diagonal().Len()))
+	d := grown.Diagonal()
+	out := make([]vecmath.Vec3, n)
+	for i := range out {
+		out[i] = vecmath.V(
+			grown.Min.X+r.Float64()*d.X,
+			grown.Min.Y+r.Float64()*d.Y,
+			grown.Min.Z+r.Float64()*d.Z,
+		)
+	}
+	return out
+}
+
+// CheckQueries cross-checks RangeQuery and NearestNeighbor on the kD-tree
+// against the BVH and a linear scan. Triangles without finite bounds are
+// excluded from the linear reference (no spatial structure indexes them).
+func CheckQueries(tree *kdtree.Tree, boxes []vecmath.AABB, points []vecmath.Vec3, o Options) error {
+	o = o.normalized()
+	tris := tree.Triangles()
+	bv := bvh.Build(tris, bvh.Config{})
+
+	var m mismatch
+	for bi, box := range boxes {
+		var linear []int
+		for i, tr := range tris {
+			b := tr.Bounds()
+			if !b.Min.IsFinite() || !b.Max.IsFinite() {
+				continue
+			}
+			if b.Overlaps(box) {
+				linear = append(linear, i)
+			}
+		}
+		kd := tree.RangeQuery(box)
+		bq := bv.RangeQuery(box)
+		if !equalInts(kd, linear) {
+			m.addf("box %d %v: kdtree range %d tris, linear %d tris (first divergence %v)",
+				bi, box, len(kd), len(linear), firstDiff(kd, linear))
+		}
+		if !equalInts(bq, linear) {
+			m.addf("box %d %v: bvh range %d tris, linear %d tris (first divergence %v)",
+				bi, box, len(bq), len(linear), firstDiff(bq, linear))
+		}
+	}
+
+	for pi, p := range points {
+		linTri, linDist := -1, math.Inf(1)
+		for i, tr := range tris {
+			if tr.IsDegenerate() {
+				continue
+			}
+			if d := vecmath.DistToTriangle(p, tr); d < linDist {
+				linDist, linTri = d, i
+			}
+		}
+		kdTri, kdDist, kdOK := tree.NearestNeighbor(p)
+		bvTri, bvDist, bvOK := bv.NearestNeighbor(p)
+		if kdOK != (linTri >= 0) || bvOK != (linTri >= 0) {
+			m.addf("point %d %v: found flags disagree (kd=%v bvh=%v linear=%v)", pi, p, kdOK, bvOK, linTri >= 0)
+			continue
+		}
+		if linTri < 0 {
+			continue
+		}
+		tol := o.tolerance(linDist)
+		if math.Abs(kdDist-linDist) > tol {
+			m.addf("point %d %v: kdtree NN dist %.17g (tri %d), linear %.17g (tri %d)",
+				pi, p, kdDist, kdTri, linDist, linTri)
+		}
+		if math.Abs(bvDist-linDist) > tol {
+			m.addf("point %d %v: bvh NN dist %.17g (tri %d), linear %.17g (tri %d)",
+				pi, p, bvDist, bvTri, linDist, linTri)
+		}
+		// Whatever index was returned must actually be at the reported
+		// distance (ties between equidistant triangles may pick either).
+		if kdTri < 0 || kdTri >= len(tris) || vecmath.DistToTriangle(p, tris[kdTri]) != kdDist {
+			m.addf("point %d: kdtree NN tri %d does not reproduce dist %g", pi, kdTri, kdDist)
+		}
+	}
+	return m.err("query oracle")
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// firstDiff reports the first index present in exactly one of the sorted
+// slices, for error messages.
+func firstDiff(a, b []int) int {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			i++
+			j++
+		case a[i] < b[j]:
+			return a[i]
+		default:
+			return b[j]
+		}
+	}
+	if i < len(a) {
+		return a[i]
+	}
+	if j < len(b) {
+		return b[j]
+	}
+	return -1
+}

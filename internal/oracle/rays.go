@@ -1,0 +1,90 @@
+package oracle
+
+import (
+	"math"
+	"math/rand"
+
+	"kdtune/internal/render"
+	"kdtune/internal/scene"
+	"kdtune/internal/vecmath"
+)
+
+// RandomRays generates n deterministic randomized rays exercising a bounds
+// volume from angles a camera never takes: half originate outside the
+// (grown) bounds aiming at random interior targets, half originate inside
+// with uniform random directions. Degenerate direction draws are rejected.
+func RandomRays(bounds vecmath.AABB, n int, seed int64) []vecmath.Ray {
+	if n <= 0 || bounds.IsEmpty() {
+		return nil
+	}
+	r := rand.New(rand.NewSource(seed))
+	// Grow flat scenes into a volume so origins don't collapse onto the
+	// geometry plane.
+	diag := bounds.Diagonal().Len()
+	if diag == 0 {
+		diag = 1
+	}
+	inner := bounds.Grow(1e-3 * diag)
+	outer := bounds.Grow(0.7 * diag)
+
+	inBox := func(b vecmath.AABB) vecmath.Vec3 {
+		d := b.Diagonal()
+		return vecmath.V(
+			b.Min.X+r.Float64()*d.X,
+			b.Min.Y+r.Float64()*d.Y,
+			b.Min.Z+r.Float64()*d.Z,
+		)
+	}
+	unitDir := func() vecmath.Vec3 {
+		for {
+			v := vecmath.V(r.NormFloat64(), r.NormFloat64(), r.NormFloat64())
+			if l := v.Len(); l > 1e-6 {
+				return v.Scale(1 / l)
+			}
+		}
+	}
+
+	rays := make([]vecmath.Ray, 0, n)
+	for len(rays) < n {
+		var ray vecmath.Ray
+		if len(rays)%2 == 0 {
+			from := inBox(outer)
+			to := inBox(inner)
+			d := to.Sub(from)
+			if d.Len() < 1e-9 {
+				continue
+			}
+			ray = vecmath.NewRay(from, d)
+		} else {
+			ray = vecmath.NewRay(inBox(inner), unitDir())
+		}
+		rays = append(rays, ray)
+	}
+	return rays
+}
+
+// SceneRays assembles the oracle's ray set for a scene frame: camera rays
+// on the paper's viewing frustum plus randomized rays through the scene
+// bounds.
+func SceneRays(sc *scene.Scene, frame int, bounds vecmath.AABB, o Options) []vecmath.Ray {
+	o = o.normalized()
+	rays := render.CameraRays(sc.ViewAt(frame), 4.0/3.0, o.CameraRays)
+	return append(rays, RandomRays(bounds, o.RandomRays, o.Seed)...)
+}
+
+// BoundsOf returns the union of finite triangle bounds — the same world
+// bounds the builders compute.
+func BoundsOf(tris []vecmath.Triangle) vecmath.AABB {
+	b := vecmath.EmptyAABB()
+	for _, tr := range tris {
+		tb := tr.Bounds()
+		if tb.Min.IsFinite() && tb.Max.IsFinite() {
+			b = b.Union(tb)
+		}
+	}
+	return b
+}
+
+// defaultInterval is the parametric interval the renderer uses for primary
+// rays; the oracle adopts it so differential results transfer.
+func defaultInterval() (float64, float64) { return 1e-9, math.Inf(1) }

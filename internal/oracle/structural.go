@@ -1,0 +1,191 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"kdtune/internal/kdtree"
+	"kdtune/internal/sah"
+	"kdtune/internal/vecmath"
+)
+
+// expItem mirrors the builders' item: a triangle index plus its bounds
+// narrowed to the node currently holding it.
+type expItem struct {
+	tri    int32
+	bounds vecmath.AABB
+}
+
+// CheckStructure runs the structural oracle against a tree built over tris
+// with params (the SAH parameters the build used):
+//
+//  1. kdtree.Validate's invariants (tree-shaped graph, no lost triangles,
+//     no stray leaf references),
+//  2. exact leaf coverage: replaying the split planes from the root with
+//     the builders' partition semantics — narrow each triangle's AABB (or
+//     clipped AABB, for clipping builds) into every child cell it overlaps,
+//     planar primitives to the left — must reproduce every leaf's triangle
+//     set exactly (no missing, no extra, order ignored),
+//  3. SAH cost: the cost recomputed node-by-node from the public Walk must
+//     equal Tree.SAHCost within floating-point tolerance.
+//
+// Lazy trees are fully expanded first. The replay is an independent
+// reimplementation of the partition rules working only through the public
+// Walk API, so drift between the builders, the flattened arena and the cost
+// model is caught regardless of which of the three regressed.
+func CheckStructure(tree *kdtree.Tree, params sah.Params) error {
+	tree.ExpandAll()
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("oracle: structural: %w", err)
+	}
+	if err := checkLeafCoverage(tree); err != nil {
+		return err
+	}
+	return checkCost(tree, params)
+}
+
+// checkLeafCoverage replays the partition along the walk's pre-order. The
+// walk visits children left-first, so a stack of expected item sets —
+// pushed right child first — stays aligned with the traversal.
+func checkLeafCoverage(tree *kdtree.Tree) error {
+	tris := tree.Triangles()
+	clip := tree.UsesClipping()
+
+	// Root set: every triangle with finite bounds (builders skip the rest).
+	root := make([]expItem, 0, len(tris))
+	for i, tr := range tris {
+		b := tr.Bounds()
+		if !b.Min.IsFinite() || !b.Max.IsFinite() {
+			continue
+		}
+		root = append(root, expItem{tri: int32(i), bounds: b})
+	}
+
+	// childBounds mirrors buildCtx.childBounds.
+	childBounds := func(it expItem, child vecmath.AABB) (vecmath.AABB, bool) {
+		if clip {
+			return vecmath.ClipTriangleBounds(tris[it.tri], child)
+		}
+		b := it.bounds.Intersect(child)
+		if b.IsEmpty() {
+			return b, false
+		}
+		return b, true
+	}
+
+	stack := [][]expItem{root}
+	var firstErr error
+	leafIdx := 0
+	tree.Walk(func(v kdtree.NodeView) bool {
+		if firstErr != nil {
+			return false
+		}
+		if len(stack) == 0 {
+			firstErr = fmt.Errorf("oracle: structural: walk order diverged from expected-set stack")
+			return false
+		}
+		expected := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		switch {
+		case v.Deferred:
+			firstErr = fmt.Errorf("oracle: structural: unexpanded deferred node at depth %d (ExpandAll failed?)", v.Depth)
+			return false
+
+		case v.Leaf:
+			defer func() { leafIdx++ }()
+			if err := compareLeafSet(v, expected, leafIdx); err != nil {
+				firstErr = err
+				return false
+			}
+
+		default: // inner: partition expected into the two child cells.
+			lb, rb := v.Region.Split(v.Axis, v.Pos)
+			var left, right []expItem
+			for _, it := range expected {
+				lo := it.bounds.Min.Axis(v.Axis)
+				hi := it.bounds.Max.Axis(v.Axis)
+				switch {
+				case hi <= v.Pos && lo < v.Pos, lo == hi && lo == v.Pos:
+					if b, ok := childBounds(it, lb); ok {
+						left = append(left, expItem{it.tri, b})
+					}
+				case lo >= v.Pos:
+					if b, ok := childBounds(it, rb); ok {
+						right = append(right, expItem{it.tri, b})
+					}
+				default:
+					if b, ok := childBounds(it, lb); ok {
+						left = append(left, expItem{it.tri, b})
+					}
+					if b, ok := childBounds(it, rb); ok {
+						right = append(right, expItem{it.tri, b})
+					}
+				}
+			}
+			// Right pushed first: the walk descends left before right.
+			stack = append(stack, right, left)
+		}
+		return true
+	})
+	if firstErr != nil {
+		return firstErr
+	}
+	if len(stack) != 0 {
+		return fmt.Errorf("oracle: structural: %d expected sets left over after walk", len(stack))
+	}
+	return nil
+}
+
+// compareLeafSet checks set equality between a leaf's stored triangles and
+// the replayed expectation.
+func compareLeafSet(v kdtree.NodeView, expected []expItem, leafIdx int) error {
+	want := make(map[int32]bool, len(expected))
+	for _, it := range expected {
+		want[it.tri] = true
+	}
+	got := make(map[int32]bool, len(v.Tris))
+	for _, ti := range v.Tris {
+		if got[ti] {
+			return fmt.Errorf("oracle: structural: leaf %d (region %v) references triangle %d twice", leafIdx, v.Region, ti)
+		}
+		got[ti] = true
+		if !want[ti] {
+			return fmt.Errorf("oracle: structural: leaf %d (region %v) holds stray triangle %d (replay says it cannot reach this cell)",
+				leafIdx, v.Region, ti)
+		}
+	}
+	for ti := range want {
+		if !got[ti] {
+			return fmt.Errorf("oracle: structural: leaf %d (region %v) is missing triangle %d (replay says its box overlaps this cell)",
+				leafIdx, v.Region, ti)
+		}
+	}
+	return nil
+}
+
+// checkCost recomputes the SAH cost from the walk and compares it with the
+// tree's own accounting.
+func checkCost(tree *kdtree.Tree, params sah.Params) error {
+	rootArea := tree.Bounds().SurfaceArea()
+	if rootArea <= 0 {
+		return nil // degenerate/empty scene: SAHCost defines this as 0
+	}
+	sum := 0.0
+	tree.Walk(func(v kdtree.NodeView) bool {
+		area := v.Region.SurfaceArea()
+		switch {
+		case v.Leaf, v.Deferred:
+			sum += area * params.LeafCost(len(v.Tris))
+		default:
+			sum += area * params.CT
+		}
+		return true
+	})
+	want := sum / rootArea
+	got := tree.SAHCost(params)
+	if diff := math.Abs(got - want); diff > 1e-9*math.Max(1, math.Abs(want)) {
+		return fmt.Errorf("oracle: cost: Tree.SAHCost=%.17g but walk recomputation=%.17g (Δ=%g)", got, want, diff)
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package render
+
+import (
+	"kdtune/internal/scene"
+	"kdtune/internal/vecmath"
+)
+
+// CameraRays samples n primary rays from the view's pinhole camera on a
+// uniform grid over the image plane (the same rays Render shoots, minus
+// shading). The grid is chosen as close to the aspect ratio as possible so
+// the sample covers the whole frame; n <= 0 returns nil.
+//
+// The oracle uses this to cross-check tree traversal against brute force on
+// exactly the ray distribution the paper's objective function measures.
+func CameraRays(view scene.View, aspect float64, n int) []vecmath.Ray {
+	if n <= 0 {
+		return nil
+	}
+	if aspect <= 0 {
+		aspect = 4.0 / 3.0
+	}
+	cam := NewCamera(view, aspect)
+
+	// Pick grid dims w*h >= n with w/h ~ aspect.
+	h := 1
+	for ; ; h++ {
+		w := int(float64(h)*aspect + 0.5)
+		if w < 1 {
+			w = 1
+		}
+		if w*h >= n {
+			break
+		}
+	}
+	w := int(float64(h)*aspect + 0.5)
+	if w < 1 {
+		w = 1
+	}
+
+	rays := make([]vecmath.Ray, 0, n)
+	for y := 0; y < h && len(rays) < n; y++ {
+		for x := 0; x < w && len(rays) < n; x++ {
+			s := (float64(x) + 0.5) / float64(w)
+			t := (float64(y) + 0.5) / float64(h)
+			rays = append(rays, cam.Ray(s, t))
+		}
+	}
+	return rays
+}
