@@ -110,6 +110,14 @@ type BenchResult struct {
 	TunedR      int     `json:"tuned_r"`
 	ConvergedAt int     `json:"converged_at"` // -1 = never
 	Speedup     float64 `json:"speedup"`      // base median / tuned median
+
+	// Steady-state allocation profile of one rebuild under the tuned
+	// configuration, measured on a warm Builder (heap deltas averaged over
+	// several rebuilds). GCPauseMS is the total stop-the-world pause time
+	// accumulated across the measured rebuilds, not per build.
+	AllocsPerBuild float64 `json:"allocs_per_build"`
+	BytesPerBuild  float64 `json:"bytes_per_build"`
+	GCPauseMS      float64 `json:"gc_pause_ms"`
 }
 
 // Key identifies a result across reports.
@@ -186,6 +194,36 @@ func measureStats(rc RunConfig, s BenchSettings) (frame, build, rend BenchStat) 
 	return NewBenchStat(totals), NewBenchStat(builds), NewBenchStat(rends)
 }
 
+// allocMeasureBuilds is how many steady-state rebuilds the allocation probe
+// averages over.
+const allocMeasureBuilds = 5
+
+// measureBuildAllocs profiles the steady-state allocation behaviour of one
+// rebuild under cfg: a fresh Builder is warmed with two builds (first-touch
+// arena growth), then heap-counter deltas are taken around several further
+// rebuilds of the same geometry. The triangle slice is fetched once outside
+// the measured region so scene generation does not pollute the numbers.
+func measureBuildAllocs(sc *scene.Scene, cfg kdtree.Config) (allocs, bytes, gcPauseMS float64) {
+	tris := sc.Triangles(0)
+	b := kdtree.NewBuilder()
+	b.Build(tris, cfg)
+	b.Build(tris, cfg)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	for i := 0; i < allocMeasureBuilds; i++ {
+		b.Build(tris, cfg)
+	}
+	runtime.ReadMemStats(&after)
+
+	n := float64(allocMeasureBuilds)
+	allocs = float64(after.Mallocs-before.Mallocs) / n
+	bytes = float64(after.TotalAlloc-before.TotalAlloc) / n
+	gcPauseMS = float64(after.PauseTotalNs-before.PauseTotalNs) / 1e6
+	return allocs, bytes, gcPauseMS
+}
+
 // RunBench executes the benchmark protocol for every scene x algorithm pair:
 // measure C_base frame times (warmup discarded), tune with Nelder-Mead, then
 // re-measure under the tuned configuration.
@@ -215,6 +253,7 @@ func RunBench(o BenchOptions) *BenchReport {
 			tuned := rc
 			tuned.Base = run.BestConfig()
 			frame, build, rend := measureStats(tuned, s)
+			allocsB, bytesB, gcMS := measureBuildAllocs(sc, run.BestConfig())
 
 			speedup := 0.0
 			if frame.MedianMS > 0 {
@@ -226,8 +265,9 @@ func RunBench(o BenchOptions) *BenchReport {
 				Base: baseFrame, Frame: frame, Build: build, Rend: rend,
 				TunedCI: run.BestCI, TunedCB: run.BestCB,
 				TunedS: run.BestS, TunedR: run.BestR,
-				ConvergedAt: run.ConvergedAt,
-				Speedup:     speedup,
+				ConvergedAt:    run.ConvergedAt,
+				Speedup:        speedup,
+				AllocsPerBuild: allocsB, BytesPerBuild: bytesB, GCPauseMS: gcMS,
 			}
 			rep.Results = append(rep.Results, res)
 			if o.Progress != nil {

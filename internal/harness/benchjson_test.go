@@ -48,6 +48,9 @@ func syntheticReport(tag string, frameMS map[string]float64) *BenchReport {
 
 func TestBenchReportRoundTrip(t *testing.T) {
 	rep := syntheticReport("trip", map[string]float64{"Sponza/in-place": 12.5})
+	rep.Results[0].AllocsPerBuild = 42.5
+	rep.Results[0].BytesPerBuild = 8192
+	rep.Results[0].GCPauseMS = 0.25
 	path := filepath.Join(t.TempDir(), "bench.json")
 	if err := WriteBenchReportFile(path, rep); err != nil {
 		t.Fatal(err)
@@ -58,6 +61,10 @@ func TestBenchReportRoundTrip(t *testing.T) {
 	}
 	if got.Tag != "trip" || len(got.Results) != 1 || got.Results[0].Frame.MedianMS != 12.5 {
 		t.Fatalf("round trip mangled the report: %+v", got)
+	}
+	r := got.Results[0]
+	if r.AllocsPerBuild != 42.5 || r.BytesPerBuild != 8192 || r.GCPauseMS != 0.25 {
+		t.Fatalf("allocation fields mangled: %+v", r)
 	}
 }
 
@@ -168,5 +175,16 @@ func TestRunBenchSmall(t *testing.T) {
 	}
 	if r.TunedCI < CIMin || r.TunedCI > CIMax {
 		t.Errorf("tuned CI %d outside [%d, %d]", r.TunedCI, CIMin, CIMax)
+	}
+	// The allocation probe runs on a warm Builder: the counters must be
+	// finite and non-negative, and the steady state of the pooled arenas
+	// should stay well under one allocation per triangle.
+	if math.IsNaN(r.AllocsPerBuild) || r.AllocsPerBuild < 0 || r.BytesPerBuild < 0 || r.GCPauseMS < 0 {
+		t.Errorf("allocation stats degenerate: allocs=%g bytes=%g gc=%g",
+			r.AllocsPerBuild, r.BytesPerBuild, r.GCPauseMS)
+	}
+	if r.AllocsPerBuild > float64(r.Triangles) {
+		t.Errorf("steady-state build allocates %.0f objects for %d triangles — arenas not reused?",
+			r.AllocsPerBuild, r.Triangles)
 	}
 }

@@ -159,6 +159,12 @@ func Run(rc RunConfig) *RunResult {
 		}
 	}
 
+	// One Builder and one framebuffer for the whole run: every frame rebuilds
+	// into the same arenas and renders into the same pixels, so the steady
+	// state of the loop allocates (almost) nothing.
+	builder := kdtree.NewBuilder()
+	im := render.NewImage(rc.Width, rc.Height)
+
 	frameSeq := frameSequence(rc)
 	postLeft := rc.PostConverge
 	for iter := 0; iter < rc.MaxIterations; iter++ {
@@ -178,9 +184,9 @@ func Run(rc RunConfig) *RunResult {
 
 		tris := rc.Scene.Triangles(frame)
 		t0 := time.Now()
-		tree := kdtree.Build(tris, cfg)
+		tree := builder.Build(tris, cfg)
 		tBuild := time.Since(t0)
-		_, _ = render.Render(tree, rc.Scene.ViewAt(frame), rc.Scene.Lights, render.Options{
+		_ = render.RenderInto(im, tree, rc.Scene.ViewAt(frame), rc.Scene.Lights, render.Options{
 			Width: rc.Width, Height: rc.Height, Workers: rc.Workers,
 		})
 		total := time.Since(t0)

@@ -11,29 +11,12 @@ import (
 // retained by reference; degenerate triangles are kept in leaves (they are
 // harmless: intersection tests reject them) but contribute bounds like any
 // other primitive only if finite.
+//
+// Build is the convenience wrapper over a fresh Builder; frame loops that
+// rebuild every frame should retain a Builder and call its Build method so
+// all construction scratch is reused.
 func Build(tris []vecmath.Triangle, cfg Config) *Tree {
-	cfg = cfg.normalized(len(tris))
-	ctx := newBuildCtx(tris, cfg)
-
-	var root *buildNode
-	switch cfg.Algorithm {
-	case AlgoNodeLevel:
-		root = ctx.buildNodeLevel()
-	case AlgoNested:
-		root = ctx.buildNested()
-	case AlgoInPlace:
-		root = ctx.buildBreadthFirst(false)
-	case AlgoLazy:
-		root = ctx.buildBreadthFirst(true)
-	case AlgoMedian:
-		root = ctx.buildMedian()
-	case AlgoSortOnce:
-		root = ctx.buildSortOnce()
-	default:
-		root = ctx.buildNodeLevel()
-	}
-
-	return flatten(root, tris, cfg, ctx.counters.snapshot(cfg.Algorithm, len(tris)))
+	return NewBuilder().Build(tris, cfg)
 }
 
 // item pairs a triangle index with the triangle's bounds restricted to the
@@ -45,7 +28,7 @@ type item struct {
 }
 
 // buildCtx is the per-build shared state: immutable inputs plus the task
-// pool and statistics counters.
+// pool, statistics counters and the owning Builder (arena source).
 type buildCtx struct {
 	tris     []vecmath.Triangle
 	cfg      Config
@@ -53,22 +36,21 @@ type buildCtx struct {
 	pool     *parallel.Pool
 	counters buildCounters
 	spawnCap int // recursion depth below which subtree tasks are spawned
-}
-
-func newBuildCtx(tris []vecmath.Triangle, cfg Config) *buildCtx {
-	return &buildCtx{
-		tris:     tris,
-		cfg:      cfg,
-		params:   cfg.sahParams(),
-		pool:     parallel.NewPool(cfg.Workers),
-		spawnCap: cfg.spawnDepth(),
-	}
+	b        *Builder
 }
 
 // rootItems computes the world bounds and the initial item list (skipping
-// triangles without finite bounds).
-func (c *buildCtx) rootItems() ([]item, vecmath.AABB) {
-	items := make([]item, 0, len(c.tris))
+// triangles without finite bounds). The list is carved off a's item stack
+// and lives for the whole build.
+func (c *buildCtx) rootItems(a *arena) ([]item, vecmath.AABB) {
+	return c.rootItemsInto(a.allocItems(len(c.tris))[:0])
+}
+
+// rootItemsInto is rootItems appending into a caller-provided buffer (the
+// breadth-first builders keep root items in their ping-pong level arrays
+// rather than on an arena stack).
+func (c *buildCtx) rootItemsInto(dst []item) ([]item, vecmath.AABB) {
+	items := dst
 	bounds := vecmath.EmptyAABB()
 	for i, tr := range c.tris {
 		b := tr.Bounds()
@@ -81,24 +63,16 @@ func (c *buildCtx) rootItems() ([]item, vecmath.AABB) {
 	return items, bounds
 }
 
-// makeLeaf materialises a leaf buildNode and records statistics.
-func (c *buildCtx) makeLeaf(items []item, bounds vecmath.AABB, depth int) *buildNode {
-	tris := make([]int32, len(items))
-	for i, it := range items {
-		tris[i] = it.tri
-	}
-	c.counters.noteLeaf(len(tris), depth)
-	return &buildNode{bounds: bounds, tris: tris, leaf: true}
+// makeLeaf emits a leaf into the arena and records statistics.
+func (c *buildCtx) makeLeaf(a *arena, items []item, depth int) {
+	a.emitLeaf(items)
+	c.counters.noteLeaf(len(items), depth)
 }
 
-// makeDeferred materialises a suspended node (lazy builder).
-func (c *buildCtx) makeDeferred(items []item, bounds vecmath.AABB, depth int) *buildNode {
-	tris := make([]int32, len(items))
-	for i, it := range items {
-		tris[i] = it.tri
-	}
+// makeDeferred emits a suspended node (lazy builder).
+func (c *buildCtx) makeDeferred(a *arena, items []item, bounds vecmath.AABB, depth int) {
+	a.emitDeferred(items, bounds)
 	c.counters.noteDeferred(depth)
-	return &buildNode{bounds: bounds, tris: tris, deferred: true}
 }
 
 // childBounds returns the bounds of item it inside child box, either by
@@ -114,51 +88,52 @@ func (c *buildCtx) childBounds(it item, child vecmath.AABB) (vecmath.AABB, bool)
 	return b, true
 }
 
-// partition splits items across the two child boxes of a split plane.
-// Primitives overlapping both sides are duplicated (the (Nl+Nr−Nb)·CB term
-// of equation 1); primitives lying exactly on the plane go left.
-func (c *buildCtx) partition(items []item, split sah.Split, parent vecmath.AABB) (left, right []item, lb, rb vecmath.AABB) {
-	lb, rb = parent.Split(split.Axis, split.Pos)
-	left = make([]item, 0, split.NL)
-	right = make([]item, 0, split.NR)
+// partitionItems splits items across the two child boxes of the plane
+// {axis = pos}. Primitives overlapping both sides are duplicated (the
+// (Nl+Nr−Nb)·CB term of equation 1); primitives lying exactly on the plane
+// go left. The child lists are carved off a's item stack: a cheap counting
+// pass sizes the windows exactly (the side tests are repeated without the
+// childBounds narrowing, which can only drop items, so the counts are safe
+// upper bounds — the SAH's NL/NR are not, since the sweep may count planar
+// primitives on the other side).
+//
+// The caller brackets the call with markItems/releaseItems around the child
+// recursion.
+func (c *buildCtx) partitionItems(a *arena, items []item, axis vecmath.Axis, pos float64, lb, rb vecmath.AABB) (left, right []item) {
+	var nl, nr int
+	for i := range items {
+		lo := items[i].bounds.Min.Axis(axis)
+		hi := items[i].bounds.Max.Axis(axis)
+		if lo < pos || (lo == hi && lo == pos) {
+			nl++
+		}
+		if hi > pos {
+			nr++
+		}
+	}
+	left = a.allocItems(nl)[:0]
+	right = a.allocItems(nr)[:0]
 	for _, it := range items {
-		lo := it.bounds.Min.Axis(split.Axis)
-		hi := it.bounds.Max.Axis(split.Axis)
-		switch {
-		case hi <= split.Pos && lo < split.Pos, lo == hi && lo == split.Pos:
-			// Entirely left, or planar on the split plane.
+		lo := it.bounds.Min.Axis(axis)
+		hi := it.bounds.Max.Axis(axis)
+		if lo < pos || (lo == hi && lo == pos) {
 			if b, ok := c.childBounds(it, lb); ok {
 				left = append(left, item{it.tri, b})
 			}
-		case lo >= split.Pos:
-			if b, ok := c.childBounds(it, rb); ok {
-				right = append(right, item{it.tri, b})
-			}
-		default:
-			// Straddler: duplicate into both children.
-			if b, ok := c.childBounds(it, lb); ok {
-				left = append(left, item{it.tri, b})
-			}
+		}
+		if hi > pos {
 			if b, ok := c.childBounds(it, rb); ok {
 				right = append(right, item{it.tri, b})
 			}
 		}
 	}
-	return left, right, lb, rb
+	return left, right
 }
 
-// itemBoxes extracts the bounds column of items for the split-search APIs.
-func itemBoxes(items []item) []vecmath.AABB {
-	boxes := make([]vecmath.AABB, len(items))
-	for i, it := range items {
-		boxes[i] = it.bounds
-	}
-	return boxes
-}
-
-// decideSplit runs the event sweep and applies the SAH termination rule
-// (equation 2). A nil result means "make a leaf".
-func (c *buildCtx) decideSplitSweep(items []item, bounds vecmath.AABB, depth int) (sah.Split, bool) {
+// decideSplitSweep runs the event sweep and applies the SAH termination rule
+// (equation 2). A false result means "make a leaf". The bounds column is
+// staged through a's scratch (dead once the search returns).
+func (c *buildCtx) decideSplitSweep(a *arena, items []item, bounds vecmath.AABB, depth int) (sah.Split, bool) {
 	if len(items) <= 1 || depth >= c.cfg.MaxDepth {
 		return sah.Split{}, false
 	}
@@ -168,7 +143,11 @@ func (c *buildCtx) decideSplitSweep(items []item, bounds vecmath.AABB, depth int
 	if len(items) >= 32768 {
 		workers = c.cfg.Workers
 	}
-	split, ok := sah.FindBestSplitSweepWorkers(c.params, bounds, itemBoxes(items), workers)
+	a.boxes = a.boxes[:0]
+	for i := range items {
+		a.boxes = append(a.boxes, items[i].bounds)
+	}
+	split, ok := sah.FindBestSplitSweepWorkers(c.params, bounds, a.boxes, workers)
 	if !ok || c.params.ShouldTerminate(len(items), split) {
 		return sah.Split{}, false
 	}

@@ -9,13 +9,51 @@ import (
 )
 
 // levelNode is one active node of the breadth-first frontier. Its items
-// live in a contiguous range of the level's item array.
+// live in a contiguous range of the level's item array, and its tree node
+// under construction is an index into bfScratch.nodes (an index, not a
+// pointer: the scaffold slice reallocates as it grows).
 type levelNode struct {
-	bn     *buildNode // tree node under construction
+	bf     int32 // scaffold node under construction (bfScratch.nodes index)
 	bounds vecmath.AABB
 	start  int // item range [start, end) in the level array
 	end    int
 	depth  int
+}
+
+// bfNode is one node of the breadth-first scaffold. The breadth-first
+// phases cannot emit arena nodes directly (pre-order adjacency is unknown
+// until the whole top of the tree exists), so they record the shape here —
+// leaf/deferred CONTENT goes straight into the main arena, with p0/p1
+// holding the final references — and assembleBF lays the scaffold out in
+// one pre-order pass at the end.
+type bfNode struct {
+	pos    float64
+	axis   vecmath.Axis
+	kind   uint8
+	left   int32 // bfInner: child scaffold indices
+	right  int32
+	p0, p1 int32 // bfLeaf: triStart/triCount; bfDeferred: defs slot; bfSubtree: subs index
+}
+
+const (
+	bfInner uint8 = iota
+	bfLeaf
+	bfDeferred
+	bfSubtree
+)
+
+// bfScratch is the Builder-owned reusable state of the breadth-first
+// builders: the scaffold, the ping-pong level item arrays, the double-
+// buffered frontier, and the per-level decision/plan/offset tables.
+type bfScratch struct {
+	nodes    []bfNode
+	items    [2][]item
+	frontA   []levelNode
+	frontB   []levelNode
+	decs     []levelDecision
+	plans    []childPlan
+	chunkOff [][2]int
+	subs     []*arena
 }
 
 // scatterGrain is the minimum number of (triangle, node) pairs classified or
@@ -45,36 +83,101 @@ const scatterGrain = 4096
 // both phases apply identical split, leaf and suspension rules (see
 // shouldDefer and decideSplitLevel), so the resulting tree does not: the
 // output is worker-count-independent.
-func (c *buildCtx) buildBreadthFirst(lazy bool) *buildNode {
-	items, bounds := c.rootItems()
+func (c *buildCtx) buildBreadthFirst(lazy bool) vecmath.AABB {
+	bf := &c.b.bf
+	items, bounds := c.rootItemsInto(bf.items[0][:0])
+	bf.items[0] = items
 	if len(items) == 0 {
-		return nil
+		return vecmath.AABB{}
 	}
 
-	root := &buildNode{bounds: bounds}
-	frontier := []levelNode{{bn: root, bounds: bounds, start: 0, end: len(items), depth: 0}}
+	bf.nodes = append(bf.nodes[:0], bfNode{})
+	fa := append(bf.frontA[:0], levelNode{bf: 0, bounds: bounds, start: 0, end: len(items), depth: 0})
+	fb := bf.frontB[:0]
+	cur := 0
 	switchWidth := c.cfg.S * c.cfg.Workers
 
-	for len(frontier) > 0 {
-		if len(frontier) >= switchWidth {
+	for len(fa) > 0 {
+		if len(fa) >= switchWidth {
 			// Enough subtrees for every worker: finish each node as an
-			// independent task.
+			// independent task emitting into a private arena, grafted into
+			// place by assembleBF.
 			var wg sync.WaitGroup
-			for _, ln := range frontier {
-				ln := ln
-				sub := items[ln.start:ln.end:ln.end]
+			level := bf.items[cur]
+			for i := range fa {
+				ln := fa[i]
+				sub := c.b.getArena()
+				bf.nodes[ln.bf] = bfNode{kind: bfSubtree, p0: int32(len(bf.subs))}
+				bf.subs = append(bf.subs, sub)
+				subItems := level[ln.start:ln.end:ln.end]
 				wg.Add(1)
 				c.pool.Spawn(func() {
 					defer wg.Done()
-					c.finishSubtree(ln.bn, sub, ln.bounds, ln.depth, lazy)
+					c.finishSubtree(sub, subItems, ln.bounds, ln.depth, lazy)
 				})
 			}
 			wg.Wait()
-			return root
+			break
 		}
-		frontier, items = c.processLevel(frontier, items, lazy)
+		fb = c.processLevel(fa, fb[:0], cur, lazy)
+		fa, fb = fb, fa
+		cur = 1 - cur
 	}
-	return root
+	bf.frontA, bf.frontB = fa, fb
+
+	c.assembleBF(&c.b.main, 0)
+	for _, s := range bf.subs {
+		c.b.putArena(s)
+	}
+	bf.subs = bf.subs[:0]
+	return bounds
+}
+
+// assembleBF lays the scaffold out into a in pre-order, establishing the
+// left-child adjacency, and grafts the subtree-task arenas where the
+// scaffold points at them. Leaf and deferred scaffold entries already put
+// their content in the main arena; only the 16-byte node records are
+// emitted here.
+func (c *buildCtx) assembleBF(a *arena, bi int32) {
+	n := c.b.bf.nodes[bi]
+	switch n.kind {
+	case bfLeaf:
+		a.nodes = append(a.nodes, leafNode(n.p0, n.p1))
+	case bfDeferred:
+		a.nodes = append(a.nodes, deferredRef(n.p0))
+	case bfSubtree:
+		a.graft(c.b.bf.subs[n.p0])
+	default: // bfInner
+		self := a.emitInner(n.axis, n.pos)
+		c.assembleBF(a, n.left)
+		a.patchRight(self, int32(len(a.nodes)))
+		c.assembleBF(a, n.right)
+	}
+}
+
+// bfLeafNode emits leaf content into the main arena and returns the
+// scaffold record referencing it (phase 3 runs single-threaded).
+func (c *buildCtx) bfLeafNode(sub []item, depth int) bfNode {
+	main := &c.b.main
+	start := int32(len(main.leafTris))
+	for _, it := range sub {
+		main.leafTris = append(main.leafTris, it.tri)
+	}
+	c.counters.noteLeaf(len(sub), depth)
+	return bfNode{kind: bfLeaf, p0: start, p1: int32(len(sub))}
+}
+
+// bfDeferredNode emits a suspended-subtree record into the main arena and
+// returns the scaffold record referencing it.
+func (c *buildCtx) bfDeferredNode(sub []item, bounds vecmath.AABB, depth int) bfNode {
+	main := &c.b.main
+	start := int32(len(main.defTris))
+	for _, it := range sub {
+		main.defTris = append(main.defTris, it.tri)
+	}
+	main.defs = append(main.defs, defRec{bounds: bounds, start: start, count: int32(len(sub))})
+	c.counters.noteDeferred(depth)
+	return bfNode{kind: bfDeferred, p0: int32(len(main.defs) - 1)}
 }
 
 // shouldDefer reports whether the lazy builder suspends a node of n
@@ -95,9 +198,9 @@ func (c *buildCtx) shouldDefer(lazy bool, n, depth int) bool {
 // only on the node size and workers only bounds the intra-node parallelism,
 // so the returned split is identical for every worker count — a property
 // both phases of the breadth-first builders rely on.
-func (c *buildCtx) decideSplitLevel(sub []item, bounds vecmath.AABB, depth, workers int) (sah.Split, bool) {
+func (c *buildCtx) decideSplitLevel(a *arena, sub []item, bounds vecmath.AABB, depth, workers int) (sah.Split, bool) {
 	if len(sub) < nestedSequentialCutoff {
-		return c.decideSplitSweep(sub, bounds, depth)
+		return c.decideSplitSweep(a, sub, bounds, depth)
 	}
 	if depth >= c.cfg.MaxDepth {
 		return sah.Split{}, false
@@ -114,34 +217,35 @@ func (c *buildCtx) decideSplitLevel(sub []item, bounds vecmath.AABB, depth, work
 	return split, true
 }
 
-// finishSubtree completes one frontier node depth-first. It must reproduce
-// exactly the decisions processLevel would have made for the same node —
-// same suspension rule, same size-hybrid split search, same degenerate-split
-// bailout — because the worker count decides which of the two phases a node
-// lands in.
-func (c *buildCtx) finishSubtree(bn *buildNode, items []item, bounds vecmath.AABB, depth int, lazy bool) {
+// finishSubtree completes one frontier node depth-first into its private
+// arena. It must reproduce exactly the decisions processLevel would have
+// made for the same node — same suspension rule, same size-hybrid split
+// search, same degenerate-split bailout — because the worker count decides
+// which of the two phases a node lands in.
+func (c *buildCtx) finishSubtree(a *arena, items []item, bounds vecmath.AABB, depth int, lazy bool) {
 	if c.shouldDefer(lazy, len(items), depth) {
-		*bn = *c.makeDeferred(items, bounds, depth)
+		c.makeDeferred(a, items, bounds, depth)
 		return
 	}
-	split, ok := c.decideSplitLevel(items, bounds, depth, 1)
+	split, ok := c.decideSplitLevel(a, items, bounds, depth, 1)
 	if !ok {
-		*bn = *c.makeLeaf(items, bounds, depth)
+		c.makeLeaf(a, items, depth)
 		return
 	}
-	left, right, lb, rb := c.partition(items, split, bounds)
+	mark := a.markItems()
+	lb, rb := bounds.Split(split.Axis, split.Pos)
+	left, right := c.partitionItems(a, items, split.Axis, split.Pos, lb, rb)
 	if len(left) == len(items) && len(right) == len(items) {
-		*bn = *c.makeLeaf(items, bounds, depth)
+		a.releaseItems(mark)
+		c.makeLeaf(a, items, depth)
 		return
 	}
 	c.counters.noteInner()
-	bn.bounds = bounds
-	bn.axis = split.Axis
-	bn.pos = split.Pos
-	bn.left = &buildNode{}
-	bn.right = &buildNode{}
-	c.finishSubtree(bn.left, left, lb, depth+1, lazy)
-	c.finishSubtree(bn.right, right, rb, depth+1, lazy)
+	self := a.emitInner(split.Axis, split.Pos)
+	c.finishSubtree(a, left, lb, depth+1, lazy)
+	a.patchRight(self, int32(len(a.nodes)))
+	c.finishSubtree(a, right, rb, depth+1, lazy)
+	a.releaseItems(mark)
 }
 
 // levelDecision is the per-node outcome of the split-search phase.
@@ -162,63 +266,97 @@ type childPlan struct {
 	chunkOff              [][2]int
 }
 
-// processLevel performs one breadth-first step over the whole frontier and
-// returns the next frontier plus its item array. The worker budget is
+// processLevel performs one breadth-first step over the whole frontier,
+// appending the next frontier to dst (the other ping-pong buffer) and
+// scattering its items into the other level array. The worker budget is
 // shared between the across-nodes and within-node loops via SplitBudget, so
 // nesting them cannot spawn more than Workers goroutines' worth of work.
-func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) ([]levelNode, []item) {
+func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) []levelNode {
+	bf := &c.b.bf
+	items := bf.items[cur]
 	outerW, innerW := parallel.SplitBudget(c.cfg.Workers, len(frontier))
 
 	// Phase 1: best split per node. Parallel across nodes; within a node
 	// the histogram is built by per-chunk private BinSets merged at the
-	// end (the parallel prefix structure of Choi et al.).
-	decisions := make([]levelDecision, len(frontier))
-	parallel.ForEach(len(frontier), outerW, func(ni int) {
-		ln := frontier[ni]
-		sub := items[ln.start:ln.end]
-		if c.shouldDefer(lazy, len(sub), ln.depth) {
-			return // suspend in phase 3
+	// end (the parallel prefix structure of Choi et al.). Each worker chunk
+	// borrows an arena for the sweep search's scratch.
+	bf.decs = ensureLen(bf.decs, len(frontier))
+	decisions := bf.decs
+	parallel.ForChunks(len(frontier), outerW, 1, func(_, lo, hi int) {
+		sa := c.b.getArena()
+		for ni := lo; ni < hi; ni++ {
+			decisions[ni] = levelDecision{}
+			ln := frontier[ni]
+			sub := items[ln.start:ln.end]
+			if c.shouldDefer(lazy, len(sub), ln.depth) {
+				continue // suspend in phase 3
+			}
+			split, ok := c.decideSplitLevel(sa, sub, ln.bounds, ln.depth, innerW)
+			if !ok {
+				continue
+			}
+			decisions[ni] = levelDecision{split: split, doit: true}
 		}
-		split, ok := c.decideSplitLevel(sub, ln.bounds, ln.depth, innerW)
-		if !ok {
-			return
-		}
-		decisions[ni] = levelDecision{split: split, doit: true}
+		c.b.putArena(sa)
 	})
 
 	// Phase 2: classify every (triangle, node) pair, counting per chunk and
-	// turning the counts into exclusive per-chunk write offsets.
-	plans := make([]childPlan, len(frontier))
-	parallel.ForEach(len(frontier), outerW, func(ni int) {
+	// turning the counts into exclusive per-chunk write offsets. The
+	// per-node offset tables are pre-carved sequentially out of one shared
+	// backing array so the parallel pass only writes disjoint windows.
+	bf.plans = ensureLen(bf.plans, len(frontier))
+	plans := bf.plans
+	total := 0
+	for ni := range frontier {
+		plans[ni] = childPlan{}
 		if !decisions[ni].doit {
-			return
+			continue
 		}
-		ln := frontier[ni]
-		split := decisions[ni].split
-		lb, rb := ln.bounds.Split(split.Axis, split.Pos)
-		sub := items[ln.start:ln.end]
-		counts := make([][2]int, parallel.ChunkCount(len(sub), innerW, scatterGrain))
-		parallel.ForChunks(len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
-			var nl, nr int
-			for i := lo; i < hi; i++ {
-				gl, gr := c.classify(sub[i], split, lb, rb)
-				if gl {
-					nl++
-				}
-				if gr {
-					nr++
-				}
+		total += parallel.ChunkCount(frontier[ni].end-frontier[ni].start, innerW, scatterGrain)
+	}
+	bf.chunkOff = ensureLen(bf.chunkOff, total)
+	off := 0
+	for ni := range frontier {
+		if !decisions[ni].doit {
+			continue
+		}
+		cc := parallel.ChunkCount(frontier[ni].end-frontier[ni].start, innerW, scatterGrain)
+		plans[ni].chunkOff = bf.chunkOff[off : off+cc : off+cc]
+		off += cc
+	}
+	parallel.ForChunks(len(frontier), outerW, 1, func(_, lo0, hi0 int) {
+		for ni := lo0; ni < hi0; ni++ {
+			if !decisions[ni].doit {
+				continue
 			}
-			counts[chunk] = [2]int{nl, nr}
-		})
-		var nl, nr int
-		for ci := range counts {
-			cl, cr := counts[ci][0], counts[ci][1]
-			counts[ci] = [2]int{nl, nr}
-			nl += cl
-			nr += cr
+			ln := frontier[ni]
+			split := decisions[ni].split
+			lb, rb := ln.bounds.Split(split.Axis, split.Pos)
+			sub := items[ln.start:ln.end]
+			counts := plans[ni].chunkOff
+			parallel.ForChunks(len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
+				var nl, nr int
+				for i := lo; i < hi; i++ {
+					gl, gr := c.classify(sub[i], split, lb, rb)
+					if gl {
+						nl++
+					}
+					if gr {
+						nr++
+					}
+				}
+				counts[chunk] = [2]int{nl, nr}
+			})
+			var nl, nr int
+			for ci := range counts {
+				cl, cr := counts[ci][0], counts[ci][1]
+				counts[ci] = [2]int{nl, nr}
+				nl += cl
+				nr += cr
+			}
+			plans[ni].nl = nl
+			plans[ni].nr = nr
 		}
-		plans[ni] = childPlan{nl: nl, nr: nr, chunkOff: counts}
 	})
 
 	next := 0
@@ -235,46 +373,49 @@ func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) (
 	// Scatter into the next level's item array at the precomputed offsets.
 	// The chunk geometry is identical to phase 2's (same n, workers, grain),
 	// so each chunk's writes start exactly where its counts said they would.
-	nextItems := make([]item, next)
-	parallel.ForEach(len(frontier), outerW, func(ni int) {
-		if !decisions[ni].doit {
-			return
-		}
-		ln := frontier[ni]
-		split := decisions[ni].split
-		lb, rb := ln.bounds.Split(split.Axis, split.Pos)
-		sub := items[ln.start:ln.end]
-		plan := plans[ni]
-		parallel.ForChunks(len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
-			l := plan.leftStart + plan.chunkOff[chunk][0]
-			r := plan.rightStart + plan.chunkOff[chunk][1]
-			for i := lo; i < hi; i++ {
-				it := sub[i]
-				gl, gr := c.classify(it, split, lb, rb)
-				if gl {
-					b, _ := c.childBounds(it, lb)
-					nextItems[l] = item{it.tri, b}
-					l++
-				}
-				if gr {
-					b, _ := c.childBounds(it, rb)
-					nextItems[r] = item{it.tri, b}
-					r++
-				}
+	nextItems := ensureLen(bf.items[1-cur], next)
+	bf.items[1-cur] = nextItems
+	parallel.ForChunks(len(frontier), outerW, 1, func(_, lo0, hi0 int) {
+		for ni := lo0; ni < hi0; ni++ {
+			if !decisions[ni].doit {
+				continue
 			}
-		})
+			ln := frontier[ni]
+			split := decisions[ni].split
+			lb, rb := ln.bounds.Split(split.Axis, split.Pos)
+			sub := items[ln.start:ln.end]
+			plan := plans[ni]
+			parallel.ForChunks(len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
+				l := plan.leftStart + plan.chunkOff[chunk][0]
+				r := plan.rightStart + plan.chunkOff[chunk][1]
+				for i := lo; i < hi; i++ {
+					it := sub[i]
+					gl, gr := c.classify(it, split, lb, rb)
+					if gl {
+						b, _ := c.childBounds(it, lb)
+						nextItems[l] = item{it.tri, b}
+						l++
+					}
+					if gr {
+						b, _ := c.childBounds(it, rb)
+						nextItems[r] = item{it.tri, b}
+						r++
+					}
+				}
+			})
+		}
 	})
 
-	// Phase 3: materialise tree nodes and the next frontier; leaves and
-	// suspended nodes terminate here.
-	nextFrontier := make([]levelNode, 0, 2*len(frontier))
-	for ni, ln := range frontier {
+	// Phase 3: materialise scaffold nodes and the next frontier; leaves and
+	// suspended nodes emit their content here (single-threaded).
+	for ni := range frontier {
+		ln := frontier[ni]
 		sub := items[ln.start:ln.end]
 		if !decisions[ni].doit {
 			if c.shouldDefer(lazy, len(sub), ln.depth) {
-				*ln.bn = *c.makeDeferred(sub, ln.bounds, ln.depth)
+				bf.nodes[ln.bf] = c.bfDeferredNode(sub, ln.bounds, ln.depth)
 			} else {
-				*ln.bn = *c.makeLeaf(sub, ln.bounds, ln.depth)
+				bf.nodes[ln.bf] = c.bfLeafNode(sub, ln.depth)
 			}
 			continue
 		}
@@ -282,22 +423,21 @@ func (c *buildCtx) processLevel(frontier []levelNode, items []item, lazy bool) (
 		// A split that duplicates everything into both children makes no
 		// progress; bail to a leaf exactly like the recursive builders.
 		if plan.nl == len(sub) && plan.nr == len(sub) {
-			*ln.bn = *c.makeLeaf(sub, ln.bounds, ln.depth)
+			bf.nodes[ln.bf] = c.bfLeafNode(sub, ln.depth)
 			continue
 		}
 		split := decisions[ni].split
 		lb, rb := ln.bounds.Split(split.Axis, split.Pos)
 		c.counters.noteInner()
-		ln.bn.axis = split.Axis
-		ln.bn.pos = split.Pos
-		ln.bn.left = &buildNode{bounds: lb}
-		ln.bn.right = &buildNode{bounds: rb}
-		nextFrontier = append(nextFrontier,
-			levelNode{bn: ln.bn.left, bounds: lb, start: plan.leftStart, end: plan.leftStart + plan.nl, depth: ln.depth + 1},
-			levelNode{bn: ln.bn.right, bounds: rb, start: plan.rightStart, end: plan.rightStart + plan.nr, depth: ln.depth + 1},
+		li := int32(len(bf.nodes))
+		bf.nodes = append(bf.nodes, bfNode{}, bfNode{})
+		bf.nodes[ln.bf] = bfNode{kind: bfInner, axis: split.Axis, pos: split.Pos, left: li, right: li + 1}
+		dst = append(dst,
+			levelNode{bf: li, bounds: lb, start: plan.leftStart, end: plan.leftStart + plan.nl, depth: ln.depth + 1},
+			levelNode{bf: li + 1, bounds: rb, start: plan.rightStart, end: plan.rightStart + plan.nr, depth: ln.depth + 1},
 		)
 	}
-	return nextFrontier, nextItems
+	return dst
 }
 
 // classify reports whether an item lands in the left and/or right child,

@@ -19,59 +19,56 @@ const medianLeafSize = 16
 
 // buildMedian recursively splits at the spatial median of the longest axis,
 // parallelised with the same subtree-task scheme as the node-level builder.
-func (c *buildCtx) buildMedian() *buildNode {
-	items, bounds := c.rootItems()
+func (c *buildCtx) buildMedian() vecmath.AABB {
+	a := &c.b.main
+	items, bounds := c.rootItems(a)
 	if len(items) == 0 {
-		return nil
+		return vecmath.AABB{}
 	}
-	return c.recurseMedian(items, bounds, 0)
+	c.recurseMedian(a, items, bounds, 0)
+	return bounds
 }
 
-func (c *buildCtx) recurseMedian(items []item, bounds vecmath.AABB, depth int) *buildNode {
+func (c *buildCtx) recurseMedian(a *arena, items []item, bounds vecmath.AABB, depth int) {
 	if len(items) <= medianLeafSize || depth >= c.cfg.MaxDepth {
-		return c.makeLeaf(items, bounds, depth)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 	axis := bounds.LongestAxis()
 	pos := (bounds.Min.Axis(axis) + bounds.Max.Axis(axis)) / 2
 	lb, rb := bounds.Split(axis, pos)
 
-	left := make([]item, 0, len(items)/2)
-	right := make([]item, 0, len(items)/2)
-	for _, it := range items {
-		lo := it.bounds.Min.Axis(axis)
-		hi := it.bounds.Max.Axis(axis)
-		if lo < pos || (lo == hi && lo == pos) {
-			if b, ok := c.childBounds(it, lb); ok {
-				left = append(left, item{it.tri, b})
-			}
-		}
-		if hi > pos {
-			if b, ok := c.childBounds(it, rb); ok {
-				right = append(right, item{it.tri, b})
-			}
-		}
-	}
+	mark := a.markItems()
+	left, right := c.partitionItems(a, items, axis, pos, lb, rb)
 	if len(left) == len(items) && len(right) == len(items) {
-		return c.makeLeaf(items, bounds, depth)
+		a.releaseItems(mark)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 
 	c.counters.noteInner()
-	n := &buildNode{bounds: bounds, axis: axis, pos: pos}
+	self := a.emitInner(axis, pos)
 	if depth < c.spawnCap {
+		la, ra := c.b.getArena(), c.b.getArena()
 		var wg sync.WaitGroup
 		wg.Add(2)
 		c.pool.Spawn(func() {
 			defer wg.Done()
-			n.left = c.recurseMedian(left, lb, depth+1)
+			c.recurseMedian(la, left, lb, depth+1)
 		})
 		c.pool.Spawn(func() {
 			defer wg.Done()
-			n.right = c.recurseMedian(right, rb, depth+1)
+			c.recurseMedian(ra, right, rb, depth+1)
 		})
 		wg.Wait()
+		a.graft(la)
+		a.patchRight(self, a.graft(ra))
+		c.b.putArena(la)
+		c.b.putArena(ra)
 	} else {
-		n.left = c.recurseMedian(left, lb, depth+1)
-		n.right = c.recurseMedian(right, rb, depth+1)
+		c.recurseMedian(a, left, lb, depth+1)
+		a.patchRight(self, int32(len(a.nodes)))
+		c.recurseMedian(a, right, rb, depth+1)
 	}
-	return n
+	a.releaseItems(mark)
 }

@@ -23,51 +23,65 @@ const nestedSequentialCutoff = 2048
 // passes over primitive chunks followed by short serialised merges, the
 // "sequence of parallel prefix operations" structure of the original
 // algorithm.
-func (c *buildCtx) buildNested() *buildNode {
-	items, bounds := c.rootItems()
+func (c *buildCtx) buildNested() vecmath.AABB {
+	a := &c.b.main
+	items, bounds := c.rootItems(a)
 	if len(items) == 0 {
-		return nil
+		return vecmath.AABB{}
 	}
-	return c.recurseNested(items, bounds, 0)
+	c.recurseNested(a, items, bounds, 0)
+	return bounds
 }
 
-func (c *buildCtx) recurseNested(items []item, bounds vecmath.AABB, depth int) *buildNode {
+func (c *buildCtx) recurseNested(a *arena, items []item, bounds vecmath.AABB, depth int) {
 	if len(items) < nestedSequentialCutoff {
-		return c.recurseNodeLevel(items, bounds, depth)
+		c.recurseNodeLevel(a, items, bounds, depth)
+		return
 	}
 	if depth >= c.cfg.MaxDepth {
-		return c.makeLeaf(items, bounds, depth)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 
 	split, ok := c.parallelBestSplit(items, bounds)
 	if !ok || c.params.ShouldTerminate(len(items), split) {
-		return c.makeLeaf(items, bounds, depth)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 
-	left, right, lb, rb := c.parallelPartition(items, split, bounds)
+	mark := a.markItems()
+	left, right, lb, rb := c.parallelPartition(a, items, split, bounds)
 	if len(left) == len(items) && len(right) == len(items) {
-		return c.makeLeaf(items, bounds, depth)
+		a.releaseItems(mark)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 
 	c.counters.noteInner()
-	n := &buildNode{bounds: bounds, axis: split.Axis, pos: split.Pos}
+	self := a.emitInner(split.Axis, split.Pos)
 	if depth < c.spawnCap {
+		la, ra := c.b.getArena(), c.b.getArena()
 		var wg sync.WaitGroup
 		wg.Add(2)
 		c.pool.Spawn(func() {
 			defer wg.Done()
-			n.left = c.recurseNested(left, lb, depth+1)
+			c.recurseNested(la, left, lb, depth+1)
 		})
 		c.pool.Spawn(func() {
 			defer wg.Done()
-			n.right = c.recurseNested(right, rb, depth+1)
+			c.recurseNested(ra, right, rb, depth+1)
 		})
 		wg.Wait()
+		a.graft(la)
+		a.patchRight(self, a.graft(ra))
+		c.b.putArena(la)
+		c.b.putArena(ra)
 	} else {
-		n.left = c.recurseNested(left, lb, depth+1)
-		n.right = c.recurseNested(right, rb, depth+1)
+		c.recurseNested(a, left, lb, depth+1)
+		a.patchRight(self, int32(len(a.nodes)))
+		c.recurseNested(a, right, rb, depth+1)
 	}
-	return n
+	a.releaseItems(mark)
 }
 
 // parallelBestSplit evaluates the binned SAH split search with per-chunk
@@ -95,20 +109,21 @@ const (
 // parallelPartition distributes items into the two children using the
 // classic three-phase structure: a parallel classification pass computing
 // per-item output counts, exclusive prefix scans turning the counts into
-// write offsets, and a parallel scatter pass.
-func (c *buildCtx) parallelPartition(items []item, split sah.Split, parent vecmath.AABB) (left, right []item, lb, rb vecmath.AABB) {
+// write offsets, and a parallel scatter pass. All scratch comes from the
+// arena (it dies before the recursion descends); the child lists are carved
+// off the item stack at the exact sizes the scans report.
+func (c *buildCtx) parallelPartition(a *arena, items []item, split sah.Split, parent vecmath.AABB) (left, right []item, lb, rb vecmath.AABB) {
 	lb, rb = parent.Split(split.Axis, split.Pos)
 	n := len(items)
 	workers := c.cfg.Workers
 
-	flags := make([]sideFlag, n)
-	leftCount := make([]int, n)
-	rightCount := make([]int, n)
-	// childBoxes caches the narrowed bounds computed during classification
-	// so the scatter pass does not redo the (potentially expensive)
-	// clipping.
-	type narrowed struct{ l, r vecmath.AABB }
-	boxes := make([]narrowed, n)
+	a.flags = ensureLen(a.flags, n)
+	a.cntL = ensureLen(a.cntL, n)
+	a.cntR = ensureLen(a.cntR, n)
+	// narrowed caches the child bounds computed during classification so the
+	// scatter pass does not redo the (potentially expensive) clipping.
+	a.narrowed = ensureLen(a.narrowed, n)
+	flags, cntL, cntR, boxes := a.flags, a.cntL, a.cntR, a.narrowed
 
 	parallel.For(n, workers, func(loIdx, hiIdx int) {
 		for i := loIdx; i < hiIdx; i++ {
@@ -117,35 +132,37 @@ func (c *buildCtx) parallelPartition(items []item, split sah.Split, parent vecma
 			hi := it.bounds.Max.Axis(split.Axis)
 			goesLeft := lo < split.Pos || (lo == hi && lo == split.Pos)
 			goesRight := hi > split.Pos
+			flags[i] = 0
+			cntL[i], cntR[i] = 0, 0
 			if goesLeft {
 				if b, ok := c.childBounds(it, lb); ok {
 					flags[i] |= sideLeft
-					leftCount[i] = 1
+					cntL[i] = 1
 					boxes[i].l = b
 				}
 			}
 			if goesRight {
 				if b, ok := c.childBounds(it, rb); ok {
 					flags[i] |= sideRight
-					rightCount[i] = 1
+					cntR[i] = 1
 					boxes[i].r = b
 				}
 			}
 		}
 	})
 
-	nl := parallel.ExclusiveScan(leftCount, leftCount, workers)
-	nr := parallel.ExclusiveScan(rightCount, rightCount, workers)
-	left = make([]item, nl)
-	right = make([]item, nr)
+	nl := parallel.ExclusiveScan(cntL, cntL, workers)
+	nr := parallel.ExclusiveScan(cntR, cntR, workers)
+	left = a.allocItems(nl)
+	right = a.allocItems(nr)
 
 	parallel.For(n, workers, func(loIdx, hiIdx int) {
 		for i := loIdx; i < hiIdx; i++ {
 			if flags[i]&sideLeft != 0 {
-				left[leftCount[i]] = item{items[i].tri, boxes[i].l}
+				left[cntL[i]] = item{items[i].tri, boxes[i].l}
 			}
 			if flags[i]&sideRight != 0 {
-				right[rightCount[i]] = item{items[i].tri, boxes[i].r}
+				right[cntR[i]] = item{items[i].tri, boxes[i].r}
 			}
 		}
 	})

@@ -10,46 +10,64 @@ import (
 // Wald–Havran recursion, with the two child subtrees of an inner node
 // handed to the task pool ("OpenMP tasks for every recursive call") while
 // the recursion is shallower than the spawn budget derived from S.
-func (c *buildCtx) buildNodeLevel() *buildNode {
-	items, bounds := c.rootItems()
+func (c *buildCtx) buildNodeLevel() vecmath.AABB {
+	a := &c.b.main
+	items, bounds := c.rootItems(a)
 	if len(items) == 0 {
-		return nil
+		return vecmath.AABB{}
 	}
-	return c.recurseNodeLevel(items, bounds, 0)
+	c.recurseNodeLevel(a, items, bounds, 0)
+	return bounds
 }
 
-func (c *buildCtx) recurseNodeLevel(items []item, bounds vecmath.AABB, depth int) *buildNode {
-	split, ok := c.decideSplitSweep(items, bounds, depth)
+// recurseNodeLevel emits the subtree over items into a, in depth-first
+// pre-order (self, left subtree, right subtree) so the left child is always
+// self+1. When children are built by spawned tasks they emit into private
+// arenas that are grafted back in the same order, preserving both the
+// layout and bitwise determinism across worker counts.
+func (c *buildCtx) recurseNodeLevel(a *arena, items []item, bounds vecmath.AABB, depth int) {
+	split, ok := c.decideSplitSweep(a, items, bounds, depth)
 	if !ok {
-		return c.makeLeaf(items, bounds, depth)
+		c.makeLeaf(a, items, depth)
+		return
 	}
-	left, right, lb, rb := c.partition(items, split, bounds)
+	mark := a.markItems()
+	lb, rb := bounds.Split(split.Axis, split.Pos)
+	left, right := c.partitionItems(a, items, split.Axis, split.Pos, lb, rb)
 
 	// Guard against degenerate splits that make no progress (all primitives
 	// duplicated into both children with no empty-space gain): they would
 	// recurse forever below the SAH's radar.
 	if len(left) == len(items) && len(right) == len(items) {
-		return c.makeLeaf(items, bounds, depth)
+		a.releaseItems(mark)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 
 	c.counters.noteInner()
-	n := &buildNode{bounds: bounds, axis: split.Axis, pos: split.Pos}
+	self := a.emitInner(split.Axis, split.Pos)
 
 	if depth < c.spawnCap {
+		la, ra := c.b.getArena(), c.b.getArena()
 		var wg sync.WaitGroup
 		wg.Add(2)
 		c.pool.Spawn(func() {
 			defer wg.Done()
-			n.left = c.recurseNodeLevel(left, lb, depth+1)
+			c.recurseNodeLevel(la, left, lb, depth+1)
 		})
 		c.pool.Spawn(func() {
 			defer wg.Done()
-			n.right = c.recurseNodeLevel(right, rb, depth+1)
+			c.recurseNodeLevel(ra, right, rb, depth+1)
 		})
 		wg.Wait()
+		a.graft(la)
+		a.patchRight(self, a.graft(ra))
+		c.b.putArena(la)
+		c.b.putArena(ra)
 	} else {
-		n.left = c.recurseNodeLevel(left, lb, depth+1)
-		n.right = c.recurseNodeLevel(right, rb, depth+1)
+		c.recurseNodeLevel(a, left, lb, depth+1)
+		a.patchRight(self, int32(len(a.nodes)))
+		c.recurseNodeLevel(a, right, rb, depth+1)
 	}
-	return n
+	a.releaseItems(mark)
 }

@@ -2,6 +2,7 @@ package kdtree
 
 import (
 	"math"
+	"slices"
 	"sync"
 
 	"kdtune/internal/parallel"
@@ -64,17 +65,19 @@ func soLess(a, b soEvent) int {
 }
 
 // buildSortOnce is the entry point: generate + sort all events, recurse.
-func (c *buildCtx) buildSortOnce() *buildNode {
-	items, bounds := c.rootItems()
+func (c *buildCtx) buildSortOnce() vecmath.AABB {
+	a := &c.b.main
+	items, bounds := c.rootItems(a)
 	if len(items) == 0 {
-		return nil
+		return vecmath.AABB{}
 	}
-	events := make([]soEvent, 0, 6*len(items))
+	events := a.allocEvents(6 * len(items))[:0]
 	for slot, it := range items {
 		events = appendEvents(events, int32(slot), it.bounds)
 	}
 	parallel.SortFunc(events, c.cfg.Workers, soLess)
-	return c.recurseSortOnce(items, events, bounds, 0)
+	c.recurseSortOnce(a, items, events, bounds, 0)
+	return bounds
 }
 
 // appendEvents emits the (up to six) events of one slot's bounds.
@@ -141,21 +144,29 @@ func (c *buildCtx) sweepEvents(events []soEvent, bounds vecmath.AABB, n int) (sa
 	return best, found
 }
 
-// recurseSortOnce is the splice recursion.
-func (c *buildCtx) recurseSortOnce(items []item, events []soEvent, bounds vecmath.AABB, depth int) *buildNode {
+// recurseSortOnce is the splice recursion. Items and events are windows on
+// the arena stacks; child windows are carved below them and released after
+// both children have been emitted.
+func (c *buildCtx) recurseSortOnce(a *arena, items []item, events []soEvent, bounds vecmath.AABB, depth int) {
 	if len(items) <= 1 || depth >= c.cfg.MaxDepth {
-		return c.makeLeaf(items, bounds, depth)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 	split, ok := c.sweepEvents(events, bounds, len(items))
 	if !ok || c.params.ShouldTerminate(len(items), split) {
-		return c.makeLeaf(items, bounds, depth)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 	lb, rb := bounds.Split(split.Axis, split.Pos)
 
 	// Classify each slot against the plane using only the chosen axis's
 	// events (Wald–Havran's flag pass): default straddling, overridden by
 	// events proving the primitive lies entirely on one side.
-	cls := make([]uint8, len(items))
+	a.cls = ensureLen(a.cls, len(items))
+	cls := a.cls
+	for i := range cls {
+		cls[i] = clsBoth
+	}
 	for _, e := range events {
 		if vecmath.Axis(e.axis) != split.Axis {
 			continue
@@ -178,14 +189,44 @@ func (c *buildCtx) recurseSortOnce(items []item, events []soEvent, bounds vecmat
 		}
 	}
 
+	// Size the child windows: item capacities from the classification
+	// (straddlers may still drop during re-narrowing, so these are upper
+	// bounds), event capacities from the per-side event census.
+	var nlCap, nrCap int
+	for _, cl := range cls {
+		switch cl {
+		case clsLeft:
+			nlCap++
+		case clsRight:
+			nrCap++
+		default:
+			nlCap++
+			nrCap++
+		}
+	}
+	var celCap, cerCap int
+	for _, e := range events {
+		switch cls[e.slot] {
+		case clsLeft:
+			celCap++
+		case clsRight:
+			cerCap++
+		}
+	}
+
+	imark := a.markItems()
+	emark := a.markEvents()
+
 	// Build child item lists and slot remaps. Straddlers are re-narrowed
 	// (clip or box intersection per configuration); a straddler whose
 	// narrowed half vanishes drops out of that child entirely.
-	leftSlot := make([]int32, len(items))
-	rightSlot := make([]int32, len(items))
-	leftItems := make([]item, 0, split.NL)
-	rightItems := make([]item, 0, split.NR)
-	var leftNew, rightNew []soEvent // regenerated events for straddler halves
+	a.slotL = ensureLen(a.slotL, len(items))
+	a.slotR = ensureLen(a.slotR, len(items))
+	leftSlot, rightSlot := a.slotL, a.slotR
+	leftItems := a.allocItems(nlCap)[:0]
+	rightItems := a.allocItems(nrCap)[:0]
+	leftNew := a.evNewL[:0]
+	rightNew := a.evNewR[:0]
 
 	for slot, it := range items {
 		leftSlot[slot], rightSlot[slot] = -1, -1
@@ -211,14 +252,19 @@ func (c *buildCtx) recurseSortOnce(items []item, events []soEvent, bounds vecmat
 			}
 		}
 	}
+	a.evNewL = leftNew[:0]
+	a.evNewR = rightNew[:0]
 	if len(leftItems) == len(items) && len(rightItems) == len(items) {
-		return c.makeLeaf(items, bounds, depth)
+		a.releaseEvents(emark)
+		a.releaseItems(imark)
+		c.makeLeaf(a, items, depth)
+		return
 	}
 
 	// Splice: one ordered pass distributes surviving events; straddler
 	// replacements are sorted (few) and merged in.
-	leftEvents := make([]soEvent, 0, len(events))
-	rightEvents := make([]soEvent, 0, len(events))
+	leftEvents := a.allocEvents(celCap)[:0]
+	rightEvents := a.allocEvents(cerCap)[:0]
 	for _, e := range events {
 		switch cls[e.slot] {
 		case clsLeft:
@@ -229,38 +275,47 @@ func (c *buildCtx) recurseSortOnce(items []item, events []soEvent, bounds vecmat
 			rightEvents = append(rightEvents, e)
 		}
 	}
-	leftEvents = mergeNewEvents(leftEvents, leftNew)
-	rightEvents = mergeNewEvents(rightEvents, rightNew)
+	leftEvents = mergeNewEvents(a, leftEvents, leftNew)
+	rightEvents = mergeNewEvents(a, rightEvents, rightNew)
 
 	c.counters.noteInner()
-	n := &buildNode{bounds: bounds, axis: split.Axis, pos: split.Pos}
+	self := a.emitInner(split.Axis, split.Pos)
 	if depth < c.spawnCap {
+		la, ra := c.b.getArena(), c.b.getArena()
 		var wg sync.WaitGroup
 		wg.Add(2)
 		c.pool.Spawn(func() {
 			defer wg.Done()
-			n.left = c.recurseSortOnce(leftItems, leftEvents, lb, depth+1)
+			c.recurseSortOnce(la, leftItems, leftEvents, lb, depth+1)
 		})
 		c.pool.Spawn(func() {
 			defer wg.Done()
-			n.right = c.recurseSortOnce(rightItems, rightEvents, rb, depth+1)
+			c.recurseSortOnce(ra, rightItems, rightEvents, rb, depth+1)
 		})
 		wg.Wait()
+		a.graft(la)
+		a.patchRight(self, a.graft(ra))
+		c.b.putArena(la)
+		c.b.putArena(ra)
 	} else {
-		n.left = c.recurseSortOnce(leftItems, leftEvents, lb, depth+1)
-		n.right = c.recurseSortOnce(rightItems, rightEvents, rb, depth+1)
+		c.recurseSortOnce(a, leftItems, leftEvents, lb, depth+1)
+		a.patchRight(self, int32(len(a.nodes)))
+		c.recurseSortOnce(a, rightItems, rightEvents, rb, depth+1)
 	}
-	return n
+	a.releaseEvents(emark)
+	a.releaseItems(imark)
 }
 
 // mergeNewEvents sorts the regenerated straddler events and merges them
-// with the already-ordered spliced list.
-func mergeNewEvents(spliced, fresh []soEvent) []soEvent {
+// with the already-ordered spliced window, returning the merged window
+// (carved off the arena's event stack; the spliced window is simply
+// abandoned until the node's release).
+func mergeNewEvents(a *arena, spliced, fresh []soEvent) []soEvent {
 	if len(fresh) == 0 {
 		return spliced
 	}
-	parallel.SortFunc(fresh, 1, soLess)
-	out := make([]soEvent, 0, len(spliced)+len(fresh))
+	slices.SortFunc(fresh, soLess)
+	out := a.allocEvents(len(spliced) + len(fresh))[:0]
 	i, j := 0, 0
 	for i < len(spliced) && j < len(fresh) {
 		if soLess(spliced[i], fresh[j]) <= 0 {

@@ -1,0 +1,161 @@
+package kdtree
+
+import (
+	"sync"
+
+	"kdtune/internal/parallel"
+	"kdtune/internal/vecmath"
+)
+
+// Builder owns every byte of build scratch — item and event stacks, node and
+// leaf-reference arenas, breadth-first frontier buffers, the worker pool —
+// and reuses all of it across Build calls. In the paper's frame loop the
+// tree is rebuilt every frame, so a retained Builder makes the steady state
+// allocation-free where a fresh Build would re-allocate tens of thousands of
+// nodes per frame.
+//
+// The Tree returned by Build borrows the Builder's storage: it is valid
+// until the next Build (or BuildDeferred) call on the same Builder, which
+// overwrites it in place. Callers that need overlapping trees use separate
+// Builders (or the package-level Build, which allocates a fresh one).
+//
+// A Builder is not safe for concurrent Build calls, but the Tree it returns
+// has the usual concurrency guarantees (read-only traversal plus serialised
+// lazy expansion).
+type Builder struct {
+	ctx  buildCtx
+	main arena
+	tree Tree
+	defs []deferredNode // backing for tree.deferred, reused across builds
+
+	pool        *parallel.Pool
+	poolWorkers int
+
+	// Free list of subtree-task arenas, shared by spawned tasks.
+	arenaMu   sync.Mutex
+	arenaFree []*arena
+
+	bf bfScratch
+}
+
+// NewBuilder returns an empty Builder. All storage is grown on first use
+// and retained afterwards.
+func NewBuilder() *Builder {
+	return &Builder{}
+}
+
+// Build constructs the tree for tris under cfg, reusing all scratch from
+// previous calls. See the Builder type comment for the storage lifetime.
+func (b *Builder) Build(tris []vecmath.Triangle, cfg Config) *Tree {
+	cfg = cfg.normalized(len(tris))
+	c := b.prepare(tris, cfg)
+
+	var bounds vecmath.AABB
+	switch cfg.Algorithm {
+	case AlgoNested:
+		bounds = c.buildNested()
+	case AlgoInPlace:
+		bounds = c.buildBreadthFirst(false)
+	case AlgoLazy:
+		bounds = c.buildBreadthFirst(true)
+	case AlgoMedian:
+		bounds = c.buildMedian()
+	case AlgoSortOnce:
+		bounds = c.buildSortOnce()
+	default: // AlgoNodeLevel and unknown values
+		bounds = c.buildNodeLevel()
+	}
+
+	return b.finish(bounds, len(tris))
+}
+
+// prepare resets the per-build state. Counter atomics are reset in place
+// (they cannot be overwritten wholesale without copying locks).
+func (b *Builder) prepare(tris []vecmath.Triangle, cfg Config) *buildCtx {
+	b.main.reset()
+	if b.pool == nil || b.poolWorkers != cfg.Workers {
+		b.pool = parallel.NewPool(cfg.Workers)
+		b.poolWorkers = cfg.Workers
+	}
+	c := &b.ctx
+	c.tris = tris
+	c.cfg = cfg
+	c.params = cfg.sahParams()
+	c.pool = b.pool
+	c.spawnCap = cfg.spawnDepth()
+	c.b = b
+	c.counters.reset()
+	return c
+}
+
+// finish assembles the borrowed Tree view over the main arena.
+func (b *Builder) finish(bounds vecmath.AABB, numTris int) *Tree {
+	if len(b.main.nodes) == 0 {
+		// Empty scene: a single empty leaf, zero bounds (matching the
+		// historical flatten behaviour; stats count nothing).
+		b.main.nodes = append(b.main.nodes, leafNode(0, 0))
+	}
+	t := &b.tree
+	t.tris = b.ctx.tris
+	t.bounds = bounds
+	t.nodes = b.main.nodes
+	t.leafTris = b.main.leafTris
+	t.root = 0
+	t.cfg = b.ctx.cfg
+	t.stats = b.ctx.counters.snapshot(b.ctx.cfg.Algorithm, numTris)
+
+	b.defs = ensureLen(b.defs, len(b.main.defs))
+	for i := range b.main.defs {
+		d := &b.main.defs[i]
+		dn := &b.defs[i]
+		dn.once.done.Store(false)
+		dn.bounds = d.bounds
+		dn.tris = b.main.defTris[d.start : d.start+d.count : d.start+d.count]
+		dn.sub.Store(nil)
+	}
+	t.deferred = b.defs
+	return t
+}
+
+// getArena hands out a reset subtree arena, recycling finished ones.
+func (b *Builder) getArena() *arena {
+	b.arenaMu.Lock()
+	if n := len(b.arenaFree); n > 0 {
+		a := b.arenaFree[n-1]
+		b.arenaFree = b.arenaFree[:n-1]
+		b.arenaMu.Unlock()
+		return a
+	}
+	b.arenaMu.Unlock()
+	return &arena{}
+}
+
+// putArena returns a grafted (consumed) arena to the free list.
+func (b *Builder) putArena(a *arena) {
+	a.reset()
+	b.arenaMu.Lock()
+	b.arenaFree = append(b.arenaFree, a)
+	b.arenaMu.Unlock()
+}
+
+// buildDeferredSubtree expands one suspended lazy node into a fresh tree.
+// The Builder is dedicated to the subtree: the returned Tree owns (keeps
+// alive) the Builder's storage, which is exactly the "small per-tree
+// scratch" a lazy expansion needs.
+func (b *Builder) buildDeferredSubtree(parent *Tree, d *deferredNode, cfg Config) *Tree {
+	cfg = cfg.normalized(len(parent.tris))
+	c := b.prepare(parent.tris, cfg)
+	a := &b.main
+	items := a.allocItems(len(d.tris))[:0]
+	for _, ti := range d.tris {
+		bb := parent.tris[ti].Bounds().Intersect(d.bounds)
+		if bb.IsEmpty() {
+			// Can only happen for degenerate input; such triangles cannot
+			// intersect rays inside this node anyway.
+			continue
+		}
+		items = append(items, item{ti, bb})
+	}
+	c.recurseNodeLevel(a, items, d.bounds, 0)
+	return b.finish(d.bounds, len(items))
+}

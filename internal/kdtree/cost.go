@@ -26,16 +26,16 @@ func (t *Tree) SAHCost(p sah.Params) float64 {
 // costNode returns the un-normalised cost contribution (area-weighted) of
 // the subtree at idx occupying region.
 func (t *Tree) costNode(idx int32, region vecmath.AABB, p sah.Params) float64 {
-	n := &t.nodes[idx]
+	n := t.nodes[idx]
 	area := region.SurfaceArea()
-	switch n.kind {
+	switch n.kind() {
 	case kindInner:
-		lb, rb := region.Split(n.axis, n.pos)
-		return p.CT*area + t.costNode(n.left, lb, p) + t.costNode(n.right, rb, p)
+		lb, rb := region.Split(n.axis(), n.pos)
+		return p.CT*area + t.costNode(idx+1, lb, p) + t.costNode(n.right(), rb, p)
 	case kindLeaf:
-		return area * p.LeafCost(int(n.triCount))
+		return area * p.LeafCost(int(n.triCount()))
 	default: // deferred
-		d := t.deferred[n.deferred]
+		d := &t.deferred[n.deferredIdx()]
 		if sub := d.sub.Load(); sub != nil {
 			// Already expanded: charge the real subtree.
 			return sub.costNode(sub.root, region, p)

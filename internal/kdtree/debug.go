@@ -14,24 +14,24 @@ func DebugDescend(t *Tree, p vecmath.Vec3) ([]int32, string) {
 	idx := t.root
 	chain := ""
 	for {
-		n := &t.nodes[idx]
-		switch n.kind {
+		n := t.nodes[idx]
+		switch n.kind() {
 		case kindInner:
 			side := "L"
-			next := n.left
-			if p.Axis(n.axis) > n.pos {
+			next := idx + 1
+			if p.Axis(n.axis()) > n.pos {
 				side = "R"
-				next = n.right
+				next = n.right()
 			}
-			chain += fmt.Sprintf("[%v=%.10g %s]", n.axis, n.pos, side)
+			chain += fmt.Sprintf("[%v=%.10g %s]", n.axis(), n.pos, side)
 			if len(chain) > 400 {
 				chain = chain[len(chain)-400:]
 			}
 			idx = next
 		case kindLeaf:
-			return t.leafTris[n.triStart : n.triStart+n.triCount], chain
+			return t.leafTris[n.triStart() : n.triStart()+n.triCount()], chain
 		case kindDeferred:
-			d := t.deferred[n.deferred]
+			d := &t.deferred[n.deferredIdx()]
 			sub := t.expandDeferred(d)
 			return DebugDescend(sub, p)
 		}
@@ -41,7 +41,8 @@ func DebugDescend(t *Tree, p vecmath.Vec3) ([]int32, string) {
 // DebugIntersect mirrors Intersect but reports whether the given triangle
 // index was ever tested during traversal and with what result.
 func DebugIntersect(t *Tree, r vecmath.Ray, tMin, tMax float64, watch int32) (tested bool, result string) {
-	t0, t1, ok := t.bounds.IntersectRay(r, tMin, tMax)
+	inv := r.EffInvDir()
+	t0, t1, ok := t.bounds.IntersectRayInv(r.Origin, r.Dir, inv, tMin, tMax)
 	if !ok {
 		return false, "bounds miss"
 	}
@@ -50,13 +51,13 @@ func DebugIntersect(t *Tree, r vecmath.Ray, tMin, tMax float64, watch int32) (te
 	curMin, curMax := t0, t1
 	result = "never reached"
 	for {
-		n := &t.nodes[node]
-		switch n.kind {
+		n := t.nodes[node]
+		switch n.kind() {
 		case kindInner:
-			axis := n.axis
+			axis := n.axis()
 			o := r.Origin.Axis(axis)
 			d := r.Dir.Axis(axis)
-			near, far := n.left, n.right
+			near, far := node+1, n.right()
 			if o > n.pos || (o == n.pos && d < 0) {
 				near, far = far, near
 			}
@@ -67,7 +68,10 @@ func DebugIntersect(t *Tree, r vecmath.Ray, tMin, tMax float64, watch int32) (te
 				node = near
 				continue
 			}
-			tSplit := (n.pos - o) / d
+			// Multiply by the precomputed reciprocal, exactly as Intersect
+			// does: a mirror that rounds differently would report different
+			// decisions than the traversal it is debugging.
+			tSplit := (n.pos - o) * inv.Axis(axis)
 			switch {
 			case tSplit > curMax || tSplit < 0:
 				node = near
@@ -80,7 +84,7 @@ func DebugIntersect(t *Tree, r vecmath.Ray, tMin, tMax float64, watch int32) (te
 			}
 			continue
 		case kindLeaf:
-			for i := n.triStart; i < n.triStart+n.triCount; i++ {
+			for i := n.triStart(); i < n.triStart()+n.triCount(); i++ {
 				if t.leafTris[i] == watch {
 					tested = true
 					th, _, _, hit := t.tris[watch].IntersectRay(r, tMin, tMax)

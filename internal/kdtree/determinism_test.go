@@ -19,26 +19,26 @@ func sameTree(a, b *Tree) error {
 	var walk func(ia, ib int32, path string) error
 	walk = func(ia, ib int32, path string) error {
 		na, nb := a.nodes[ia], b.nodes[ib]
-		if na.kind != nb.kind {
-			return fmt.Errorf("node %s: kind %d vs %d", path, na.kind, nb.kind)
+		if na.kind() != nb.kind() {
+			return fmt.Errorf("node %s: kind %d vs %d", path, na.kind(), nb.kind())
 		}
-		switch na.kind {
+		switch na.kind() {
 		case kindInner:
-			if na.axis != nb.axis || na.pos != nb.pos {
-				return fmt.Errorf("node %s: split (%v,%v) vs (%v,%v)", path, na.axis, na.pos, nb.axis, nb.pos)
+			if na.axis() != nb.axis() || na.pos != nb.pos {
+				return fmt.Errorf("node %s: split (%v,%v) vs (%v,%v)", path, na.axis(), na.pos, nb.axis(), nb.pos)
 			}
-			if err := walk(na.left, nb.left, path+"L"); err != nil {
+			if err := walk(ia+1, ib+1, path+"L"); err != nil {
 				return err
 			}
-			return walk(na.right, nb.right, path+"R")
+			return walk(na.right(), nb.right(), path+"R")
 		case kindLeaf:
-			ta := a.leafTris[na.triStart : na.triStart+na.triCount]
-			tb := b.leafTris[nb.triStart : nb.triStart+nb.triCount]
+			ta := a.leafTris[na.triStart() : na.triStart()+na.triCount()]
+			tb := b.leafTris[nb.triStart() : nb.triStart()+nb.triCount()]
 			if !slices.Equal(ta, tb) {
 				return fmt.Errorf("leaf %s: tris %v vs %v", path, ta, tb)
 			}
 		case kindDeferred:
-			da, db := a.deferred[na.deferred], b.deferred[nb.deferred]
+			da, db := &a.deferred[na.deferredIdx()], &b.deferred[nb.deferredIdx()]
 			if da.bounds != db.bounds || !slices.Equal(da.tris, db.tris) {
 				return fmt.Errorf("deferred %s: differs (%d vs %d tris)", path, len(da.tris), len(db.tris))
 			}
@@ -127,6 +127,34 @@ func TestBuildersDeterministicOnScenes(t *testing.T) {
 				if gotCost := got.SAHCost(c.sahParams()); gotCost != wantCost {
 					t.Fatalf("%v on %s workers=%d: SAH cost %v, want %v", a, sc, w, gotCost, wantCost)
 				}
+			}
+		}
+	}
+}
+
+// TestBuilderReuseDeterministic pins the arena-reuse contract: rebuilding a
+// scene on a Builder whose storage is dirty from entirely different builds
+// must produce a tree bitwise-identical to a fresh Build. Stale bytes in any
+// reused buffer that leak into the output would show up here.
+func TestBuilderReuseDeterministic(t *testing.T) {
+	r := rand.New(rand.NewSource(604))
+	trisA := randomTriangles(r, 2500, 10, 0.25)
+	trisB := randomTriangles(r, 900, 6, 0.8)
+	for _, a := range Algorithms {
+		for _, w := range []int{1, 4} {
+			cfg := testConfig(a)
+			cfg.Workers = w
+			want := Build(trisA, cfg)
+
+			b := NewBuilder()
+			b.Build(trisA, cfg) // dirty the arenas with A...
+			b.Build(trisB, cfg) // ...then with a differently-shaped B
+			got := b.Build(trisA, cfg)
+			if err := sameTree(want, got); err != nil {
+				t.Fatalf("%v workers=%d: reused Builder differs from fresh build: %v", a, w, err)
+			}
+			if gc, wc := got.SAHCost(cfg.sahParams()), want.SAHCost(cfg.sahParams()); gc != wc {
+				t.Fatalf("%v workers=%d: reused Builder SAH cost %v, want %v", a, w, gc, wc)
 			}
 		}
 	}

@@ -26,16 +26,16 @@ func (t *Tree) Shape() TreeShape {
 }
 
 func (t *Tree) shapeNode(idx int32, depth int, s *TreeShape) {
-	n := &t.nodes[idx]
-	switch n.kind {
+	n := t.nodes[idx]
+	switch n.kind() {
 	case kindInner:
-		t.shapeNode(n.left, depth+1, s)
-		t.shapeNode(n.right, depth+1, s)
+		t.shapeNode(idx+1, depth+1, s)
+		t.shapeNode(n.right(), depth+1, s)
 	case kindLeaf:
-		s.LeafSizes[int(n.triCount)]++
+		s.LeafSizes[int(n.triCount())]++
 		s.LeafDepths[depth]++
 	case kindDeferred:
-		sub := t.deferred[n.deferred].sub.Load()
+		sub := t.deferred[n.deferredIdx()].sub.Load()
 		subShape := sub.Shape()
 		for size, c := range subShape.LeafSizes {
 			s.LeafSizes[size] += c

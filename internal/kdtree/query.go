@@ -30,25 +30,25 @@ func (t *Tree) RangeQuery(box vecmath.AABB) []int {
 }
 
 func (t *Tree) rangeNode(idx int32, region, box vecmath.AABB, seen map[int32]struct{}) {
-	n := &t.nodes[idx]
-	switch n.kind {
+	n := t.nodes[idx]
+	switch n.kind() {
 	case kindInner:
-		lb, rb := region.Split(n.axis, n.pos)
-		if box.Min.Axis(n.axis) <= n.pos {
-			t.rangeNode(n.left, lb, box, seen)
+		lb, rb := region.Split(n.axis(), n.pos)
+		if box.Min.Axis(n.axis()) <= n.pos {
+			t.rangeNode(idx+1, lb, box, seen)
 		}
-		if box.Max.Axis(n.axis) >= n.pos {
-			t.rangeNode(n.right, rb, box, seen)
+		if box.Max.Axis(n.axis()) >= n.pos {
+			t.rangeNode(n.right(), rb, box, seen)
 		}
 	case kindLeaf:
-		for i := n.triStart; i < n.triStart+n.triCount; i++ {
+		for i := n.triStart(); i < n.triStart()+n.triCount(); i++ {
 			ti := t.leafTris[i]
 			if t.tris[ti].Bounds().Overlaps(box) {
 				seen[ti] = struct{}{}
 			}
 		}
 	case kindDeferred:
-		d := t.deferred[n.deferred]
+		d := &t.deferred[n.deferredIdx()]
 		sub := t.expandDeferred(d)
 		sub.rangeNode(sub.root, sub.bounds, box, seen)
 	}
@@ -72,21 +72,21 @@ func (t *Tree) nnNode(idx int32, region vecmath.AABB, p vecmath.Vec3, bestTri *i
 	if vecmath.DistToBox(p, region) >= *best {
 		return
 	}
-	n := &t.nodes[idx]
-	switch n.kind {
+	n := t.nodes[idx]
+	switch n.kind() {
 	case kindInner:
-		lb, rb := region.Split(n.axis, n.pos)
+		lb, rb := region.Split(n.axis(), n.pos)
 		// Descend into the side containing p first: it tightens the bound
 		// fastest and lets the other side be pruned more often.
-		if p.Axis(n.axis) <= n.pos {
-			t.nnNode(n.left, lb, p, bestTri, best)
-			t.nnNode(n.right, rb, p, bestTri, best)
+		if p.Axis(n.axis()) <= n.pos {
+			t.nnNode(idx+1, lb, p, bestTri, best)
+			t.nnNode(n.right(), rb, p, bestTri, best)
 		} else {
-			t.nnNode(n.right, rb, p, bestTri, best)
-			t.nnNode(n.left, lb, p, bestTri, best)
+			t.nnNode(n.right(), rb, p, bestTri, best)
+			t.nnNode(idx+1, lb, p, bestTri, best)
 		}
 	case kindLeaf:
-		for i := n.triStart; i < n.triStart+n.triCount; i++ {
+		for i := n.triStart(); i < n.triStart()+n.triCount(); i++ {
 			ti := t.leafTris[i]
 			tr := t.tris[ti]
 			if tr.IsDegenerate() {
@@ -98,7 +98,7 @@ func (t *Tree) nnNode(idx int32, region vecmath.AABB, p vecmath.Vec3, bestTri *i
 			}
 		}
 	case kindDeferred:
-		d := t.deferred[n.deferred]
+		d := &t.deferred[n.deferredIdx()]
 		sub := t.expandDeferred(d)
 		sub.nnNode(sub.root, sub.bounds, p, bestTri, best)
 	}

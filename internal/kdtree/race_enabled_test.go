@@ -1,0 +1,8 @@
+//go:build race
+
+package kdtree
+
+// raceEnabled reports whether the race detector instruments this build; its
+// instrumentation allocates, so allocation-count assertions are meaningless
+// under -race and skip themselves.
+const raceEnabled = true

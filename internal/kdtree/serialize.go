@@ -17,6 +17,12 @@ import (
 // structure). Lazy trees are expanded before writing: a file is a poor
 // place for an unexpanded promise.
 //
+// The wire format (version 1) predates the packed in-memory node and stays
+// unchanged: each node carries explicit left/right child indices. The writer
+// expands the implicit left = self+1 adjacency into the wire field; the
+// reader re-lays incoming trees out in pre-order so the adjacency invariant
+// holds again in memory regardless of how the file ordered its nodes.
+//
 // Layout:
 //
 //	magic "KDTN" | u32 version
@@ -61,14 +67,22 @@ func (t *Tree) Serialize(w io.Writer) error {
 	writeVec(flat.bounds.Max)
 
 	writeU64(uint64(len(flat.nodes)))
-	for _, n := range flat.nodes {
-		bw.WriteByte(byte(n.kind))
-		bw.WriteByte(byte(n.axis))
+	for i, n := range flat.nodes {
+		bw.WriteByte(byte(n.kind()))
+		bw.WriteByte(byte(n.axis()))
 		writeF64(n.pos)
-		writeU32(uint32(n.left))
-		writeU32(uint32(n.right))
-		writeU32(uint32(n.triStart))
-		writeU32(uint32(n.triCount))
+		var left, right, triStart, triCount uint32
+		if n.kind() == kindInner {
+			left = uint32(i) + 1
+			right = uint32(n.right())
+		} else {
+			triStart = uint32(n.triStart())
+			triCount = uint32(n.triCount())
+		}
+		writeU32(left)
+		writeU32(right)
+		writeU32(triStart)
+		writeU32(triCount)
 	}
 	writeU64(uint64(len(flat.leafTris)))
 	for _, ti := range flat.leafTris {
@@ -87,38 +101,45 @@ func (t *Tree) Serialize(w io.Writer) error {
 // inlineDeferred rewrites a lazy tree (with every deferred node already
 // expanded) into a single flat arena with no deferred entries.
 func (t *Tree) inlineDeferred() *Tree {
-	out := &Tree{tris: t.tris, bounds: t.bounds, cfg: t.cfg, stats: t.stats}
-	out.root = out.graft(t, t.root)
-	return out
-}
-
-// graft copies node idx of src (and its subtree) into out, flattening
-// deferred subtrees as it goes, and returns the new index.
-func (out *Tree) graft(src *Tree, idx int32) int32 {
-	n := src.nodes[idx]
-	switch n.kind {
-	case kindInner:
-		ni := int32(len(out.nodes))
-		out.nodes = append(out.nodes, node{kind: kindInner, axis: n.axis, pos: n.pos})
-		li := out.graft(src, n.left)
-		ri := out.graft(src, n.right)
-		out.nodes[ni].left = li
-		out.nodes[ni].right = ri
-		return ni
-	case kindLeaf:
-		start := int32(len(out.leafTris))
-		out.leafTris = append(out.leafTris, src.leafTris[n.triStart:n.triStart+n.triCount]...)
-		ni := int32(len(out.nodes))
-		out.nodes = append(out.nodes, node{kind: kindLeaf, triStart: start, triCount: n.triCount})
-		return ni
-	default: // deferred (already expanded)
-		sub := src.deferred[n.deferred].sub.Load()
-		return out.graft(sub, sub.root)
+	var a arena
+	t.inlineGraft(&a, t.root)
+	return &Tree{
+		tris: t.tris, bounds: t.bounds, cfg: t.cfg, stats: t.stats,
+		nodes: a.nodes, leafTris: a.leafTris, root: 0,
 	}
 }
 
-// ReadTree deserialises a tree written by WriteTo, validating structure
-// bounds as it reads.
+// inlineGraft copies node idx (and its subtree) into a in pre-order,
+// splicing expanded deferred subtrees in place of their stub nodes.
+func (t *Tree) inlineGraft(a *arena, idx int32) {
+	n := t.nodes[idx]
+	switch n.kind() {
+	case kindInner:
+		self := a.emitInner(n.axis(), n.pos)
+		t.inlineGraft(a, idx+1)
+		a.patchRight(self, int32(len(a.nodes)))
+		t.inlineGraft(a, n.right())
+	case kindLeaf:
+		start := int32(len(a.leafTris))
+		a.leafTris = append(a.leafTris, t.leafTris[n.triStart():n.triStart()+n.triCount()]...)
+		a.nodes = append(a.nodes, leafNode(start, n.triCount()))
+	default: // deferred (already expanded)
+		sub := t.deferred[n.deferredIdx()].sub.Load()
+		sub.inlineGraft(a, sub.root)
+	}
+}
+
+// diskNode is the wire representation of one node, held only while ReadTree
+// validates the file and re-lays the tree out into the packed arena format.
+type diskNode struct {
+	pos                             float64
+	left, right, triStart, triCount uint32
+	kind, axis                      uint8
+}
+
+// ReadTree deserialises a tree written by Serialize, validating structure
+// bounds as it reads and then re-laying the nodes out in pre-order so the
+// in-memory left-child adjacency invariant holds.
 func ReadTree(r io.Reader) (*Tree, error) {
 	br := bufio.NewReader(r)
 	magic := make([]byte, 4)
@@ -213,7 +234,7 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	if numNodes > maxCount {
 		return nil, fmt.Errorf("kdtree: implausible node count %d", numNodes)
 	}
-	t.nodes = make([]node, 0, prealloc(numNodes))
+	disk := make([]diskNode, 0, prealloc(numNodes))
 	for i := 0; uint64(i) < numNodes; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
@@ -260,10 +281,12 @@ func ReadTree(r io.Reader) (*Tree, error) {
 				return nil, fmt.Errorf("kdtree: node %d: right child %d violates DFS order", i, right)
 			}
 		}
-		t.nodes = append(t.nodes, node{
-			kind: nodeKind(kind), axis: vecmath.Axis(axis), pos: pos,
-			left: int32(left), right: int32(right),
-			triStart: int32(triStart), triCount: int32(triCount),
+		if nodeKind(kind) == kindLeaf && triCount > maxLeafCount {
+			return nil, fmt.Errorf("kdtree: node %d: leaf count %d overflows node layout", i, triCount)
+		}
+		disk = append(disk, diskNode{
+			kind: kind, axis: axis, pos: pos,
+			left: left, right: right, triStart: triStart, triCount: triCount,
 		})
 	}
 
@@ -273,15 +296,15 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	// walked separately), so a kilobyte of crafted input could spin a query
 	// for hours — found by fuzzing. Requiring a unique parent per node
 	// restores the tree shape and with it the linear traversal bound.
-	parent := make([]int32, len(t.nodes))
+	parent := make([]int32, len(disk))
 	for i := range parent {
 		parent[i] = -1
 	}
-	for i, n := range t.nodes {
-		if n.kind != kindInner {
+	for i, n := range disk {
+		if nodeKind(n.kind) != kindInner {
 			continue
 		}
-		for _, c := range [2]int32{n.left, n.right} {
+		for _, c := range [2]uint32{n.left, n.right} {
 			if parent[c] != -1 {
 				return nil, fmt.Errorf("kdtree: node %d has multiple parents (%d and %d)", c, parent[c], i)
 			}
@@ -307,8 +330,8 @@ func ReadTree(r io.Reader) (*Tree, error) {
 		}
 		t.leafTris = append(t.leafTris, int32(v))
 	}
-	for i, n := range t.nodes {
-		if n.kind == kindLeaf && uint64(n.triStart)+uint64(n.triCount) > numLeafTris {
+	for i, n := range disk {
+		if nodeKind(n.kind) == kindLeaf && uint64(n.triStart)+uint64(n.triCount) > numLeafTris {
 			return nil, fmt.Errorf("kdtree: node %d: leaf range out of bounds", i)
 		}
 	}
@@ -320,7 +343,41 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	if uint64(root) >= numNodes {
 		return nil, fmt.Errorf("kdtree: root %d out of range", root)
 	}
-	t.root = int32(root)
+
+	// Re-layout: walk the validated disk tree from its root in pre-order,
+	// packing nodes so every left child lands at parent+1 (the adjacency the
+	// traversal relies on). An explicit stack — push right, then left, so the
+	// left subtree is emitted first — keeps corrupt-but-deep inputs from
+	// exhausting the goroutine stack. Nodes unreachable from the root (legal
+	// under the checks above, never produced by the writer) are dropped; no
+	// traversal could visit them anyway.
+	if len(disk) > 0 {
+		type relFrame struct {
+			disk   uint32
+			parent int32 // arena index of the inner node awaiting its right child; -1 if none
+		}
+		t.nodes = make([]node, 0, len(disk))
+		stack := make([]relFrame, 0, 64)
+		stack = append(stack, relFrame{disk: root, parent: -1})
+		for len(stack) > 0 {
+			f := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			d := disk[f.disk]
+			ni := int32(len(t.nodes))
+			if f.parent >= 0 {
+				t.nodes[f.parent].word0 = uint32(ni)
+			}
+			if nodeKind(d.kind) == kindInner {
+				t.nodes = append(t.nodes, innerNode(vecmath.Axis(d.axis), d.pos))
+				stack = append(stack,
+					relFrame{disk: d.right, parent: ni},
+					relFrame{disk: d.left, parent: -1})
+			} else {
+				t.nodes = append(t.nodes, leafNode(int32(d.triStart), int32(d.triCount)))
+			}
+		}
+	}
+	t.root = 0
 
 	algo, err := readU32()
 	if err != nil {

@@ -47,6 +47,17 @@ type buildCounters struct {
 	maxDepth   atomic.Int64
 }
 
+// reset clears the counters in place for Builder reuse (the struct embeds
+// atomics and cannot be overwritten wholesale).
+func (c *buildCounters) reset() {
+	c.leaves.Store(0)
+	c.inner.Store(0)
+	c.deferred.Store(0)
+	c.leafRefs.Store(0)
+	c.emptyLeafs.Store(0)
+	c.maxDepth.Store(0)
+}
+
 func (c *buildCounters) noteLeaf(refs, depth int) {
 	c.leaves.Add(1)
 	c.leafRefs.Add(int64(refs))

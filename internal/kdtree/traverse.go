@@ -25,15 +25,15 @@ type stackEntry struct {
 }
 
 // boundarySlack widens the tSplit-vs-interval comparisons during traversal.
-// The interval endpoints and tSplit are rounded independently (the AABB clip
-// multiplies by a precomputed reciprocal, the traversal divides, and
-// adjacent split planes round on their own), so orderings that hold in
-// exact arithmetic can invert by a few ulps. Without the slack, a cell the
-// ray only grazes at a boundary point can be skipped outright — the
-// differential ray oracle caught a planar triangle lying exactly on a split
-// plane whose hit was lost because tSplit landed 1 ulp below curMin. The
-// slack is relative (~45 ulps), far below any geometric feature size, and
-// only ever causes a few extra node visits right at cell boundaries.
+// The interval endpoints and tSplit are rounded independently (adjacent
+// split planes round on their own, and the AABB entry clip is a separate
+// computation), so orderings that hold in exact arithmetic can invert by a
+// few ulps. Without the slack, a cell the ray only grazes at a boundary
+// point can be skipped outright — the differential ray oracle caught a
+// planar triangle lying exactly on a split plane whose hit was lost because
+// tSplit landed 1 ulp below curMin. The slack is relative (~45 ulps), far
+// below any geometric feature size, and only ever causes a few extra node
+// visits right at cell boundaries.
 const boundarySlack = 1e-14
 
 func splitSlack(curMin, curMax float64) float64 {
@@ -48,13 +48,16 @@ func splitSlack(curMin, curMax float64) float64 {
 // The traversal is the standard front-to-back kD-tree walk (Ericson, RTCD
 // pp. 319–321): descend towards the near child, push the far child with its
 // clipped parametric interval, and terminate as soon as a hit closer than
-// the entry distance of the next pending subtree is known.
+// the entry distance of the next pending subtree is known. Split distances
+// are computed with the ray's precomputed reciprocal direction (one multiply
+// per inner node instead of a divide), matching the slab clip exactly.
 func (t *Tree) Intersect(r vecmath.Ray, tMin, tMax float64) (Hit, bool) {
-	t0, t1, ok := t.bounds.IntersectRay(r, tMin, tMax)
+	inv := r.EffInvDir()
+	t0, t1, ok := t.bounds.IntersectRayInv(r.Origin, r.Dir, inv, tMin, tMax)
 	if !ok {
 		return Hit{}, false
 	}
-	return t.intersectRange(r, t0, t1, tMin, tMax)
+	return t.intersectRange(r, inv, t0, t1, tMin, tMax)
 }
 
 // intersectRange walks the tree over the traversal interval [curMin,
@@ -62,9 +65,15 @@ func (t *Tree) Intersect(r vecmath.Ray, tMin, tMax float64) (Hit, bool) {
 // anywhere in the caller's original open interval (tMin, tMax), which
 // matters for triangles that poke out of the node being traversed and for
 // flat scenes whose bounds have zero extent.
-func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) (Hit, bool) {
+func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tMin, tMax float64) (Hit, bool) {
 	var stackArr [traversalStackDepth]stackEntry
 	stack := stackArr[:0]
+
+	// Unpack the ray into axis-indexable form once: the inner-node loop then
+	// reads its per-axis components with a single indexed load.
+	org := [3]float64{r.Origin.X, r.Origin.Y, r.Origin.Z}
+	dir := [3]float64{r.Dir.X, r.Dir.Y, r.Dir.Z}
+	idir := [3]float64{inv.X, inv.Y, inv.Z}
 
 	best := Hit{T: math.Inf(1)}
 	found := false
@@ -88,14 +97,14 @@ func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64)
 			node, curMin, curMax = top.node, top.tMin, top.tMax
 			continue
 		}
-		n := &t.nodes[node]
-		switch n.kind {
+		n := t.nodes[node]
+		switch n.kind() {
 		case kindInner:
-			axis := n.axis
-			o := r.Origin.Axis(axis)
-			d := r.Dir.Axis(axis)
+			axis := n.axis()
+			o := org[axis]
+			d := dir[axis]
 
-			near, far := n.left, n.right
+			near, far := node+1, n.right()
 			if o > n.pos || (o == n.pos && d < 0) {
 				near, far = far, near
 			}
@@ -111,7 +120,7 @@ func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64)
 				node = near
 				continue
 			}
-			tSplit := (n.pos - o) / d
+			tSplit := (n.pos - o) * idir[axis]
 			// Boundary comparisons carry a conservative slack: a hit
 			// exactly on the split plane (tSplit == curMin or curMax) lies
 			// in the degenerate interval of one child, planar primitives
@@ -133,7 +142,7 @@ func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64)
 			continue
 
 		case kindLeaf:
-			for i := n.triStart; i < n.triStart+n.triCount; i++ {
+			for i := n.triStart(); i < n.triStart()+n.triCount(); i++ {
 				ti := t.leafTris[i]
 				tr := t.tris[ti]
 				if th, u, v, hit := tr.IntersectRay(r, tMin, tMax); hit && th < best.T {
@@ -143,9 +152,9 @@ func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64)
 			}
 
 		case kindDeferred:
-			d := t.deferred[n.deferred]
+			d := &t.deferred[n.deferredIdx()]
 			sub := t.expandDeferred(d)
-			if h, hit := sub.intersectRange(r, curMin, curMax, tMin, tMax); hit && h.T < best.T {
+			if h, hit := sub.intersectRange(r, inv, curMin, curMax, tMin, tMax); hit && h.T < best.T {
 				best = h
 				found = true
 			}
@@ -169,26 +178,31 @@ func (t *Tree) intersectRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64)
 // any-hit query used for shadow rays. It shares the traversal of Intersect
 // but exits on the first hit.
 func (t *Tree) Occluded(r vecmath.Ray, tMin, tMax float64) bool {
-	t0, t1, ok := t.bounds.IntersectRay(r, tMin, tMax)
+	inv := r.EffInvDir()
+	t0, t1, ok := t.bounds.IntersectRayInv(r.Origin, r.Dir, inv, tMin, tMax)
 	if !ok {
 		return false
 	}
-	return t.occludedRange(r, t0, t1, tMin, tMax)
+	return t.occludedRange(r, inv, t0, t1, tMin, tMax)
 }
 
-func (t *Tree) occludedRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) bool {
+func (t *Tree) occludedRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tMin, tMax float64) bool {
 	var stackArr [traversalStackDepth]stackEntry
 	stack := stackArr[:0]
 	node := t.root
 
+	org := [3]float64{r.Origin.X, r.Origin.Y, r.Origin.Z}
+	dir := [3]float64{r.Dir.X, r.Dir.Y, r.Dir.Z}
+	idir := [3]float64{inv.X, inv.Y, inv.Z}
+
 	for {
-		n := &t.nodes[node]
-		switch n.kind {
+		n := t.nodes[node]
+		switch n.kind() {
 		case kindInner:
-			axis := n.axis
-			o := r.Origin.Axis(axis)
-			d := r.Dir.Axis(axis)
-			near, far := n.left, n.right
+			axis := n.axis()
+			o := org[axis]
+			d := dir[axis]
+			near, far := node+1, n.right()
 			if o > n.pos || (o == n.pos && d < 0) {
 				near, far = far, near
 			}
@@ -200,7 +214,7 @@ func (t *Tree) occludedRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) 
 				node = near
 				continue
 			}
-			tSplit := (n.pos - o) / d
+			tSplit := (n.pos - o) * idir[axis]
 			// Same boundary slack as Intersect (see boundarySlack).
 			slack := splitSlack(curMin, curMax)
 			switch {
@@ -216,7 +230,7 @@ func (t *Tree) occludedRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) 
 			continue
 
 		case kindLeaf:
-			for i := n.triStart; i < n.triStart+n.triCount; i++ {
+			for i := n.triStart(); i < n.triStart()+n.triCount(); i++ {
 				tr := t.tris[t.leafTris[i]]
 				if _, _, _, hit := tr.IntersectRay(r, tMin, tMax); hit {
 					return true
@@ -224,9 +238,9 @@ func (t *Tree) occludedRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) 
 			}
 
 		case kindDeferred:
-			d := t.deferred[n.deferred]
+			d := &t.deferred[n.deferredIdx()]
 			sub := t.expandDeferred(d)
-			if sub.occludedRange(r, curMin, curMax, tMin, tMax) {
+			if sub.occludedRange(r, inv, curMin, curMax, tMin, tMax) {
 				return true
 			}
 		}
@@ -240,7 +254,7 @@ func (t *Tree) occludedRange(r vecmath.Ray, curMin, curMax, tMin, tMax float64) 
 	}
 }
 
-// expandDeferred builds the suspended subtree on first use. The sync.Once
+// expandDeferred builds the suspended subtree on first use. The once latch
 // plays the role of the paper's OpenMP critical section: concurrent rays
 // reaching the same node serialise here, every other node stays contention
 // free.
@@ -248,26 +262,13 @@ func (t *Tree) expandDeferred(d *deferredNode) *Tree {
 	d.once.Do(func() {
 		// Expand with the sequential sweep recursion; the node holds fewer
 		// than R primitives by construction, so per-node parallelism is not
-		// worth spawning (and rays are already parallel across pixels).
+		// worth spawning (and rays are already parallel across pixels). The
+		// dedicated Builder is the expansion's per-tree scratch: the subtree
+		// Tree borrows (and keeps alive) its storage.
 		cfg := t.cfg
 		cfg.Algorithm = AlgoNodeLevel
 		cfg.Workers = 1
-		cfg = cfg.normalized(len(t.tris))
-
-		ctx := newBuildCtx(t.tris, cfg)
-		items := make([]item, 0, len(d.tris))
-		for _, ti := range d.tris {
-			b := t.tris[ti].Bounds().Intersect(d.bounds)
-			if b.IsEmpty() {
-				// Can only happen for degenerate input; such triangles
-				// cannot intersect rays inside this node anyway.
-				continue
-			}
-			items = append(items, item{ti, b})
-		}
-		root := ctx.recurseNodeLevel(items, d.bounds, 0)
-		sub := flatten(root, t.tris, cfg, ctx.counters.snapshot(AlgoNodeLevel, len(items)))
-		sub.bounds = d.bounds
+		sub := NewBuilder().buildDeferredSubtree(t, d, cfg)
 		d.sub.Store(sub)
 	})
 	return d.sub.Load()
@@ -276,8 +277,8 @@ func (t *Tree) expandDeferred(d *deferredNode) *Tree {
 // ExpandAll forces expansion of every suspended subtree. Used by validation
 // and by benchmarks that want to charge full construction cost up front.
 func (t *Tree) ExpandAll() {
-	for _, d := range t.deferred {
-		sub := t.expandDeferred(d)
+	for i := range t.deferred {
+		sub := t.expandDeferred(&t.deferred[i])
 		sub.ExpandAll()
 	}
 }

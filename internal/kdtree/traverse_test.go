@@ -106,18 +106,22 @@ func TestQuickTraversalNeverFalsePositive(t *testing.T) {
 }
 
 func TestFlattenProducesDFSLayout(t *testing.T) {
-	// The arena should store each inner node before its children (DFS):
-	// this is a locality property the traversal relies on for cache
-	// friendliness, and a regression canary for flatten().
+	// The arena stores nodes in depth-first pre-order with the left child
+	// immediately after its parent — the adjacency the packed node layout
+	// encodes implicitly — and the right child somewhere past the left
+	// subtree. Every builder (and the grafting of parallel subtree arenas)
+	// must maintain this, so check them all.
 	r := rand.New(rand.NewSource(121))
 	tris := randomTriangles(r, 500, 10, 0.2)
-	tree := Build(tris, testConfig(AlgoNodeLevel))
-	for i, n := range tree.nodes {
-		if n.kind != kindInner {
-			continue
-		}
-		if int(n.left) <= i || int(n.right) <= i {
-			t.Fatalf("node %d has child indices %d/%d not after it", i, n.left, n.right)
+	for _, a := range Algorithms {
+		tree := Build(tris, testConfig(a))
+		for i, n := range tree.nodes {
+			if n.kind() != kindInner {
+				continue
+			}
+			if int(n.right()) <= i+1 {
+				t.Fatalf("%v: node %d has right child %d not after its left subtree", a, i, n.right())
+			}
 		}
 	}
 }

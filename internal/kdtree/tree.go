@@ -20,10 +20,14 @@
 // All builders are configured through Config, whose tunable fields (CI, CB,
 // S, R) are exactly the paper's Table I parameters and are what the
 // autotuner optimises.
+//
+// Construction emits directly into flat arena storage (see arena and
+// Builder): nodes are 16 bytes, laid out in depth-first pre-order with the
+// left child adjacent to its parent, and a retained Builder rebuilds frame
+// after frame without allocating.
 package kdtree
 
 import (
-	"sync"
 	"sync/atomic"
 
 	"kdtune/internal/sah"
@@ -39,28 +43,12 @@ const (
 	kindDeferred // lazy builder only: subtree not yet constructed
 )
 
-// node is one entry of the flattened tree arena. Inner nodes store the
-// split plane and the index of their left child (the right child is
-// left+1 is NOT guaranteed; both indices are explicit to keep flattening
-// trivial for subtrees built in parallel).
-type node struct {
-	kind nodeKind
-	axis vecmath.Axis
-	pos  float64 // split position (inner only)
-
-	left, right int32 // children (inner only)
-
-	triStart, triCount int32 // slice of Tree.leafTris (leaf only)
-
-	deferred int32 // index into Tree.deferred (deferred only)
-}
-
 // deferredNode is a suspended subtree of the lazy builder. Expansion is
-// guarded by a sync.Once — the goroutine-safe analogue of the OpenMP
+// guarded by expandOnce — the goroutine-safe analogue of the OpenMP
 // critical section the paper uses — so concurrent rays hitting the same
 // node expand it exactly once and everyone else blocks until it is ready.
 type deferredNode struct {
-	once   sync.Once
+	once   expandOnce
 	bounds vecmath.AABB
 	tris   []int32 // triangle indices awaiting subdivision
 	sub    atomic.Pointer[Tree]
@@ -68,13 +56,14 @@ type deferredNode struct {
 
 // Tree is an immutable (except for lazy expansion) SAH kD-tree over a
 // triangle slice. The triangle data is shared with the caller and must not
-// be mutated while the tree is alive.
+// be mutated while the tree is alive. Trees produced by a Builder borrow
+// the Builder's storage and are valid until its next Build call.
 type Tree struct {
 	tris     []vecmath.Triangle
 	bounds   vecmath.AABB
 	nodes    []node
 	leafTris []int32
-	deferred []*deferredNode
+	deferred []deferredNode
 	root     int32
 
 	cfg   Config // retained for lazy expansion
@@ -91,74 +80,6 @@ func (t *Tree) Bounds() vecmath.AABB { return t.bounds }
 // expanded subtrees are not folded in).
 func (t *Tree) Stats() BuildStats { return t.stats }
 
-// buildNode is the pointer-shaped node used during construction. Builders
-// run concurrently and allocate these privately, so no synchronisation is
-// needed until the final flatten pass.
-type buildNode struct {
-	bounds      vecmath.AABB
-	axis        vecmath.Axis
-	pos         float64
-	left, right *buildNode
-	tris        []int32
-	leaf        bool
-	deferred    bool
-}
-
-// flatten converts a pointer tree into the arena representation using an
-// explicit stack (scenes produce trees deep enough to threaten goroutine
-// stacks only in pathological cases, but the explicit stack also gives us
-// DFS layout for cache-friendly traversal).
-func flatten(root *buildNode, tris []vecmath.Triangle, cfg Config, stats BuildStats) *Tree {
-	t := &Tree{tris: tris, cfg: cfg, stats: stats}
-	if root != nil {
-		t.bounds = root.bounds
-	}
-	type frame struct {
-		bn  *buildNode
-		idx int32
-	}
-	if root == nil {
-		// Represent the empty scene as a single empty leaf.
-		t.nodes = []node{{kind: kindLeaf}}
-		t.root = 0
-		return t
-	}
-	t.root = t.appendNode(root)
-	stack := []frame{{root, t.root}}
-	for len(stack) > 0 {
-		f := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		if f.bn.leaf || f.bn.deferred {
-			continue
-		}
-		li := t.appendNode(f.bn.left)
-		ri := t.appendNode(f.bn.right)
-		t.nodes[f.idx].left = li
-		t.nodes[f.idx].right = ri
-		stack = append(stack, frame{f.bn.right, ri}, frame{f.bn.left, li})
-	}
-	return t
-}
-
-// appendNode materialises a single buildNode into the arena and returns its
-// index. Children of inner nodes are patched in by flatten.
-func (t *Tree) appendNode(bn *buildNode) int32 {
-	idx := int32(len(t.nodes))
-	switch {
-	case bn.deferred:
-		d := &deferredNode{bounds: bn.bounds, tris: bn.tris}
-		t.deferred = append(t.deferred, d)
-		t.nodes = append(t.nodes, node{kind: kindDeferred, deferred: int32(len(t.deferred) - 1)})
-	case bn.leaf:
-		start := int32(len(t.leafTris))
-		t.leafTris = append(t.leafTris, bn.tris...)
-		t.nodes = append(t.nodes, node{kind: kindLeaf, triStart: start, triCount: int32(len(bn.tris))})
-	default:
-		t.nodes = append(t.nodes, node{kind: kindInner, axis: bn.axis, pos: bn.pos})
-	}
-	return idx
-}
-
 // NumNodes returns the number of flattened nodes (excluding nodes inside
 // lazily expanded subtrees).
 func (t *Tree) NumNodes() int { return len(t.nodes) }
@@ -169,8 +90,8 @@ func (t *Tree) NumDeferred() int { return len(t.deferred) }
 // NumExpanded returns how many deferred subtrees have been expanded so far.
 func (t *Tree) NumExpanded() int {
 	n := 0
-	for _, d := range t.deferred {
-		if d.expanded() {
+	for i := range t.deferred {
+		if t.deferred[i].expanded() {
 			n++
 		}
 	}

@@ -47,25 +47,25 @@ func (t *Tree) validateNode(idx int32, region vecmath.AABB, visited []bool, seen
 		return fmt.Errorf("kdtree: node %d reachable twice (graph is not a tree)", idx)
 	}
 	visited[idx] = true
-	n := &t.nodes[idx]
-	switch n.kind {
+	n := t.nodes[idx]
+	switch n.kind() {
 	case kindInner:
-		if n.pos < region.Min.Axis(n.axis) || n.pos > region.Max.Axis(n.axis) {
-			return fmt.Errorf("kdtree: node %d split %v=%g outside region %v", idx, n.axis, n.pos, region)
+		if n.pos < region.Min.Axis(n.axis()) || n.pos > region.Max.Axis(n.axis()) {
+			return fmt.Errorf("kdtree: node %d split %v=%g outside region %v", idx, n.axis(), n.pos, region)
 		}
-		lb, rb := region.Split(n.axis, n.pos)
-		if err := t.validateNode(n.left, lb, visited, seen); err != nil {
+		lb, rb := region.Split(n.axis(), n.pos)
+		if err := t.validateNode(idx+1, lb, visited, seen); err != nil {
 			return err
 		}
-		return t.validateNode(n.right, rb, visited, seen)
+		return t.validateNode(n.right(), rb, visited, seen)
 
 	case kindLeaf:
-		if n.triStart < 0 || int(n.triStart+n.triCount) > len(t.leafTris) {
-			return fmt.Errorf("kdtree: leaf %d range [%d,%d) outside leafTris", idx, n.triStart, n.triStart+n.triCount)
+		if n.triStart() < 0 || int(n.triStart()+n.triCount()) > len(t.leafTris) {
+			return fmt.Errorf("kdtree: leaf %d range [%d,%d) outside leafTris", idx, n.triStart(), n.triStart()+n.triCount())
 		}
 		eps := 1e-9 * (1 + t.bounds.Diagonal().Len())
 		grown := region.Grow(eps)
-		for i := n.triStart; i < n.triStart+n.triCount; i++ {
+		for i := n.triStart(); i < n.triStart()+n.triCount(); i++ {
 			ti := t.leafTris[i]
 			if ti < 0 || int(ti) >= len(t.tris) {
 				return fmt.Errorf("kdtree: leaf %d references invalid triangle %d", idx, ti)
@@ -79,7 +79,7 @@ func (t *Tree) validateNode(idx int32, region vecmath.AABB, visited []bool, seen
 		return nil
 
 	case kindDeferred:
-		d := t.deferred[n.deferred]
+		d := &t.deferred[n.deferredIdx()]
 		sub := d.sub.Load()
 		if sub == nil {
 			return fmt.Errorf("kdtree: deferred node %d not expanded (call ExpandAll first)", idx)
@@ -99,5 +99,5 @@ func (t *Tree) validateNode(idx int32, region vecmath.AABB, visited []bool, seen
 		}
 		return nil
 	}
-	return fmt.Errorf("kdtree: node %d has unknown kind %d", idx, n.kind)
+	return fmt.Errorf("kdtree: node %d has unknown kind %d", idx, n.kind())
 }

@@ -42,25 +42,25 @@ func (t *Tree) Walk(fn func(NodeView) bool) {
 }
 
 func (t *Tree) walkNode(idx int32, region vecmath.AABB, depth int, fn func(NodeView) bool) {
-	n := &t.nodes[idx]
-	switch n.kind {
+	n := t.nodes[idx]
+	switch n.kind() {
 	case kindInner:
-		v := NodeView{Depth: depth, Region: region, Axis: n.axis, Pos: n.pos}
+		v := NodeView{Depth: depth, Region: region, Axis: n.axis(), Pos: n.pos}
 		if !fn(v) {
 			return
 		}
-		lb, rb := region.Split(n.axis, n.pos)
-		t.walkNode(n.left, lb, depth+1, fn)
-		t.walkNode(n.right, rb, depth+1, fn)
+		lb, rb := region.Split(n.axis(), n.pos)
+		t.walkNode(idx+1, lb, depth+1, fn)
+		t.walkNode(n.right(), rb, depth+1, fn)
 
 	case kindLeaf:
 		fn(NodeView{
 			Depth: depth, Region: region, Leaf: true,
-			Tris: t.leafTris[n.triStart : n.triStart+n.triCount],
+			Tris: t.leafTris[n.triStart() : n.triStart()+n.triCount()],
 		})
 
 	case kindDeferred:
-		d := t.deferred[n.deferred]
+		d := &t.deferred[n.deferredIdx()]
 		if sub := d.sub.Load(); sub != nil {
 			// Expanded: continue into the subtree over this node's region.
 			sub.walkNode(sub.root, region, depth, fn)

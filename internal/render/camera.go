@@ -40,6 +40,17 @@ func NewCamera(v scene.View, aspect float64) Camera {
 // Ray returns the primary ray through the normalised image position
 // (s, t) ∈ [0,1]^2 with (0,0) at the lower-left corner.
 func (c Camera) Ray(s, t float64) vecmath.Ray {
-	d := c.lowerLeft.Add(c.horiz.Scale(s)).Add(c.vert.Scale(t))
-	return vecmath.NewRay(c.eye, d)
+	return c.RayAt(c.RowBase(t), s)
+}
+
+// RowBase precomputes the t-dependent part of the primary-ray direction.
+// All rays of one image row share it, so the render loop hoists this out of
+// the per-pixel loop and pays only one Scale+Add per ray via RayAt.
+func (c Camera) RowBase(t float64) vecmath.Vec3 {
+	return c.lowerLeft.Add(c.vert.Scale(t))
+}
+
+// RayAt completes a primary ray from a RowBase and the horizontal position s.
+func (c Camera) RayAt(base vecmath.Vec3, s float64) vecmath.Ray {
+	return vecmath.NewRay(c.eye, base.Add(c.horiz.Scale(s)))
 }

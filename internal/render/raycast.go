@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 	"math"
-	"sync"
+	"sync/atomic"
 
 	"kdtune/internal/kdtree"
 	"kdtune/internal/parallel"
@@ -21,6 +21,18 @@ type Image struct {
 // NewImage allocates a black framebuffer.
 func NewImage(w, h int) *Image {
 	return &Image{W: w, H: h, Pix: make([]float64, 3*w*h)}
+}
+
+// reshape resizes the framebuffer in place, reallocating only on growth —
+// the frame loop renders into the same Image every frame.
+func (im *Image) reshape(w, h int) {
+	im.W, im.H = w, h
+	n := 3 * w * h
+	if cap(im.Pix) < n {
+		im.Pix = make([]float64, n)
+		return
+	}
+	im.Pix = im.Pix[:n]
 }
 
 // set stores an RGB triple at pixel (x, y).
@@ -90,10 +102,28 @@ type RenderStats struct {
 }
 
 // Render ray-casts the scene geometry through tree from the given view and
-// returns the framebuffer. The tree must have been built over exactly the
-// triangles of the frame being rendered; lights and camera come from the
-// scene view (§V-A).
+// returns a freshly allocated framebuffer. The tree must have been built
+// over exactly the triangles of the frame being rendered; lights and camera
+// come from the scene view (§V-A). Frame loops should allocate one Image
+// and call RenderInto instead.
 func Render(tree *kdtree.Tree, view scene.View, lights []vecmath.Vec3, opt Options) (*Image, RenderStats) {
+	opt, eps := opt.normalized(tree)
+	im := NewImage(opt.Width, opt.Height)
+	stats := renderCore(im, tree, view, lights, opt, eps)
+	return im, stats
+}
+
+// RenderInto renders into a caller-owned framebuffer, resizing it in place
+// when the requested dimensions differ. Reusing one Image across frames
+// removes the largest per-frame render allocation.
+func RenderInto(im *Image, tree *kdtree.Tree, view scene.View, lights []vecmath.Vec3, opt Options) RenderStats {
+	opt, eps := opt.normalized(tree)
+	im.reshape(opt.Width, opt.Height)
+	return renderCore(im, tree, view, lights, opt, eps)
+}
+
+// normalized applies the option defaults and derives the shadow epsilon.
+func (opt Options) normalized(tree *kdtree.Tree) (Options, float64) {
 	if opt.Width <= 0 {
 		opt.Width = 256
 	}
@@ -110,31 +140,41 @@ func Render(tree *kdtree.Tree, view scene.View, lights []vecmath.Vec3, opt Optio
 	if eps <= 0 {
 		eps = 1e-6 * (1 + tree.Bounds().Diagonal().Len())
 	}
+	return opt, eps
+}
 
-	im := NewImage(opt.Width, opt.Height)
+func renderCore(im *Image, tree *kdtree.Tree, view scene.View, lights []vecmath.Vec3, opt Options, eps float64) RenderStats {
 	cam := NewCamera(view, float64(opt.Width)/float64(opt.Height))
 	tris := tree.Triangles()
 
-	workers := opt.Workers
-	var stats RenderStats
-	var statMu sync.Mutex
+	// Each worker accumulates stats privately and folds them in with three
+	// atomic adds when its rows are done — no lock, no cache-line ping-pong
+	// on the hot path.
+	var primary, shadow, hits atomic.Int64
 
 	// Parallelise across rows of pixels — "as the tree can be traversed
 	// independently for every ray, we parallelize intersection testing
 	// across different rays".
-	parallel.For(opt.Height, workers, func(yLo, yHi int) {
+	parallel.For(opt.Height, opt.Workers, func(yLo, yHi int) {
 		local := RenderStats{}
 		samples := opt.Samples
 		inv := 1.0 / float64(samples*samples)
+		// The t-dependent part of the ray direction is shared by a whole row
+		// of sub-pixel samples; hoist it out of the x loop (one RowBase per
+		// (row, sub-row) instead of per sample).
+		rowBases := make([]vecmath.Vec3, samples)
 		for y := yLo; y < yHi; y++ {
+			for sy := 0; sy < samples; sy++ {
+				t := (float64(y) + (float64(sy)+0.5)/float64(samples)) / float64(opt.Height)
+				rowBases[sy] = cam.RowBase(t)
+			}
 			for x := 0; x < opt.Width; x++ {
 				var accR, accG, accB float64
 				for sy := 0; sy < samples; sy++ {
 					for sx := 0; sx < samples; sx++ {
 						// Stratified sub-pixel positions.
-						t := (float64(y) + (float64(sy)+0.5)/float64(samples)) / float64(opt.Height)
 						s := (float64(x) + (float64(sx)+0.5)/float64(samples)) / float64(opt.Width)
-						ray := cam.Ray(s, t)
+						ray := cam.RayAt(rowBases[sy], s)
 						local.PrimaryRays++
 
 						hit, ok := tree.Intersect(ray, 1e-9, math.Inf(1))
@@ -177,13 +217,15 @@ func Render(tree *kdtree.Tree, view scene.View, lights []vecmath.Vec3, opt Optio
 				im.set(x, y, accR*inv, accG*inv, accB*inv)
 			}
 		}
-		statMu.Lock()
-		stats.PrimaryRays += local.PrimaryRays
-		stats.ShadowRays += local.ShadowRays
-		stats.Hits += local.Hits
-		statMu.Unlock()
+		primary.Add(int64(local.PrimaryRays))
+		shadow.Add(int64(local.ShadowRays))
+		hits.Add(int64(local.Hits))
 	})
-	return im, stats
+	return RenderStats{
+		PrimaryRays: int(primary.Load()),
+		ShadowRays:  int(shadow.Load()),
+		Hits:        int(hits.Load()),
+	}
 }
 
 // triColor hashes a triangle index into a stable pastel colour.

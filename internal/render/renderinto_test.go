@@ -1,0 +1,61 @@
+package render
+
+import (
+	"testing"
+
+	"kdtune/internal/scene"
+)
+
+// TestRenderIntoMatchesRender: the buffer-reusing entry point must produce
+// exactly the pixels of the allocating one, including after a resize that
+// shrinks and then regrows the framebuffer.
+func TestRenderIntoMatchesRender(t *testing.T) {
+	tris, view, lights := floorScene()
+	tree := buildTree(tris)
+	opt := Options{Width: 64, Height: 48, Workers: 2}
+
+	want, wantStats := Render(tree, view, lights, opt)
+
+	im := NewImage(96, 60) // deliberately wrong shape: reshape must fix it
+	stats := RenderInto(im, tree, view, lights, opt)
+	if im.W != 64 || im.H != 48 {
+		t.Fatalf("reshape to %dx%d, want 64x48", im.W, im.H)
+	}
+	if stats != wantStats {
+		t.Fatalf("stats %+v, want %+v", stats, wantStats)
+	}
+	for i := range want.Pix {
+		if im.Pix[i] != want.Pix[i] {
+			t.Fatalf("pixel %d: %g != %g", i, im.Pix[i], want.Pix[i])
+		}
+	}
+
+	// A second frame into the same image must not leave stale pixels: shrink
+	// below the old size and check the buffer was truncated, not reallocated.
+	prev := &im.Pix[0]
+	small := Options{Width: 32, Height: 24, Workers: 2}
+	RenderInto(im, tree, view, lights, small)
+	if im.W != 32 || im.H != 24 || len(im.Pix) != 3*32*24 {
+		t.Fatalf("second reshape wrong: %dx%d len %d", im.W, im.H, len(im.Pix))
+	}
+	if &im.Pix[0] != prev {
+		t.Error("shrinking reshape reallocated the pixel buffer")
+	}
+}
+
+// BenchmarkRenderInto measures the steady-state frame render with a retained
+// framebuffer — the render half of the zero-allocation frame loop. Run with
+// -benchmem.
+func BenchmarkRenderInto(b *testing.B) {
+	sc := scene.WoodDoll()
+	tree := buildTree(sc.Triangles(0))
+	im := NewImage(96, 72)
+	opt := Options{Width: 96, Height: 72, Workers: 1}
+	view, lights := sc.ViewAt(0), sc.Lights
+	RenderInto(im, tree, view, lights, opt)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		RenderInto(im, tree, view, lights, opt)
+	}
+}

@@ -2,6 +2,7 @@ package sah
 
 import (
 	"math"
+	"sync"
 
 	"kdtune/internal/parallel"
 	"kdtune/internal/vecmath"
@@ -27,16 +28,49 @@ type BinSet struct {
 // NewBinSet creates an empty histogram with the given resolution over node.
 // bins < 2 falls back to DefaultBins.
 func NewBinSet(node vecmath.AABB, bins int) *BinSet {
+	bs := &BinSet{}
+	bs.Reset(node, bins)
+	return bs
+}
+
+// Reset reinitialises bs as an empty histogram over node, reusing the bin
+// storage when the resolution fits. It is what makes the binned split search
+// allocation-free in the steady state (see binSetPool).
+func (bs *BinSet) Reset(node vecmath.AABB, bins int) {
 	if bins < 2 {
 		bins = DefaultBins
 	}
-	bs := &BinSet{Bins: bins, Node: node}
+	bs.Bins = bins
+	bs.Node = node
+	bs.count = 0
 	for a := 0; a < 3; a++ {
-		bs.start[a] = make([]int, bins)
-		bs.end[a] = make([]int, bins)
+		if cap(bs.start[a]) < bins {
+			bs.start[a] = make([]int, bins)
+			bs.end[a] = make([]int, bins)
+			continue
+		}
+		bs.start[a] = bs.start[a][:bins]
+		bs.end[a] = bs.end[a][:bins]
+		clear(bs.start[a])
+		clear(bs.end[a])
 	}
+}
+
+// binSetPool recycles histograms across split searches: every node of a
+// build (tens of thousands per frame) runs one, and the six bin slices are
+// the dominant per-node allocation of the binned builders.
+var binSetPool = sync.Pool{New: func() any { return new(BinSet) }}
+
+func getBinSet(node vecmath.AABB, bins int) *BinSet {
+	bs := binSetPool.Get().(*BinSet)
+	bs.Reset(node, bins)
 	return bs
 }
+
+// setsPool recycles the per-chunk pointer table of the parallel search. A
+// pooled slice (rather than a fixed stack array) keeps the table off the
+// heap even though it escapes into the ForChunks closure.
+var setsPool = sync.Pool{New: func() any { return new([]*BinSet) }}
 
 // binIndex maps a coordinate to its bin along axis, clamped into range.
 func (bs *BinSet) binIndex(axis vecmath.Axis, pos float64) int {
@@ -152,20 +186,33 @@ const binnedParallelGrain = 2048
 // order is fixed by the explicit chunk index — which is what lets the
 // builders guarantee worker-count-independent trees.
 func FindBestSplitBinnedChunks(p Params, node vecmath.AABB, n, bins, workers int, fill func(bs *BinSet, lo, hi int)) (Split, bool) {
-	sets := make([]*BinSet, parallel.ChunkCount(n, workers, binnedParallelGrain))
+	nChunks := parallel.ChunkCount(n, workers, binnedParallelGrain)
+	if nChunks == 0 { // n <= 0: no primitives, no candidate planes
+		return Split{Cost: math.Inf(1)}, false
+	}
+	sp := setsPool.Get().(*[]*BinSet)
+	sets := *sp
+	if cap(sets) < nChunks {
+		sets = make([]*BinSet, nChunks)
+	} else {
+		sets = sets[:nChunks]
+		clear(sets)
+	}
 	parallel.ForChunks(n, workers, binnedParallelGrain, func(chunk, lo, hi int) {
-		bs := NewBinSet(node, bins)
+		bs := getBinSet(node, bins)
 		fill(bs, lo, hi)
 		sets[chunk] = bs
 	})
-	if len(sets) == 1 {
-		return sets[0].BestSplit(p)
-	}
-	total := NewBinSet(node, bins)
-	for _, bs := range sets {
+	total := sets[0]
+	for _, bs := range sets[1:] {
 		if bs != nil {
 			total.Merge(bs)
+			binSetPool.Put(bs)
 		}
 	}
-	return total.BestSplit(p)
+	split, ok := total.BestSplit(p)
+	binSetPool.Put(total)
+	*sp = sets[:0]
+	setsPool.Put(sp)
+	return split, ok
 }

@@ -127,24 +127,32 @@ func (b AABB) Grow(eps float64) AABB {
 // The implementation follows the branchless slab method; division by a zero
 // direction component yields +-Inf which the min/max logic handles
 // correctly, except for the NaN produced by 0 * Inf, which is avoided by the
-// explicit parallel-axis test.
+// explicit parallel-axis test. The reciprocal direction comes from the
+// ray's cached InvDir when present (see Ray.EffInvDir) so the per-axis work
+// is a pair of multiplications.
 func (b AABB) IntersectRay(r Ray, tMin, tMax float64) (t0, t1 float64, hit bool) {
+	return b.IntersectRayInv(r.Origin, r.Dir, r.EffInvDir(), tMin, tMax)
+}
+
+// IntersectRayInv is IntersectRay with the reciprocal direction supplied by
+// the caller — the form hot loops use after hoisting the reciprocal out of
+// the per-node/per-box work.
+func (b AABB) IntersectRayInv(origin, dir, inv Vec3, tMin, tMax float64) (t0, t1 float64, hit bool) {
 	t0, t1 = tMin, tMax
 	for a := AxisX; a <= AxisZ; a++ {
-		o := r.Origin.Axis(a)
-		d := r.Dir.Axis(a)
+		o := origin.Axis(a)
 		lo := b.Min.Axis(a)
 		hi := b.Max.Axis(a)
-		if d == 0 {
+		if dir.Axis(a) == 0 {
 			// Ray parallel to the slab: either always inside or never.
 			if o < lo || o > hi {
 				return 0, 0, false
 			}
 			continue
 		}
-		inv := 1 / d
-		tn := (lo - o) * inv
-		tf := (hi - o) * inv
+		ia := inv.Axis(a)
+		tn := (lo - o) * ia
+		tf := (hi - o) * ia
 		if tn > tf {
 			tn, tf = tf, tn
 		}

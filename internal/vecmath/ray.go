@@ -3,17 +3,39 @@ package vecmath
 // Ray is a half-infinite line Origin + t*Dir for t >= 0. Dir need not be
 // normalised; parametric distances returned by intersection routines are
 // expressed in units of |Dir|.
+//
+// InvDir caches the component-wise reciprocal of Dir. Slab tests and the
+// kD-tree inner-node walk replace one division per plane with one
+// multiplication when it is present; the constructors fill it in, and
+// consumers fall back to computing it once per query for rays assembled as
+// bare struct literals. The zero value is the "not set" marker: Recip only
+// produces Vec3{} when every Dir component is infinite, and recomputing is
+// a no-op there, so the fallback is always safe.
 type Ray struct {
 	Origin Vec3
 	Dir    Vec3
+	InvDir Vec3
 }
 
 // NewRay constructs a ray from origin o towards direction d.
-func NewRay(o, d Vec3) Ray { return Ray{Origin: o, Dir: d} }
+func NewRay(o, d Vec3) Ray { return Ray{Origin: o, Dir: d, InvDir: d.Recip()} }
 
 // At returns the point Origin + t*Dir.
 func (r Ray) At(t float64) Vec3 { return r.Origin.Add(r.Dir.Scale(t)) }
 
 // Towards constructs a ray from o pointing at target p. Useful for shadow
 // rays: the target is at parametric distance 1.
-func Towards(o, p Vec3) Ray { return Ray{Origin: o, Dir: p.Sub(o)} }
+func Towards(o, p Vec3) Ray {
+	d := p.Sub(o)
+	return Ray{Origin: o, Dir: d, InvDir: d.Recip()}
+}
+
+// EffInvDir returns the cached reciprocal direction, computing it on the
+// fly for rays built as struct literals without one. Query entry points
+// call this once per ray so the per-node work is pure multiplication.
+func (r Ray) EffInvDir() Vec3 {
+	if r.InvDir == (Vec3{}) {
+		return r.Dir.Recip()
+	}
+	return r.InvDir
+}

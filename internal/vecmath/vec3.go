@@ -92,6 +92,11 @@ func (v Vec3) Scale(s float64) Vec3 { return Vec3{s * v.X, s * v.Y, s * v.Z} }
 // Neg returns -v.
 func (v Vec3) Neg() Vec3 { return Vec3{-v.X, -v.Y, -v.Z} }
 
+// Recip returns the component-wise reciprocal (1/x, 1/y, 1/z). Zero
+// components map to ±Inf following IEEE semantics, which is exactly what
+// slab tests want for axis-parallel rays.
+func (v Vec3) Recip() Vec3 { return Vec3{1 / v.X, 1 / v.Y, 1 / v.Z} }
+
 // Dot returns the scalar product of v and w.
 func (v Vec3) Dot(w Vec3) float64 { return v.X*w.X + v.Y*w.Y + v.Z*w.Z }
 
