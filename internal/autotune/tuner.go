@@ -9,10 +9,18 @@ import (
 
 // Sample records one measurement cycle: the configuration (parameter
 // values, not indices) that was active and the cost observed for it.
+// Censored samples come from aborted cycles (StopAborted): their Cost is a
+// synthetic penalty, not a measurement.
 type Sample struct {
-	Values []int
-	Cost   float64
+	Values   []int
+	Cost     float64
+	Censored bool
 }
+
+// abortFallbackCost stands in for the penalty when nothing has been
+// measured yet. Large enough to dominate any plausible real cost, but
+// finite: an Inf cost would poison the Nelder–Mead centroid arithmetic.
+const abortFallbackCost = 1e18
 
 // Options configures a Tuner. The zero value selects sensible defaults.
 type Options struct {
@@ -33,6 +41,11 @@ type Options struct {
 	// RetuneWindow is the number of consecutive bad cycles before a
 	// restart (default 5).
 	RetuneWindow int
+	// AbortPenalty is the cost multiple charged to an aborted cycle
+	// (StopAborted): penalty = AbortPenalty × best known cost. It must
+	// exceed 1 so Nelder–Mead reliably ranks aborted configurations worst
+	// and reflects away from them; <=1 selects the default of 8.
+	AbortPenalty float64
 }
 
 // Tuner is the online autotuner. It is not safe for concurrent use: the
@@ -62,6 +75,7 @@ type Tuner struct {
 
 	badStreak int // consecutive over-threshold cycles after convergence
 	restarts  int
+	censored  int // aborted cycles recorded via StopAborted
 }
 
 // New creates a tuner with the given options.
@@ -204,6 +218,61 @@ func (t *Tuner) StopWithCost(cost float64) {
 		}
 	}
 }
+
+// StopAborted ends a measurement cycle whose build or render was aborted
+// (deadline, depth, memory, worker panic). The cycle becomes a censored
+// sample: no real cost exists, so a penalty — AbortPenalty times the best
+// known cost — is reported to the search instead. The penalty ranks the
+// configuration decisively worst, so Nelder–Mead reflects away from the
+// pathological region instead of re-probing it, while staying finite so the
+// simplex arithmetic remains well-defined. A censored cycle never updates
+// the round best (and the incumbent only ever receives round bests), so
+// Best and ApplyBest can never answer with a censored configuration.
+func (t *Tuner) StopAborted() {
+	if !t.started {
+		panic("autotune: StopAborted called without Start")
+	}
+	t.started = false
+	t.iterations++
+	t.censored++
+
+	cost := t.penaltyCost()
+	t.history = append(t.history, Sample{Values: t.currentValues(), Cost: cost, Censored: true})
+
+	wasConverged := t.search.Converged()
+	t.search.Report(t.current, cost)
+
+	// Drift detection: an abort of the converged configuration is
+	// definitionally a bad cycle — if the supposedly-good incumbent region
+	// keeps aborting, the context has shifted and a re-tune is due.
+	if wasConverged && t.opts.RetuneThreshold > 1 {
+		t.badStreak++
+		if t.badStreak >= t.opts.RetuneWindow {
+			t.Retune()
+		}
+	}
+}
+
+// penaltyCost derives the censored-sample cost from the best measurement
+// available: the round best, else the incumbent, else a large finite
+// fallback when nothing has been measured at all.
+func (t *Tuner) penaltyCost() float64 {
+	factor := t.opts.AbortPenalty
+	if factor <= 1 {
+		factor = 8
+	}
+	ref := t.bestCost
+	if math.IsInf(ref, 0) {
+		ref = t.incumbentCost
+	}
+	if math.IsInf(ref, 0) || ref <= 0 {
+		return abortFallbackCost
+	}
+	return ref * factor
+}
+
+// Censored returns how many aborted (penalized) cycles have been recorded.
+func (t *Tuner) Censored() int { return t.censored }
 
 // currentValues maps the active index vector to parameter values.
 func (t *Tuner) currentValues() []int {

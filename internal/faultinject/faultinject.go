@@ -1,0 +1,187 @@
+// Package faultinject is a deterministic fault-injection layer for the
+// build/tune loop. Tests register an immutable plan of faults (forced panic
+// in a given chunk, an artificially slow chunk, arena-pressure inflation)
+// and the instrumented hot paths probe it at well-defined sites. When no
+// plan is active a probe is a single atomic load, so production builds pay
+// one predictable branch per site.
+//
+// The package is a leaf: it imports nothing from this repository, so any
+// package (including internal/parallel) can carry probes without cycles.
+package faultinject
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Site identifies an instrumented probe point.
+type Site uint8
+
+const (
+	// SiteParallelChunk fires in a parallel.ForChunks worker before the
+	// chunk body runs; the probe index is the chunk id.
+	SiteParallelChunk Site = iota
+	// SitePoolTask fires on the dispatching goroutine at every
+	// parallel.Pool.Spawn (goroutine and inline paths alike); the probe
+	// index is the dispatch ordinal within the pool's lifetime.
+	SitePoolTask
+	// SiteBuildNode fires at every kd-tree node boundary (the builders'
+	// abort check); the probe index is the visit ordinal within the build.
+	SiteBuildNode
+	// SiteBuildLeaf fires when a builder materialises a leaf; the probe
+	// index is the leaf ordinal within the build.
+	SiteBuildLeaf
+	// SiteArena is consulted by the guarded memory accounting: KindInflate
+	// faults at this site add phantom bytes to the live-arena figure.
+	SiteArena
+	numSites
+)
+
+func (s Site) String() string {
+	switch s {
+	case SiteParallelChunk:
+		return "parallel-chunk"
+	case SitePoolTask:
+		return "pool-task"
+	case SiteBuildNode:
+		return "build-node"
+	case SiteBuildLeaf:
+		return "build-leaf"
+	case SiteArena:
+		return "arena"
+	}
+	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// Kind selects what a fault does when its site and index match.
+type Kind uint8
+
+const (
+	// KindPanic panics with an *Injected sentinel carrying the fault.
+	KindPanic Kind = iota
+	// KindDelay sleeps for Fault.Delay, simulating a slow chunk or node.
+	KindDelay
+	// KindInflate adds Fault.Bytes of phantom memory pressure (SiteArena).
+	KindInflate
+)
+
+// Fault is one entry of an injection plan.
+type Fault struct {
+	Site  Site
+	Index int // probe index to match; -1 matches any index
+	Kind  Kind
+	Delay time.Duration // KindDelay: how long to stall
+	Bytes int64         // KindInflate: phantom bytes to add
+	Count int           // max times to trigger; 0 means unlimited
+}
+
+// Injected is the panic value of a KindPanic fault. It satisfies error so
+// parallel.WorkerPanic.Unwrap and errors.As can identify injected faults in
+// tests.
+type Injected struct{ Fault Fault }
+
+func (e *Injected) Error() string {
+	return fmt.Sprintf("faultinject: injected panic at %v index %d", e.Fault.Site, e.Fault.Index)
+}
+
+// Injector is an active injection plan. The fault list is immutable after
+// Activate; only the per-fault hit counters mutate.
+type Injector struct {
+	faults []Fault
+	hits   []atomic.Int64
+}
+
+// active is the package-global plan. Nil (the overwhelmingly common state)
+// costs probes a single atomic pointer load.
+var active atomic.Pointer[Injector]
+
+// Activate installs a plan built from the given faults, replacing any
+// previous plan, and returns it for hit inspection and Deactivate. Intended
+// for tests; concurrent Activate calls race benignly (last wins).
+func Activate(faults ...Fault) *Injector {
+	in := &Injector{faults: faults, hits: make([]atomic.Int64, len(faults))}
+	active.Store(in)
+	return in
+}
+
+// Deactivate removes the plan if it is still the active one.
+func (in *Injector) Deactivate() {
+	active.CompareAndSwap(in, nil)
+}
+
+// Hits reports how many times fault i has triggered.
+func (in *Injector) Hits(i int) int64 {
+	if in == nil || i < 0 || i >= len(in.hits) {
+		return 0
+	}
+	return in.hits[i].Load()
+}
+
+// TotalHits sums trigger counts across all faults in the plan.
+func (in *Injector) TotalHits() int64 {
+	var t int64
+	for i := range in.hits {
+		t += in.hits[i].Load()
+	}
+	return t
+}
+
+// match reports whether fault f applies to (site, idx) and, if it has a
+// trigger budget, consumes one unit of it.
+func (in *Injector) match(i int, site Site, idx int) bool {
+	f := &in.faults[i]
+	if f.Site != site || (f.Index >= 0 && f.Index != idx) {
+		return false
+	}
+	n := in.hits[i].Add(1)
+	if f.Count > 0 && n > int64(f.Count) {
+		return false
+	}
+	return true
+}
+
+// Active reports whether an injection plan is installed — the cheapest
+// possible pre-check for probes that would otherwise pay to compute their
+// ordinal index.
+func Active() bool { return active.Load() != nil }
+
+// Check probes (site, idx) against the active plan: KindDelay faults sleep,
+// KindPanic faults panic with *Injected. Inactive plans cost one atomic
+// load.
+func Check(site Site, idx int) {
+	in := active.Load()
+	if in == nil {
+		return
+	}
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Kind == KindInflate || !in.match(i, site, idx) {
+			continue
+		}
+		switch f.Kind {
+		case KindDelay:
+			time.Sleep(f.Delay)
+		case KindPanic:
+			panic(&Injected{Fault: *f})
+		}
+	}
+}
+
+// ExtraBytes returns the phantom memory pressure KindInflate faults add at
+// the given site (consuming trigger budget like Check does).
+func ExtraBytes(site Site) int64 {
+	in := active.Load()
+	if in == nil {
+		return 0
+	}
+	var extra int64
+	for i := range in.faults {
+		f := &in.faults[i]
+		if f.Kind != KindInflate || !in.match(i, site, -1) {
+			continue
+		}
+		extra += f.Bytes
+	}
+	return extra
+}

@@ -1,0 +1,173 @@
+package faultinject
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// checkPanics runs Check(site, idx) and returns the *Injected it panicked
+// with, or nil if it returned normally.
+func checkPanics(site Site, idx int) (inj *Injected) {
+	defer func() {
+		if r := recover(); r != nil {
+			inj = r.(*Injected)
+		}
+	}()
+	Check(site, idx)
+	return nil
+}
+
+func TestInactiveProbesAreNoops(t *testing.T) {
+	if Active() {
+		t.Fatalf("plan active at test start")
+	}
+	if inj := checkPanics(SiteBuildNode, 0); inj != nil {
+		t.Fatalf("inactive Check panicked: %v", inj)
+	}
+	if got := ExtraBytes(SiteArena); got != 0 {
+		t.Fatalf("inactive ExtraBytes = %d", got)
+	}
+}
+
+func TestMatchIndexAndWildcard(t *testing.T) {
+	in := Activate(
+		Fault{Site: SiteBuildNode, Index: 7, Kind: KindPanic},
+		Fault{Site: SiteBuildLeaf, Index: -1, Kind: KindPanic},
+	)
+	defer in.Deactivate()
+
+	if inj := checkPanics(SiteBuildNode, 6); inj != nil {
+		t.Errorf("index 6 matched a fault pinned to 7")
+	}
+	if inj := checkPanics(SiteBuildLeaf, 123); inj == nil {
+		t.Errorf("wildcard index did not match")
+	}
+	inj := checkPanics(SiteBuildNode, 7)
+	if inj == nil {
+		t.Fatalf("pinned index did not match")
+	}
+	if inj.Fault.Site != SiteBuildNode || inj.Fault.Index != 7 {
+		t.Errorf("Injected carries %+v", inj.Fault)
+	}
+	var err error = inj
+	var got *Injected
+	if !errors.As(err, &got) || got != inj {
+		t.Errorf("*Injected is not recoverable via errors.As")
+	}
+	if !strings.Contains(inj.Error(), "build-node") {
+		t.Errorf("Error() = %q, want the site name", inj.Error())
+	}
+}
+
+func TestCountBudget(t *testing.T) {
+	in := Activate(Fault{Site: SiteBuildNode, Index: -1, Kind: KindPanic, Count: 2})
+	defer in.Deactivate()
+
+	for i := 0; i < 2; i++ {
+		if checkPanics(SiteBuildNode, i) == nil {
+			t.Fatalf("trigger %d did not fire", i)
+		}
+	}
+	if checkPanics(SiteBuildNode, 99) != nil {
+		t.Fatalf("fault fired past its Count budget")
+	}
+	// Hits counts matches, including ones past the budget.
+	if got := in.Hits(0); got != 3 {
+		t.Errorf("Hits = %d, want 3 matches", got)
+	}
+	if got := in.TotalHits(); got != 3 {
+		t.Errorf("TotalHits = %d", got)
+	}
+}
+
+func TestCountZeroIsUnlimited(t *testing.T) {
+	in := Activate(Fault{Site: SitePoolTask, Index: -1, Kind: KindPanic})
+	defer in.Deactivate()
+	for i := 0; i < 10; i++ {
+		if checkPanics(SitePoolTask, i) == nil {
+			t.Fatalf("unlimited fault stopped firing at trigger %d", i)
+		}
+	}
+}
+
+func TestDeactivateIsCASGuarded(t *testing.T) {
+	a := Activate(Fault{Site: SiteBuildNode, Index: -1, Kind: KindPanic})
+	b := Activate(Fault{Site: SiteBuildLeaf, Index: -1, Kind: KindPanic})
+	// a is no longer the active plan; its Deactivate must not tear down b.
+	a.Deactivate()
+	if !Active() {
+		t.Fatalf("stale Deactivate removed the newer plan")
+	}
+	if checkPanics(SiteBuildLeaf, 0) == nil {
+		t.Fatalf("newer plan not in effect")
+	}
+	b.Deactivate()
+	if Active() {
+		t.Fatalf("Deactivate left the plan active")
+	}
+}
+
+func TestDelayFault(t *testing.T) {
+	const d = 20 * time.Millisecond
+	in := Activate(Fault{Site: SiteParallelChunk, Index: 0, Kind: KindDelay, Delay: d, Count: 1})
+	defer in.Deactivate()
+	t0 := time.Now()
+	Check(SiteParallelChunk, 0)
+	if got := time.Since(t0); got < d {
+		t.Errorf("delayed probe returned after %v, want >= %v", got, d)
+	}
+	t0 = time.Now()
+	Check(SiteParallelChunk, 0) // budget spent
+	if got := time.Since(t0); got > d/2 {
+		t.Errorf("spent delay fault still stalls (%v)", got)
+	}
+}
+
+func TestInflate(t *testing.T) {
+	in := Activate(
+		Fault{Site: SiteArena, Index: -1, Kind: KindInflate, Bytes: 1 << 20},
+		Fault{Site: SiteArena, Index: -1, Kind: KindInflate, Bytes: 1 << 10, Count: 1},
+	)
+	defer in.Deactivate()
+	if got := ExtraBytes(SiteArena); got != 1<<20+1<<10 {
+		t.Errorf("first ExtraBytes = %d", got)
+	}
+	if got := ExtraBytes(SiteArena); got != 1<<20 {
+		t.Errorf("second ExtraBytes = %d, want the Count-limited fault gone", got)
+	}
+	if got := ExtraBytes(SiteBuildNode); got != 0 {
+		t.Errorf("wrong-site ExtraBytes = %d", got)
+	}
+	// Inflate faults are invisible to Check.
+	if checkPanics(SiteArena, 0) != nil {
+		t.Errorf("KindInflate fired from Check")
+	}
+}
+
+func TestSiteAndKindStrings(t *testing.T) {
+	for s := SiteParallelChunk; s < numSites; s++ {
+		if s.String() == "" || strings.HasPrefix(s.String(), "site(") {
+			t.Errorf("Site(%d) missing a name: %q", s, s.String())
+		}
+	}
+	if got := Site(250).String(); got != "site(250)" {
+		t.Errorf("unknown site String = %q", got)
+	}
+	if (&Injected{}).Error() == "" {
+		t.Errorf("empty Injected error")
+	}
+}
+
+func TestNilInjectorHits(t *testing.T) {
+	var in *Injector
+	if in.Hits(0) != 0 {
+		t.Errorf("nil Injector Hits != 0")
+	}
+	in = Activate(Fault{Site: SiteBuildNode, Index: -1, Kind: KindPanic})
+	defer in.Deactivate()
+	if in.Hits(-1) != 0 || in.Hits(5) != 0 {
+		t.Errorf("out-of-range Hits != 0")
+	}
+}

@@ -118,6 +118,13 @@ type BenchResult struct {
 	AllocsPerBuild float64 `json:"allocs_per_build"`
 	BytesPerBuild  float64 `json:"bytes_per_build"`
 	GCPauseMS      float64 `json:"gc_pause_ms"`
+
+	// Guarded-build outcome counters, summed over every Run this cell
+	// performed (base measurement, tuning, tuned measurement). Non-zero
+	// numbers mean the watchdog fired: some probe or measurement frame blew
+	// its deadline and was rendered from the median-split fallback tree.
+	AbortedBuilds  int `json:"aborted_builds"`
+	FallbackFrames int `json:"fallback_frames"`
 }
 
 // Key identifies a result across reports.
@@ -176,11 +183,11 @@ func (o BenchOptions) normalized() BenchOptions {
 
 // measureStats renders warmup+measure frames under a fixed configuration,
 // discards the warmup (cold caches, first-touch allocation), and summarises
-// the rest.
-func measureStats(rc RunConfig, s BenchSettings) (frame, build, rend BenchStat) {
+// the rest. The returned RunResult carries the guarded-build counters.
+func measureStats(rc RunConfig, s BenchSettings) (frame, build, rend BenchStat, res *RunResult) {
 	rc.Search = SearchFixed
 	rc.MaxIterations = s.WarmupFrames + s.MeasureFrames
-	res := Run(rc)
+	res = Run(rc)
 	frames := res.Frames
 	if len(frames) > s.WarmupFrames {
 		frames = frames[s.WarmupFrames:]
@@ -191,12 +198,16 @@ func measureStats(rc RunConfig, s BenchSettings) (frame, build, rend BenchStat) 
 		builds = append(builds, f.Build)
 		rends = append(rends, f.Render)
 	}
-	return NewBenchStat(totals), NewBenchStat(builds), NewBenchStat(rends)
+	return NewBenchStat(totals), NewBenchStat(builds), NewBenchStat(rends), res
 }
 
 // allocMeasureBuilds is how many steady-state rebuilds the allocation probe
 // averages over.
 const allocMeasureBuilds = 5
+
+// benchDeadlineFactor is the watchdog multiple RunBench arms on every run:
+// builds slower than this many times the incumbent frame total abort.
+const benchDeadlineFactor = 10
 
 // measureBuildAllocs profiles the steady-state allocation behaviour of one
 // rebuild under cfg: a fresh Builder is warmed with two builds (first-touch
@@ -242,8 +253,12 @@ func RunBench(o BenchOptions) *BenchReport {
 			rc := RunConfig{
 				Scene: sc, Algorithm: algo, Workers: s.Workers,
 				Width: s.Width, Height: s.Height, Seed: s.Seed,
+				// Watchdog: abort any build slower than 10× the fastest
+				// frame seen, render the fallback, penalize the sample.
+				// Generous enough that honest probes never trip it.
+				DeadlineFactor: benchDeadlineFactor,
 			}
-			baseFrame, _, _ := measureStats(rc, s)
+			baseFrame, _, _, baseRes := measureStats(rc, s)
 
 			tune := rc
 			tune.Search = SearchNelderMead
@@ -252,8 +267,10 @@ func RunBench(o BenchOptions) *BenchReport {
 
 			tuned := rc
 			tuned.Base = run.BestConfig()
-			frame, build, rend := measureStats(tuned, s)
+			frame, build, rend, tunedRes := measureStats(tuned, s)
 			allocsB, bytesB, gcMS := measureBuildAllocs(sc, run.BestConfig())
+			abortedB := baseRes.AbortedBuilds + run.AbortedBuilds + tunedRes.AbortedBuilds
+			fallbackF := baseRes.FallbackFrames + run.FallbackFrames + tunedRes.FallbackFrames
 
 			speedup := 0.0
 			if frame.MedianMS > 0 {
@@ -268,6 +285,7 @@ func RunBench(o BenchOptions) *BenchReport {
 				ConvergedAt:    run.ConvergedAt,
 				Speedup:        speedup,
 				AllocsPerBuild: allocsB, BytesPerBuild: bytesB, GCPauseMS: gcMS,
+				AbortedBuilds: abortedB, FallbackFrames: fallbackF,
 			}
 			rep.Results = append(rep.Results, res)
 			if o.Progress != nil {
@@ -326,11 +344,12 @@ func ReadBenchReportFile(path string) (*BenchReport, error) {
 	return rep, nil
 }
 
-// Regression is one cell whose tuned frame time got worse than the
+// Regression is one cell whose frame-time median got worse than the
 // threshold allows.
 type Regression struct {
 	Key            string  // scene/algorithm
-	OldMS, NewMS   float64 // tuned frame-time medians
+	Metric         string  // "base" or "tuned"
+	OldMS, NewMS   float64 // frame-time medians
 	Pct            float64 // (new-old)/old * 100
 	OldCoV, NewCoV float64
 }
@@ -339,26 +358,49 @@ type Regression struct {
 type CompareResult struct {
 	ThresholdPct float64
 	Checked      int          // cells present in both reports
+	TunedSkipped []string     // cells whose tuned configs differ (tuned not compared)
 	Missing      []string     // keys in old that new lacks
+	Faulted      []string     // new-report cells measured through aborts/fallbacks
 	Regressions  []Regression // cells past the threshold
 }
 
 // OK reports whether the comparison passes: nothing missing, nothing
-// regressed.
+// regressed, no measurement that silently rode a fallback build.
 func (c CompareResult) OK() bool {
-	return len(c.Missing) == 0 && len(c.Regressions) == 0
+	return len(c.Missing) == 0 && len(c.Regressions) == 0 && len(c.Faulted) == 0
 }
 
-// CompareBenchReports diffs the tuned frame-time medians of two reports.
-// A cell regresses when its median grows by more than thresholdPct percent;
-// cells present only in the old report are flagged as missing (a silently
-// dropped benchmark must fail the gate too). Cells only in the new report
-// are fine — coverage grew.
+// CompareBenchReports diffs the frame-time medians of two reports.
+//
+// Base-configuration cells are always compared: C_base is fixed by
+// protocol, so a base median growing past thresholdPct is a genuine code
+// slowdown. Tuned cells are compared only when both reports landed on the
+// same tuned configuration — when the (noisy, online) searches landed on
+// different configs, the two medians measure different work and their delta
+// is search luck, not code speed; those cells are listed informationally in
+// TunedSkipped instead of gating. Cells present only in the old report are
+// flagged as missing (a silently dropped benchmark must fail the gate too);
+// cells only in the new report are fine — coverage grew. Finally, any
+// new-report cell with nonzero aborted_builds/fallback_frames fails: a
+// healthy benchmark must never have measured a median-split fallback tree
+// where it claims a tuned one (DESIGN.md §10).
 func CompareBenchReports(old, new *BenchReport, thresholdPct float64) CompareResult {
 	c := CompareResult{ThresholdPct: thresholdPct}
 	newBy := make(map[string]BenchResult, len(new.Results))
 	for _, r := range new.Results {
 		newBy[r.Key()] = r
+	}
+	check := func(key, metric string, o, n BenchStat) {
+		if o.MedianMS <= 0 {
+			return
+		}
+		pct := (n.MedianMS - o.MedianMS) / o.MedianMS * 100
+		if pct > thresholdPct {
+			c.Regressions = append(c.Regressions, Regression{
+				Key: key, Metric: metric, OldMS: o.MedianMS, NewMS: n.MedianMS,
+				Pct: pct, OldCoV: o.CoV, NewCoV: n.CoV,
+			})
+		}
 	}
 	for _, o := range old.Results {
 		n, ok := newBy[o.Key()]
@@ -367,19 +409,24 @@ func CompareBenchReports(old, new *BenchReport, thresholdPct float64) CompareRes
 			continue
 		}
 		c.Checked++
-		if o.Frame.MedianMS <= 0 {
-			continue
+		if n.AbortedBuilds > 0 || n.FallbackFrames > 0 {
+			c.Faulted = append(c.Faulted, fmt.Sprintf("%s (%d aborted builds, %d fallback frames)",
+				o.Key(), n.AbortedBuilds, n.FallbackFrames))
 		}
-		pct := (n.Frame.MedianMS - o.Frame.MedianMS) / o.Frame.MedianMS * 100
-		if pct > thresholdPct {
-			c.Regressions = append(c.Regressions, Regression{
-				Key: o.Key(), OldMS: o.Frame.MedianMS, NewMS: n.Frame.MedianMS,
-				Pct: pct, OldCoV: o.Frame.CoV, NewCoV: n.Frame.CoV,
-			})
+		check(o.Key(), "base", o.Base, n.Base)
+		if o.TunedCI == n.TunedCI && o.TunedCB == n.TunedCB &&
+			o.TunedS == n.TunedS && o.TunedR == n.TunedR {
+			check(o.Key(), "tuned", o.Frame, n.Frame)
+		} else {
+			c.TunedSkipped = append(c.TunedSkipped, fmt.Sprintf("%s (%d,%d,%d,%d) -> (%d,%d,%d,%d)",
+				o.Key(), o.TunedCI, o.TunedCB, o.TunedS, o.TunedR,
+				n.TunedCI, n.TunedCB, n.TunedS, n.TunedR))
 		}
 	}
 	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Pct > c.Regressions[j].Pct })
 	sort.Strings(c.Missing)
+	sort.Strings(c.Faulted)
+	sort.Strings(c.TunedSkipped)
 	return c
 }
 
@@ -389,9 +436,15 @@ func (c CompareResult) Format(w io.Writer) {
 	for _, k := range c.Missing {
 		fmt.Fprintf(w, "  MISSING    %-30s present in old report only\n", k)
 	}
+	for _, k := range c.Faulted {
+		fmt.Fprintf(w, "  FAULTED    %s\n", k)
+	}
 	for _, r := range c.Regressions {
-		fmt.Fprintf(w, "  REGRESSION %-30s %8.2fms -> %8.2fms (%+.1f%%, cov %.2f -> %.2f)\n",
-			r.Key, r.OldMS, r.NewMS, r.Pct, r.OldCoV, r.NewCoV)
+		fmt.Fprintf(w, "  REGRESSION %-30s %-5s %8.2fms -> %8.2fms (%+.1f%%, cov %.2f -> %.2f)\n",
+			r.Key, r.Metric, r.OldMS, r.NewMS, r.Pct, r.OldCoV, r.NewCoV)
+	}
+	for _, k := range c.TunedSkipped {
+		fmt.Fprintf(w, "  tuned-config changed, tuned time not compared: %s\n", k)
 	}
 	if c.OK() {
 		fmt.Fprintln(w, "  no regressions")

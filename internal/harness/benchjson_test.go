@@ -87,7 +87,7 @@ func TestCompareBenchReports(t *testing.T) {
 
 	t.Run("regression detected", func(t *testing.T) {
 		new := syntheticReport("new", map[string]float64{
-			"Sponza/in-place": 12.5, // +25%: regressed
+			"Sponza/in-place": 12.5, // +25%: regressed (base scales with frame, so both metrics trip)
 			"Sponza/nested":   21,   // +5%: within threshold
 			"Bunny/lazy":      4,    // improved
 		})
@@ -95,14 +95,65 @@ func TestCompareBenchReports(t *testing.T) {
 		if c.OK() {
 			t.Fatal("25% slowdown passed the 10% gate")
 		}
-		if len(c.Regressions) != 1 || c.Regressions[0].Key != "Sponza/in-place" {
-			t.Fatalf("regressions = %+v, want exactly Sponza/in-place", c.Regressions)
+		if len(c.Regressions) != 2 {
+			t.Fatalf("regressions = %+v, want base+tuned for Sponza/in-place", c.Regressions)
 		}
-		if math.Abs(c.Regressions[0].Pct-25) > 1e-9 {
-			t.Errorf("Pct = %g, want 25", c.Regressions[0].Pct)
+		metrics := map[string]bool{}
+		for _, r := range c.Regressions {
+			if r.Key != "Sponza/in-place" {
+				t.Fatalf("regression on %s, want only Sponza/in-place", r.Key)
+			}
+			if math.Abs(r.Pct-25) > 1e-9 {
+				t.Errorf("Pct = %g, want 25", r.Pct)
+			}
+			metrics[r.Metric] = true
+		}
+		if !metrics["base"] || !metrics["tuned"] {
+			t.Errorf("regression metrics = %v, want both base and tuned", metrics)
 		}
 		if c.Checked != 3 {
 			t.Errorf("Checked = %d, want 3", c.Checked)
+		}
+	})
+
+	t.Run("changed tuned config is not compared", func(t *testing.T) {
+		// The searches landed on different configurations, so the tuned
+		// medians measure different work: the cell must be reported, not
+		// gated — while its base comparison (fixed C_base) still applies.
+		new := syntheticReport("new", map[string]float64{
+			"Sponza/in-place": 30, "Sponza/nested": 20, "Bunny/lazy": 5,
+		})
+		for i := range new.Results {
+			if new.Results[i].Key() == "Sponza/in-place" {
+				new.Results[i].TunedCI = 42
+				new.Results[i].Base = BenchStat{MedianMS: 13, N: 9} // = old's base (10 × 1.3)
+			}
+		}
+		c := CompareBenchReports(old, new, 10)
+		if !c.OK() {
+			t.Fatalf("config-changed cell gated on tuned time: %+v", c)
+		}
+		if len(c.TunedSkipped) != 1 || !strings.Contains(c.TunedSkipped[0], "Sponza/in-place") {
+			t.Fatalf("TunedSkipped = %v, want Sponza/in-place", c.TunedSkipped)
+		}
+	})
+
+	t.Run("faulted cell fails", func(t *testing.T) {
+		new := syntheticReport("new", map[string]float64{
+			"Sponza/in-place": 10, "Sponza/nested": 20, "Bunny/lazy": 5,
+		})
+		for i := range new.Results {
+			if new.Results[i].Key() == "Bunny/lazy" {
+				new.Results[i].AbortedBuilds = 2
+				new.Results[i].FallbackFrames = 1
+			}
+		}
+		c := CompareBenchReports(old, new, 10)
+		if c.OK() {
+			t.Fatal("a cell measured through fallback builds passed the gate")
+		}
+		if len(c.Faulted) != 1 || !strings.Contains(c.Faulted[0], "Bunny/lazy") {
+			t.Fatalf("Faulted = %v, want Bunny/lazy", c.Faulted)
 		}
 	})
 

@@ -1,7 +1,9 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
+	"math"
 	"time"
 
 	"kdtune/internal/autotune"
@@ -64,6 +66,21 @@ type RunConfig struct {
 	// disables, matching the paper's main experiments.
 	RetuneThreshold float64
 	RetuneWindow    int
+
+	// DeadlineFactor arms a per-frame build watchdog: each guarded build
+	// gets Guard.Deadline = DeadlineFactor × the fastest successful frame
+	// total observed so far (the incumbent). Exploration probes that blow
+	// past any sane budget — a pathological (CI, CB) region driving the SAH
+	// into million-node trees — are aborted, rendered via the median-split
+	// fallback, and reported to the tuner as censored samples instead of
+	// stalling the loop. <=0 disables the watchdog; the first frame always
+	// runs unguarded-by-deadline (there is no incumbent yet).
+	DeadlineFactor float64
+
+	// BuildGuard supplies static guard limits (MaxDepth, MaxArenaBytes, or
+	// a fixed Deadline floor) applied to every build of the run. The
+	// watchdog deadline is merged in on top: the tighter deadline wins.
+	BuildGuard kdtree.Guard
 }
 
 // FrameRecord is the measurement of one frame (one Start/Stop cycle).
@@ -74,6 +91,10 @@ type FrameRecord struct {
 	Build        time.Duration
 	Render       time.Duration
 	Total        time.Duration
+	// Aborted marks a frame whose guarded build hit a Guard limit; the
+	// frame was still rendered, from a median-split fallback tree, and its
+	// Build/Total include both the aborted attempt and the fallback build.
+	Aborted bool
 }
 
 // RunResult aggregates a run.
@@ -82,6 +103,8 @@ type RunResult struct {
 	Frames                       []FrameRecord
 	ConvergedAt                  int // iteration index of convergence, -1 if never
 	Restarts                     int // drift-triggered search restarts (§V-D4)
+	AbortedBuilds                int // guarded builds stopped by a Guard limit
+	FallbackFrames               int // frames rendered from the median-split fallback tree
 	BestCI, BestCB, BestS, BestR int
 	BestTotal                    time.Duration
 }
@@ -115,10 +138,57 @@ func (rc RunConfig) normalize() RunConfig {
 	return rc
 }
 
+// maxRunResolution bounds the render resolution Validate accepts; a single
+// frame buffer past 16k×16k is an input error, not a measurement.
+const maxRunResolution = 1 << 14
+
+// Validate reports every way the run configuration is unusable before any
+// work starts. Zero values that normalize fills with defaults (resolution,
+// iteration budget, ...) are accepted; contradictory or non-finite values
+// are not. Run calls it and panics on error, so a harness misconfiguration
+// fails at the top of the run instead of as a hung loop or a nil-scene
+// crash frames later.
+func (rc RunConfig) Validate() error {
+	var errs []error
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+	check(rc.Scene != nil, "Scene is nil")
+	check(rc.Width >= 0 && rc.Width <= maxRunResolution, "Width %d outside [0, %d]", rc.Width, maxRunResolution)
+	check(rc.Height >= 0 && rc.Height <= maxRunResolution, "Height %d outside [0, %d]", rc.Height, maxRunResolution)
+	check(rc.MaxIterations >= 0, "MaxIterations %d negative", rc.MaxIterations)
+	check(rc.PostConverge >= 0, "PostConverge %d negative", rc.PostConverge)
+	check(rc.RepeatFrames >= 0, "RepeatFrames %d negative", rc.RepeatFrames)
+	check(!math.IsNaN(rc.RetuneThreshold) && !math.IsInf(rc.RetuneThreshold, 0),
+		"RetuneThreshold %v is not finite", rc.RetuneThreshold)
+	check(rc.RetuneWindow >= 0, "RetuneWindow %d negative", rc.RetuneWindow)
+	check(!math.IsNaN(rc.DeadlineFactor) && !math.IsInf(rc.DeadlineFactor, 0) && !(rc.DeadlineFactor < 0),
+		"DeadlineFactor %v must be finite and non-negative", rc.DeadlineFactor)
+	check(rc.BuildGuard.Deadline >= 0, "BuildGuard.Deadline %v negative", rc.BuildGuard.Deadline)
+	check(rc.BuildGuard.MaxDepth >= 0, "BuildGuard.MaxDepth %d negative", rc.BuildGuard.MaxDepth)
+	check(rc.BuildGuard.MaxArenaBytes >= 0, "BuildGuard.MaxArenaBytes %d negative", rc.BuildGuard.MaxArenaBytes)
+	if err := rc.Base.Validate(); err != nil {
+		errs = append(errs, err) // the zero Base ("use defaults") passes
+	}
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("harness: invalid run config: %w", errors.Join(errs...))
+}
+
 // Run executes the Figure 4 workflow: per frame, apply the configuration
 // under test, rebuild the kD-tree for the frame's geometry, render, and
-// report total frame time (m_a = t_c + t_r) to the search.
+// report total frame time (m_a = t_c + t_r) to the search. Builds run
+// guarded (see DeadlineFactor and BuildGuard): a build stopped by a Guard
+// limit is replaced by a median-split fallback build so the frame still
+// renders, and the cycle is reported to the tuner as a censored sample.
+// Run panics on an invalid RunConfig (see Validate).
 func Run(rc RunConfig) *RunResult {
+	if err := rc.Validate(); err != nil {
+		panic(err)
+	}
 	rc = rc.normalize()
 	res := &RunResult{Config: rc, ConvergedAt: -1}
 
@@ -165,6 +235,26 @@ func Run(rc RunConfig) *RunResult {
 	builder := kdtree.NewBuilder()
 	im := render.NewImage(rc.Width, rc.Height)
 
+	// The watchdog incumbent: fastest successful (non-aborted) frame total
+	// so far. The deadline for each guarded build derives from it, so the
+	// budget tracks what this scene at this resolution actually costs.
+	var incumbent time.Duration
+	guardFor := func() kdtree.Guard {
+		g := rc.BuildGuard
+		if rc.DeadlineFactor > 0 && incumbent > 0 {
+			d := time.Duration(rc.DeadlineFactor * float64(incumbent))
+			if d <= 0 {
+				// A sub-nanosecond budget truncates to 0, which Guard reads
+				// as "no deadline"; keep the watchdog armed instead.
+				d = 1
+			}
+			if g.Deadline <= 0 || d < g.Deadline {
+				g.Deadline = d
+			}
+		}
+		return g
+	}
+
 	frameSeq := frameSequence(rc)
 	postLeft := rc.PostConverge
 	for iter := 0; iter < rc.MaxIterations; iter++ {
@@ -181,23 +271,61 @@ func Run(rc RunConfig) *RunResult {
 			R:         r,
 			Workers:   rc.Workers,
 		}
+		if err := cfg.Validate(); err != nil {
+			// Tuner probes stay inside Table II, far within the hard
+			// limits; anything else (a corrupted Base leaking through) is
+			// repaired rather than crashing the loop mid-run.
+			cfg = cfg.Clamped()
+		}
 
 		tris := rc.Scene.Triangles(frame)
 		t0 := time.Now()
-		tree := builder.Build(tris, cfg)
+		tree, err := builder.BuildGuarded(tris, cfg, guardFor())
+		aborted := err != nil
+		if aborted {
+			// Graceful degradation: the guarded build was stopped (deadline,
+			// depth, memory, or an isolated worker panic). Rebuild with the
+			// spatial-median builder — cheap, SAH-free, bounded — on the
+			// same Builder (its arenas survive an abort intact), so every
+			// frame renders even while the tuner probes pathological
+			// configurations.
+			res.AbortedBuilds++
+			fcfg := cfg
+			fcfg.Algorithm = kdtree.AlgoMedian
+			// The fallback itself runs guarded too (zero Guard still contains
+			// worker panics): if even the median build fails, the frame is
+			// recorded but not rendered, rather than crashing the run.
+			tree, _ = builder.BuildGuarded(tris, fcfg, kdtree.Guard{})
+			if tree != nil {
+				res.FallbackFrames++
+			}
+		}
 		tBuild := time.Since(t0)
-		_ = render.RenderInto(im, tree, rc.Scene.ViewAt(frame), rc.Scene.Lights, render.Options{
-			Width: rc.Width, Height: rc.Height, Workers: rc.Workers,
-		})
+		if tree != nil {
+			_ = render.RenderInto(im, tree, rc.Scene.ViewAt(frame), rc.Scene.Lights, render.Options{
+				Width: rc.Width, Height: rc.Height, Workers: rc.Workers,
+			})
+		}
 		total := time.Since(t0)
 
 		if tuner != nil {
-			tuner.Stop()
+			if aborted {
+				// No real measurement exists for this configuration; the
+				// tuner records a penalty so the search reflects away from
+				// the region instead of re-probing it.
+				tuner.StopAborted()
+			} else {
+				tuner.Stop()
+			}
+		}
+		if !aborted && (incumbent == 0 || total < incumbent) {
+			incumbent = total
 		}
 		res.Frames = append(res.Frames, FrameRecord{
 			Iteration: iter, FrameIndex: frame,
 			CI: ci, CB: cb, S: s, R: r,
 			Build: tBuild, Render: total - tBuild, Total: total,
+			Aborted: aborted,
 		})
 
 		if tuner != nil && tuner.Converged() {

@@ -1,0 +1,110 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"kdtune/internal/kdtree"
+)
+
+func TestRunConfigValidate(t *testing.T) {
+	ok := func(mut func(*RunConfig)) RunConfig {
+		rc := RunConfig{Scene: tinyScene(), Algorithm: kdtree.AlgoInPlace}
+		if mut != nil {
+			mut(&rc)
+		}
+		return rc
+	}
+	cases := []struct {
+		name    string
+		rc      RunConfig
+		wantErr []string // substrings that must all appear; empty = valid
+	}{
+		{"minimal", ok(nil), nil},
+		{"full", ok(func(rc *RunConfig) {
+			rc.Width, rc.Height = 1920, 1080
+			rc.MaxIterations, rc.PostConverge = 200, 20
+			rc.RetuneThreshold, rc.RetuneWindow = 1.5, 5
+			rc.DeadlineFactor = 10
+			rc.BuildGuard = kdtree.Guard{Deadline: time.Second, MaxDepth: 64, MaxArenaBytes: 1 << 30}
+		}), nil},
+		{"zero defaults pass", ok(func(rc *RunConfig) {
+			rc.Width, rc.Height, rc.MaxIterations = 0, 0, 0
+		}), nil},
+
+		{"nil scene", RunConfig{}, []string{"Scene is nil"}},
+		{"negative width", ok(func(rc *RunConfig) { rc.Width = -1 }), []string{"Width -1"}},
+		{"absurd height", ok(func(rc *RunConfig) { rc.Height = 1 << 20 }), []string{"Height"}},
+		{"negative iterations", ok(func(rc *RunConfig) { rc.MaxIterations = -5 }), []string{"MaxIterations"}},
+		{"negative post-converge", ok(func(rc *RunConfig) { rc.PostConverge = -1 }), []string{"PostConverge"}},
+		{"negative repeat", ok(func(rc *RunConfig) { rc.RepeatFrames = -1 }), []string{"RepeatFrames"}},
+		{"nan retune", ok(func(rc *RunConfig) { rc.RetuneThreshold = math.NaN() }), []string{"RetuneThreshold"}},
+		{"negative retune window", ok(func(rc *RunConfig) { rc.RetuneWindow = -2 }), []string{"RetuneWindow"}},
+		{"nan deadline factor", ok(func(rc *RunConfig) { rc.DeadlineFactor = math.NaN() }), []string{"DeadlineFactor"}},
+		{"inf deadline factor", ok(func(rc *RunConfig) { rc.DeadlineFactor = math.Inf(1) }), []string{"DeadlineFactor"}},
+		{"negative deadline factor", ok(func(rc *RunConfig) { rc.DeadlineFactor = -1 }), []string{"DeadlineFactor"}},
+		{"negative guard deadline", ok(func(rc *RunConfig) { rc.BuildGuard.Deadline = -time.Second }), []string{"BuildGuard.Deadline"}},
+		{"negative guard depth", ok(func(rc *RunConfig) { rc.BuildGuard.MaxDepth = -1 }), []string{"BuildGuard.MaxDepth"}},
+		{"negative guard bytes", ok(func(rc *RunConfig) { rc.BuildGuard.MaxArenaBytes = -1 }), []string{"BuildGuard.MaxArenaBytes"}},
+		{"hostile base config", ok(func(rc *RunConfig) { rc.Base = kdtree.Config{CI: math.NaN()} }), []string{"CI"}},
+		{"multi-error", RunConfig{Width: -1, DeadlineFactor: math.NaN()},
+			[]string{"Scene is nil", "Width -1", "DeadlineFactor"}},
+	}
+	for _, tc := range cases {
+		err := tc.rc.Validate()
+		if len(tc.wantErr) == 0 {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: no error, want mentions of %v", tc.name, tc.wantErr)
+			continue
+		}
+		for _, want := range tc.wantErr {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, want)
+			}
+		}
+	}
+}
+
+func TestRunPanicsOnInvalidConfig(t *testing.T) {
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("Run accepted a nil-scene config")
+		}
+		if err, isErr := r.(error); !isErr || !strings.Contains(err.Error(), "Scene is nil") {
+			t.Fatalf("panic value %v does not explain the misconfiguration", r)
+		}
+	}()
+	Run(RunConfig{})
+}
+
+// TestRunGuardedCleanPathNoAborts: arming the watchdog and static guard on a
+// healthy run must not change behaviour — no aborts, no fallbacks, and the
+// frame loop completes.
+func TestRunGuardedCleanPathNoAborts(t *testing.T) {
+	res := Run(RunConfig{
+		Scene: tinyScene(), Algorithm: kdtree.AlgoInPlace,
+		Search: SearchNelderMead, Workers: 2, Width: 24, Height: 18,
+		MaxIterations: 8, Seed: 3,
+		DeadlineFactor: 1000, // generous: no healthy probe can trip it
+		BuildGuard:     kdtree.Guard{MaxDepth: 64, MaxArenaBytes: 1 << 30},
+	})
+	if res.AbortedBuilds != 0 || res.FallbackFrames != 0 {
+		t.Fatalf("healthy guarded run reported aborts: %+v", res)
+	}
+	if len(res.Frames) != 8 {
+		t.Fatalf("recorded %d frames, want 8", len(res.Frames))
+	}
+	for _, f := range res.Frames {
+		if f.Aborted {
+			t.Fatalf("healthy frame flagged aborted: %+v", f)
+		}
+	}
+}

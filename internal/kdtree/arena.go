@@ -101,7 +101,21 @@ type arena struct {
 	cntL     []int          // nested: left write offsets (prefix-scanned)
 	cntR     []int          // nested: right write offsets
 	narrowed []nbox         // nested: narrowed child boxes from classification
+
+	// live, when non-nil, accumulates the bytes held by the item and event
+	// stacks so a guarded build can enforce Guard.MaxArenaBytes. The stacks
+	// are where duplication blowup (the CB term) lands; the per-node scratch
+	// and node output are bounded by them and deliberately not counted. Only
+	// wired up when a memory ceiling is armed, so the default build path
+	// pays one nil check per stack operation.
+	live *atomic.Int64
 }
+
+// Byte sizes of the stack-allocated element types for live accounting.
+const (
+	itemBytes  = int64(unsafe.Sizeof(item{}))
+	eventBytes = int64(unsafe.Sizeof(soEvent{}))
+)
 
 // nbox caches the narrowed left/right bounds computed during the nested
 // builder's classification pass.
@@ -117,13 +131,22 @@ func (a *arena) reset() {
 	a.events = a.events[:0]
 }
 
-func (a *arena) markItems() int     { return len(a.items) }
-func (a *arena) releaseItems(m int) { a.items = a.items[:m] }
+func (a *arena) markItems() int { return len(a.items) }
+
+func (a *arena) releaseItems(m int) {
+	if a.live != nil {
+		a.live.Add(-int64(len(a.items)-m) * itemBytes)
+	}
+	a.items = a.items[:m]
+}
 
 // allocItems carves a full-length window of n items off the stack. The
 // window is capacity-clamped so appends past n cannot silently bleed into a
 // sibling's window.
 func (a *arena) allocItems(n int) []item {
+	if a.live != nil {
+		a.live.Add(int64(n) * itemBytes)
+	}
 	m := len(a.items)
 	if m+n > cap(a.items) {
 		grown := make([]item, m, growCap(m+n))
@@ -134,10 +157,19 @@ func (a *arena) allocItems(n int) []item {
 	return a.items[m : m+n : m+n]
 }
 
-func (a *arena) markEvents() int     { return len(a.events) }
-func (a *arena) releaseEvents(m int) { a.events = a.events[:m] }
+func (a *arena) markEvents() int { return len(a.events) }
+
+func (a *arena) releaseEvents(m int) {
+	if a.live != nil {
+		a.live.Add(-int64(len(a.events)-m) * eventBytes)
+	}
+	a.events = a.events[:m]
+}
 
 func (a *arena) allocEvents(n int) []soEvent {
+	if a.live != nil {
+		a.live.Add(int64(n) * eventBytes)
+	}
 	m := len(a.events)
 	if m+n > cap(a.events) {
 		grown := make([]soEvent, m, growCap(m+n))

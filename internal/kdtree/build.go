@@ -1,6 +1,7 @@
 package kdtree
 
 import (
+	"kdtune/internal/faultinject"
 	"kdtune/internal/parallel"
 	"kdtune/internal/sah"
 	"kdtune/internal/vecmath"
@@ -28,7 +29,8 @@ type item struct {
 }
 
 // buildCtx is the per-build shared state: immutable inputs plus the task
-// pool, statistics counters and the owning Builder (arena source).
+// pool, statistics counters, the owning Builder (arena source) and the
+// abort guard (nil only transiently inside prepare; every build arms it).
 type buildCtx struct {
 	tris     []vecmath.Triangle
 	cfg      Config
@@ -37,6 +39,7 @@ type buildCtx struct {
 	counters buildCounters
 	spawnCap int // recursion depth below which subtree tasks are spawned
 	b        *Builder
+	guard    *buildGuard
 }
 
 // rootItems computes the world bounds and the initial item list (skipping
@@ -65,6 +68,9 @@ func (c *buildCtx) rootItemsInto(dst []item) ([]item, vecmath.AABB) {
 
 // makeLeaf emits a leaf into the arena and records statistics.
 func (c *buildCtx) makeLeaf(a *arena, items []item, depth int) {
+	if faultinject.Active() && c.guard != nil {
+		faultinject.Check(faultinject.SiteBuildLeaf, int(c.guard.leafSeq.Add(1))-1)
+	}
 	a.emitLeaf(items)
 	c.counters.noteLeaf(len(items), depth)
 }

@@ -3,6 +3,7 @@ package kdtree
 import (
 	"sync"
 
+	"kdtune/internal/faultinject"
 	"kdtune/internal/parallel"
 	"kdtune/internal/sah"
 	"kdtune/internal/vecmath"
@@ -98,6 +99,9 @@ func (c *buildCtx) buildBreadthFirst(lazy bool) vecmath.AABB {
 	switchWidth := c.cfg.S * c.cfg.Workers
 
 	for len(fa) > 0 {
+		if c.checkAbort(fa[0].depth) {
+			break
+		}
 		if len(fa) >= switchWidth {
 			// Enough subtrees for every worker: finish each node as an
 			// independent task emitting into a private arena, grafted into
@@ -124,6 +128,13 @@ func (c *buildCtx) buildBreadthFirst(lazy bool) vecmath.AABB {
 		cur = 1 - cur
 	}
 	bf.frontA, bf.frontB = fa, fb
+
+	// An aborted build leaves the scaffold incomplete; assembling it would
+	// chase unset child indices. BuildGuarded reclaims bf.subs after the
+	// pool drains (a panic may have stranded them mid-task).
+	if c.aborted() {
+		return bounds
+	}
 
 	c.assembleBF(&c.b.main, 0)
 	for _, s := range bf.subs {
@@ -158,6 +169,9 @@ func (c *buildCtx) assembleBF(a *arena, bi int32) {
 // bfLeafNode emits leaf content into the main arena and returns the
 // scaffold record referencing it (phase 3 runs single-threaded).
 func (c *buildCtx) bfLeafNode(sub []item, depth int) bfNode {
+	if faultinject.Active() && c.guard != nil {
+		faultinject.Check(faultinject.SiteBuildLeaf, int(c.guard.leafSeq.Add(1))-1)
+	}
 	main := &c.b.main
 	start := int32(len(main.leafTris))
 	for _, it := range sub {
@@ -223,6 +237,9 @@ func (c *buildCtx) decideSplitLevel(a *arena, sub []item, bounds vecmath.AABB, d
 // search, same degenerate-split bailout — because the worker count decides
 // which of the two phases a node lands in.
 func (c *buildCtx) finishSubtree(a *arena, items []item, bounds vecmath.AABB, depth int, lazy bool) {
+	if c.checkAbort(depth) {
+		return
+	}
 	if c.shouldDefer(lazy, len(items), depth) {
 		c.makeDeferred(a, items, bounds, depth)
 		return
@@ -275,14 +292,20 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 	bf := &c.b.bf
 	items := bf.items[cur]
 	outerW, innerW := parallel.SplitBudget(c.cfg.Workers, len(frontier))
+	cc := c.canceler()
 
 	// Phase 1: best split per node. Parallel across nodes; within a node
 	// the histogram is built by per-chunk private BinSets merged at the
 	// end (the parallel prefix structure of Choi et al.). Each worker chunk
 	// borrows an arena for the sweep search's scratch.
+	//
+	// Each phase bails at its barrier when the build is canceled: a skipped
+	// chunk leaves garbage in the decision/count tables (ensureLen does not
+	// zero), and the next phase would act on it — sizing allocations from
+	// garbage counts in the worst case.
 	bf.decs = ensureLen(bf.decs, len(frontier))
 	decisions := bf.decs
-	parallel.ForChunks(len(frontier), outerW, 1, func(_, lo, hi int) {
+	parallel.ForChunksCancel(cc, len(frontier), outerW, 1, func(_, lo, hi int) {
 		sa := c.b.getArena()
 		for ni := lo; ni < hi; ni++ {
 			decisions[ni] = levelDecision{}
@@ -299,6 +322,9 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 		}
 		c.b.putArena(sa)
 	})
+	if c.aborted() {
+		return dst
+	}
 
 	// Phase 2: classify every (triangle, node) pair, counting per chunk and
 	// turning the counts into exclusive per-chunk write offsets. The
@@ -324,7 +350,7 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 		plans[ni].chunkOff = bf.chunkOff[off : off+cc : off+cc]
 		off += cc
 	}
-	parallel.ForChunks(len(frontier), outerW, 1, func(_, lo0, hi0 int) {
+	parallel.ForChunksCancel(cc, len(frontier), outerW, 1, func(_, lo0, hi0 int) {
 		for ni := lo0; ni < hi0; ni++ {
 			if !decisions[ni].doit {
 				continue
@@ -334,7 +360,7 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 			lb, rb := ln.bounds.Split(split.Axis, split.Pos)
 			sub := items[ln.start:ln.end]
 			counts := plans[ni].chunkOff
-			parallel.ForChunks(len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
+			parallel.ForChunksCancel(cc, len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
 				var nl, nr int
 				for i := lo; i < hi; i++ {
 					gl, gr := c.classify(sub[i], split, lb, rb)
@@ -347,6 +373,9 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 				}
 				counts[chunk] = [2]int{nl, nr}
 			})
+			if cc.Canceled() {
+				return
+			}
 			var nl, nr int
 			for ci := range counts {
 				cl, cr := counts[ci][0], counts[ci][1]
@@ -358,6 +387,9 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 			plans[ni].nr = nr
 		}
 	})
+	if c.aborted() {
+		return dst
+	}
 
 	next := 0
 	for ni := range frontier {
@@ -375,7 +407,7 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 	// so each chunk's writes start exactly where its counts said they would.
 	nextItems := ensureLen(bf.items[1-cur], next)
 	bf.items[1-cur] = nextItems
-	parallel.ForChunks(len(frontier), outerW, 1, func(_, lo0, hi0 int) {
+	parallel.ForChunksCancel(cc, len(frontier), outerW, 1, func(_, lo0, hi0 int) {
 		for ni := lo0; ni < hi0; ni++ {
 			if !decisions[ni].doit {
 				continue
@@ -385,7 +417,7 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 			lb, rb := ln.bounds.Split(split.Axis, split.Pos)
 			sub := items[ln.start:ln.end]
 			plan := plans[ni]
-			parallel.ForChunks(len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
+			parallel.ForChunksCancel(cc, len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
 				l := plan.leftStart + plan.chunkOff[chunk][0]
 				r := plan.rightStart + plan.chunkOff[chunk][1]
 				for i := lo; i < hi; i++ {
@@ -405,6 +437,10 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 			})
 		}
 	})
+
+	if c.aborted() {
+		return dst
+	}
 
 	// Phase 3: materialise scaffold nodes and the next frontier; leaves and
 	// suspended nodes emit their content here (single-threaded).

@@ -30,6 +30,9 @@ func (c *buildCtx) buildMedian() vecmath.AABB {
 }
 
 func (c *buildCtx) recurseMedian(a *arena, items []item, bounds vecmath.AABB, depth int) {
+	if c.checkAbort(depth) {
+		return
+	}
 	if len(items) <= medianLeafSize || depth >= c.cfg.MaxDepth {
 		c.makeLeaf(a, items, depth)
 		return

@@ -34,6 +34,9 @@ func (c *buildCtx) buildNested() vecmath.AABB {
 }
 
 func (c *buildCtx) recurseNested(a *arena, items []item, bounds vecmath.AABB, depth int) {
+	if c.checkAbort(depth) {
+		return
+	}
 	if len(items) < nestedSequentialCutoff {
 		c.recurseNodeLevel(a, items, bounds, depth)
 		return
@@ -51,6 +54,12 @@ func (c *buildCtx) recurseNested(a *arena, items []item, bounds vecmath.AABB, de
 
 	mark := a.markItems()
 	left, right, lb, rb := c.parallelPartition(a, items, split, bounds)
+	// A canceled partition returns unusable lists (skipped chunks leave
+	// garbage counts); bail before acting on them.
+	if c.aborted() {
+		a.releaseItems(mark)
+		return
+	}
 	if len(left) == len(items) && len(right) == len(items) {
 		a.releaseItems(mark)
 		c.makeLeaf(a, items, depth)
@@ -125,7 +134,8 @@ func (c *buildCtx) parallelPartition(a *arena, items []item, split sah.Split, pa
 	a.narrowed = ensureLen(a.narrowed, n)
 	flags, cntL, cntR, boxes := a.flags, a.cntL, a.cntR, a.narrowed
 
-	parallel.For(n, workers, func(loIdx, hiIdx int) {
+	cc := c.canceler()
+	parallel.ForCancel(cc, n, workers, func(loIdx, hiIdx int) {
 		for i := loIdx; i < hiIdx; i++ {
 			it := items[i]
 			lo := it.bounds.Min.Axis(split.Axis)
@@ -151,12 +161,23 @@ func (c *buildCtx) parallelPartition(a *arena, items []item, split sah.Split, pa
 		}
 	})
 
-	nl := parallel.ExclusiveScan(cntL, cntL, workers)
-	nr := parallel.ExclusiveScan(cntR, cntR, workers)
+	// The cancel flag is monotonic, so a clean check here proves every
+	// classification chunk ran: the counts below are trustworthy. Skipped
+	// chunks would leave garbage in cntL/cntR (ensureLen does not zero), and
+	// scanning garbage could demand absurd allocations — hence the bail
+	// before each consumer.
+	if cc.Canceled() {
+		return nil, nil, lb, rb
+	}
+	nl := parallel.ExclusiveScanCancel(cc, cntL, cntL, workers)
+	nr := parallel.ExclusiveScanCancel(cc, cntR, cntR, workers)
+	if cc.Canceled() {
+		return nil, nil, lb, rb
+	}
 	left = a.allocItems(nl)
 	right = a.allocItems(nr)
 
-	parallel.For(n, workers, func(loIdx, hiIdx int) {
+	parallel.ForCancel(cc, n, workers, func(loIdx, hiIdx int) {
 		for i := loIdx; i < hiIdx; i++ {
 			if flags[i]&sideLeft != 0 {
 				left[cntL[i]] = item{items[i].tri, boxes[i].l}

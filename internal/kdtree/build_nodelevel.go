@@ -26,6 +26,9 @@ func (c *buildCtx) buildNodeLevel() vecmath.AABB {
 // arenas that are grafted back in the same order, preserving both the
 // layout and bitwise determinism across worker counts.
 func (c *buildCtx) recurseNodeLevel(a *arena, items []item, bounds vecmath.AABB, depth int) {
+	if c.checkAbort(depth) {
+		return
+	}
 	split, ok := c.decideSplitSweep(a, items, bounds, depth)
 	if !ok {
 		c.makeLeaf(a, items, depth)

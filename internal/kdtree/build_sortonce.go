@@ -148,6 +148,9 @@ func (c *buildCtx) sweepEvents(events []soEvent, bounds vecmath.AABB, n int) (sa
 // the arena stacks; child windows are carved below them and released after
 // both children have been emitted.
 func (c *buildCtx) recurseSortOnce(a *arena, items []item, events []soEvent, bounds vecmath.AABB, depth int) {
+	if c.checkAbort(depth) {
+		return
+	}
 	if len(items) <= 1 || depth >= c.cfg.MaxDepth {
 		c.makeLeaf(a, items, depth)
 		return

@@ -36,6 +36,11 @@ type Builder struct {
 	arenaFree []*arena
 
 	bf bfScratch
+
+	// Abort machinery (canceler, deadline timer, cause), reset per build.
+	// Every build — guarded or not — runs with it armed so worker panics
+	// are always contained and classified; see BuildGuarded.
+	guard buildGuard
 }
 
 // NewBuilder returns an empty Builder. All storage is grown on first use
@@ -46,27 +51,23 @@ func NewBuilder() *Builder {
 
 // Build constructs the tree for tris under cfg, reusing all scratch from
 // previous calls. See the Builder type comment for the storage lifetime.
+//
+// Build runs through the guarded machinery with no limits: a worker panic is
+// drained and contained first (no detached goroutine keeps writing into the
+// arenas), then re-raised on the caller as a *parallel.WorkerPanic — plain
+// builds stay fail-loud. Callers that want an error instead use
+// BuildGuarded.
 func (b *Builder) Build(tris []vecmath.Triangle, cfg Config) *Tree {
-	cfg = cfg.normalized(len(tris))
-	c := b.prepare(tris, cfg)
-
-	var bounds vecmath.AABB
-	switch cfg.Algorithm {
-	case AlgoNested:
-		bounds = c.buildNested()
-	case AlgoInPlace:
-		bounds = c.buildBreadthFirst(false)
-	case AlgoLazy:
-		bounds = c.buildBreadthFirst(true)
-	case AlgoMedian:
-		bounds = c.buildMedian()
-	case AlgoSortOnce:
-		bounds = c.buildSortOnce()
-	default: // AlgoNodeLevel and unknown values
-		bounds = c.buildNodeLevel()
+	t, err := b.BuildGuarded(tris, cfg, Guard{})
+	if err != nil {
+		// With a zero Guard the only abort cause is a worker panic.
+		ba := err.(*BuildAborted)
+		if ba.Panic != nil {
+			panic(ba.Panic)
+		}
+		panic(ba)
 	}
-
-	return b.finish(bounds, len(tris))
+	return t
 }
 
 // prepare resets the per-build state. Counter atomics are reset in place
@@ -75,6 +76,9 @@ func (b *Builder) prepare(tris []vecmath.Triangle, cfg Config) *buildCtx {
 	b.main.reset()
 	if b.pool == nil || b.poolWorkers != cfg.Workers {
 		b.pool = parallel.NewPool(cfg.Workers)
+		// Task panics become abort causes instead of crashing Wait; the
+		// guard is a Builder field, so the handler survives pool reuse.
+		b.pool.SetPanicHandler(b.guard.onWorkerPanic)
 		b.poolWorkers = cfg.Workers
 	}
 	c := &b.ctx
@@ -84,6 +88,7 @@ func (b *Builder) prepare(tris []vecmath.Triangle, cfg Config) *buildCtx {
 	c.pool = b.pool
 	c.spawnCap = cfg.spawnDepth()
 	c.b = b
+	c.guard = nil
 	c.counters.reset()
 	return c
 }
@@ -117,21 +122,25 @@ func (b *Builder) finish(bounds vecmath.AABB, numTris int) *Tree {
 	return t
 }
 
-// getArena hands out a reset subtree arena, recycling finished ones.
+// getArena hands out a reset subtree arena, recycling finished ones. The
+// arena inherits the main arena's live-byte counter so guarded memory
+// accounting covers subtree tasks too.
 func (b *Builder) getArena() *arena {
 	b.arenaMu.Lock()
 	if n := len(b.arenaFree); n > 0 {
 		a := b.arenaFree[n-1]
 		b.arenaFree = b.arenaFree[:n-1]
 		b.arenaMu.Unlock()
+		a.live = b.main.live
 		return a
 	}
 	b.arenaMu.Unlock()
-	return &arena{}
+	return &arena{live: b.main.live}
 }
 
 // putArena returns a grafted (consumed) arena to the free list.
 func (b *Builder) putArena(a *arena) {
+	a.live = nil
 	a.reset()
 	b.arenaMu.Lock()
 	b.arenaFree = append(b.arenaFree, a)
@@ -142,9 +151,17 @@ func (b *Builder) putArena(a *arena) {
 // The Builder is dedicated to the subtree: the returned Tree owns (keeps
 // alive) the Builder's storage, which is exactly the "small per-tree
 // scratch" a lazy expansion needs.
+// The guard is armed (limitless) for the same reason Build arms it: a
+// panicking subtree task must be drained and re-raised, never left writing
+// arenas behind a silently-degraded tree.
 func (b *Builder) buildDeferredSubtree(parent *Tree, d *deferredNode, cfg Config) *Tree {
-	cfg = cfg.normalized(len(parent.tris))
+	cfg = cfg.Clamped().normalized(len(parent.tris))
 	c := b.prepare(parent.tris, cfg)
+	gd := &b.guard
+	gd.arm(Guard{})
+	defer gd.disarm()
+	c.guard = gd
+
 	a := &b.main
 	items := a.allocItems(len(d.tris))[:0]
 	for _, ti := range d.tris {
@@ -156,6 +173,21 @@ func (b *Builder) buildDeferredSubtree(parent *Tree, d *deferredNode, cfg Config
 		}
 		items = append(items, item{ti, bb})
 	}
-	c.recurseNodeLevel(a, items, d.bounds, 0)
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				gd.fail(AbortWorkerPanic, parallel.AsWorkerPanic(-1, r))
+			}
+		}()
+		c.recurseNodeLevel(a, items, d.bounds, 0)
+	}()
+	if gd.cc.Canceled() {
+		b.pool.Wait()
+		_, wp := gd.failure()
+		if wp != nil {
+			panic(wp)
+		}
+		panic(&BuildAborted{Cause: AbortWorkerPanic, Algorithm: cfg.Algorithm})
+	}
 	return b.finish(d.bounds, len(items))
 }

@@ -1,6 +1,7 @@
 package kdtree
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
@@ -90,16 +91,96 @@ func BaseConfig(a Algorithm) Config {
 	}
 }
 
+// Limits enforced by Validate and Clamped. The tuner's search ranges
+// (Table II) are far inside these; the hard bounds exist so a corrupted or
+// adversarial config cannot drive the builders into pathological regimes
+// (depth blowup, worker explosion) before the Guard even gets a say.
+const (
+	maxConfigCI      = 1e6
+	maxConfigCB      = 1e6
+	maxConfigS       = 1024
+	maxConfigR       = 1 << 24
+	maxConfigWorkers = 4096
+	// maxConfigDepth caps recursion outright. The traversal stack grows
+	// dynamically past its fixed 64 entries, so deeper trees would work,
+	// but nothing sensible lives beyond 128 levels — only runaway splits.
+	maxConfigDepth = 128
+	maxConfigBins  = 1 << 16
+)
+
+// Validate reports every way the config is out of range. A nil error means
+// the builders can run it as-is (after default filling). NaN and ±Inf cost
+// parameters are rejected explicitly: a NaN CI would poison every SAH
+// comparison (all comparisons false) and silently produce leaf-everything
+// trees. Callers that want repair instead of rejection use Clamped.
+func (c Config) Validate() error {
+	var errs []error
+	check := func(ok bool, format string, args ...any) {
+		if !ok {
+			errs = append(errs, fmt.Errorf(format, args...))
+		}
+	}
+	check(!math.IsNaN(c.CI) && !math.IsInf(c.CI, 0), "CI %v is not finite", c.CI)
+	check(!math.IsNaN(c.CB) && !math.IsInf(c.CB, 0), "CB %v is not finite", c.CB)
+	check(!(c.CI < 0) && c.CI <= maxConfigCI, "CI %v outside [0, %v]", c.CI, float64(maxConfigCI))
+	check(!(c.CB < 0) && c.CB <= maxConfigCB, "CB %v outside [0, %v]", c.CB, float64(maxConfigCB))
+	check(c.S >= 0 && c.S <= maxConfigS, "S %d outside [0, %d]", c.S, maxConfigS)
+	check(c.R >= 0 && c.R <= maxConfigR, "R %d outside [0, %d]", c.R, maxConfigR)
+	check(c.Workers >= 0 && c.Workers <= maxConfigWorkers, "Workers %d outside [0, %d]", c.Workers, maxConfigWorkers)
+	check(c.MaxDepth >= 0 && c.MaxDepth <= maxConfigDepth, "MaxDepth %d outside [0, %d]", c.MaxDepth, maxConfigDepth)
+	check(c.Bins >= 0 && c.Bins <= maxConfigBins, "Bins %d outside [0, %d]", c.Bins, maxConfigBins)
+	if len(errs) == 0 {
+		return nil
+	}
+	return fmt.Errorf("kdtree: invalid config: %w", errors.Join(errs...))
+}
+
+// Clamped returns the config with every out-of-range field pulled back to
+// the nearest legal value (NaN falls to the field's default). Build and
+// BuildGuarded apply it unconditionally, so a tuner probe or a deserialized
+// config can never reach a builder out of range.
+func (c Config) Clamped() Config {
+	c.CI = clampFinite(c.CI, 0, maxConfigCI, 17)
+	c.CB = clampFinite(c.CB, 0, maxConfigCB, 0)
+	c.S = clampInt(c.S, 0, maxConfigS)
+	c.R = clampInt(c.R, 0, maxConfigR)
+	c.Workers = clampInt(c.Workers, 0, maxConfigWorkers)
+	c.MaxDepth = clampInt(c.MaxDepth, 0, maxConfigDepth)
+	c.Bins = clampInt(c.Bins, 0, maxConfigBins)
+	return c
+}
+
+// clampFinite pulls v into [lo, hi]; NaN (incomparable with everything)
+// falls to def.
+func clampFinite(v, lo, hi, def float64) float64 {
+	if math.IsNaN(v) {
+		return def
+	}
+	return math.Min(math.Max(v, lo), hi)
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
 // normalized fills defaults and clamps nonsense so builders can trust the
-// values.
+// values. Checks are written in negated form (!(x > 0) rather than x <= 0)
+// so NaN — for which every comparison is false — lands on the default
+// branch instead of slipping through.
 func (c Config) normalized(numTris int) Config {
 	if c.Workers <= 0 {
 		c.Workers = parallel.DefaultWorkers()
 	}
-	if c.CI <= 0 {
+	if !(c.CI > 0) {
 		c.CI = 17
 	}
-	if c.CB < 0 {
+	if !(c.CB >= 0) {
 		c.CB = 0
 	}
 	if c.S < 1 {
@@ -110,6 +191,9 @@ func (c Config) normalized(numTris int) Config {
 	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 8 + int(1.3*math.Log2(float64(numTris)+1))
+	}
+	if c.MaxDepth > maxConfigDepth {
+		c.MaxDepth = maxConfigDepth
 	}
 	return c
 }

@@ -1,0 +1,115 @@
+package kdtree
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestConfigValidate(t *testing.T) {
+	valid := func(c Config) Config { return c } // readability marker
+	cases := []struct {
+		name    string
+		cfg     Config
+		wantErr []string // substrings that must all appear; empty = valid
+	}{
+		{"zero", valid(Config{}), nil},
+		{"base", BaseConfig(AlgoInPlace), nil},
+		{"table2 extremes", Config{CI: 101, CB: 60, S: 8, R: 8192}, nil},
+		{"hard limits", Config{CI: 1e6, CB: 1e6, S: 1024, R: 1 << 24, Workers: 4096, MaxDepth: 128, Bins: 1 << 16}, nil},
+
+		{"nan CI", Config{CI: math.NaN()}, []string{"CI", "not finite"}},
+		{"inf CI", Config{CI: math.Inf(1)}, []string{"CI", "not finite"}},
+		{"neg inf CB", Config{CB: math.Inf(-1)}, []string{"CB", "not finite"}},
+		{"nan CB", Config{CB: math.NaN()}, []string{"CB", "not finite"}},
+		{"negative CI", Config{CI: -1}, []string{"CI"}},
+		{"huge CI", Config{CI: 1e7}, []string{"CI"}},
+		{"negative CB", Config{CB: -0.5}, []string{"CB"}},
+		{"negative S", Config{S: -1}, []string{"S -1"}},
+		{"huge S", Config{S: 4096}, []string{"S 4096"}},
+		{"negative R", Config{R: -8}, []string{"R -8"}},
+		{"huge R", Config{R: 1 << 25}, []string{"R"}},
+		{"negative workers", Config{Workers: -2}, []string{"Workers"}},
+		{"huge workers", Config{Workers: 1 << 20}, []string{"Workers"}},
+		{"negative depth", Config{MaxDepth: -1}, []string{"MaxDepth"}},
+		{"huge depth", Config{MaxDepth: 1000}, []string{"MaxDepth"}},
+		{"huge bins", Config{Bins: 1 << 20}, []string{"Bins"}},
+		{"multi-error", Config{CI: math.NaN(), S: -1, MaxDepth: 999},
+			[]string{"CI", "S -1", "MaxDepth"}},
+	}
+	for _, tc := range cases {
+		err := tc.cfg.Validate()
+		if len(tc.wantErr) == 0 {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil {
+			t.Errorf("%s: no error, want mentions of %v", tc.name, tc.wantErr)
+			continue
+		}
+		for _, want := range tc.wantErr {
+			if !strings.Contains(err.Error(), want) {
+				t.Errorf("%s: error %q missing %q", tc.name, err, want)
+			}
+		}
+	}
+}
+
+func TestConfigClamped(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Config
+		want Config
+	}{
+		{"identity", BaseConfig(AlgoLazy), BaseConfig(AlgoLazy)},
+		{"nan costs fall to defaults",
+			Config{CI: math.NaN(), CB: math.NaN()},
+			Config{CI: 17, CB: 0}},
+		{"inf pulled to limits",
+			Config{CI: math.Inf(1), CB: math.Inf(-1)},
+			Config{CI: maxConfigCI, CB: 0}},
+		{"negatives floored",
+			Config{CI: -3, CB: -1, S: -4, R: -16, Workers: -1, MaxDepth: -2, Bins: -7},
+			Config{}},
+		{"overshoot ceilinged",
+			Config{CI: 1e9, CB: 1e9, S: 1 << 20, R: 1 << 30, Workers: 1 << 20, MaxDepth: 1 << 20, Bins: 1 << 30},
+			Config{CI: maxConfigCI, CB: maxConfigCB, S: maxConfigS, R: maxConfigR,
+				Workers: maxConfigWorkers, MaxDepth: maxConfigDepth, Bins: maxConfigBins}},
+	}
+	for _, tc := range cases {
+		got := tc.in.Clamped()
+		if got != tc.want {
+			t.Errorf("%s: Clamped() = %+v, want %+v", tc.name, got, tc.want)
+		}
+		if err := got.Validate(); err != nil {
+			t.Errorf("%s: Clamped output does not validate: %v", tc.name, err)
+		}
+	}
+}
+
+// TestBuildSurvivesHostileConfig: Build must produce a valid tree — not hang,
+// not blow the heap — for configs that would be pathological unclamped. The
+// clamp-on-entry contract is what lets the tuner apply path hand over raw
+// probe vectors.
+func TestBuildSurvivesHostileConfig(t *testing.T) {
+	tris := randomTriangles(rand.New(rand.NewSource(88)), 300, 10, 0.2)
+	hostile := []Config{
+		{CI: math.NaN(), CB: math.NaN()},
+		{CI: math.Inf(1), CB: math.Inf(-1)},
+		{CI: -100, CB: -100, S: -1, R: -1},
+		{MaxDepth: 1 << 30},
+		{Bins: -5, Workers: -5},
+	}
+	for _, a := range Algorithms {
+		for i, h := range hostile {
+			h.Algorithm = a
+			tree := Build(tris, h)
+			if err := tree.Validate(); err != nil {
+				t.Errorf("%v hostile[%d]: %v", a, i, err)
+			}
+		}
+	}
+}

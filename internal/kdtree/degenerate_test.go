@@ -1,0 +1,115 @@
+package kdtree
+
+import (
+	"math"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+// degenerateSoup is a mesh with nothing a builder can use: NaN and Inf
+// vertices plus collapsed (point and segment) triangles. NaN/Inf triangles
+// have non-finite bounds and are skipped at the root; collapsed triangles
+// survive into the tree (zero-area is legal input) but must not break any
+// query.
+func degenerateSoup() []vecmath.Triangle {
+	nan, inf := math.NaN(), math.Inf(1)
+	p := vecmath.V(1, 2, 3)
+	return []vecmath.Triangle{
+		vecmath.Tri(vecmath.V(nan, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(inf, 0, 0), vecmath.V(0, 1, 0)),
+		vecmath.Tri(vecmath.V(0, 0, -inf), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+		vecmath.Tri(vecmath.V(nan, nan, nan), vecmath.V(nan, nan, nan), vecmath.V(nan, nan, nan)),
+		vecmath.Tri(p, p, p),                                                    // point
+		vecmath.Tri(p, p, vecmath.V(4, 5, 6)),                                   // segment
+		vecmath.Tri(p, vecmath.V(4, 5, 6), p),                                   // segment, other order
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 1, 1), vecmath.V(2, 2, 2)), // collinear
+	}
+}
+
+// exerciseQueries runs every public query against the tree; the point is
+// that none of them panics, loops forever, or fabricates hits out of
+// nothing when the tree is (near-)empty.
+func exerciseQueries(t *testing.T, label string, tree *Tree) {
+	t.Helper()
+	if err := tree.Validate(); err != nil {
+		t.Fatalf("%s: invalid tree: %v", label, err)
+	}
+	ray := vecmath.NewRay(vecmath.V(0, 0, -10), vecmath.V(0, 0, 1))
+	if _, ok := tree.Intersect(ray, 1e-9, math.Inf(1)); ok {
+		// Degenerate triangles are non-intersectable by construction
+		// (vecmath rejects zero-area normals), so any hit is phantom.
+		t.Errorf("%s: phantom intersection", label)
+	}
+	if tree.Occluded(ray, 1e-9, math.Inf(1)) {
+		t.Errorf("%s: phantom occlusion", label)
+	}
+	tree.RangeQuery(vecmath.AABB{Min: vecmath.V(-100, -100, -100), Max: vecmath.V(100, 100, 100)})
+	tree.NearestNeighbor(vecmath.V(0, 0, 0))
+}
+
+func TestBuildNilAndEmptyInput(t *testing.T) {
+	for _, a := range allAlgorithms {
+		for _, tris := range [][]vecmath.Triangle{nil, {}} {
+			tree := Build(tris, testConfig(a))
+			if tree == nil {
+				t.Fatalf("%v: nil tree", a)
+			}
+			if n := tree.NumNodes(); n != 1 {
+				t.Errorf("%v: empty input built %d nodes, want the single empty leaf", a, n)
+			}
+			exerciseQueries(t, a.String()+"/empty", tree)
+			if got := tree.RangeQuery(vecmath.AABB{Min: vecmath.V(-1, -1, -1), Max: vecmath.V(1, 1, 1)}); len(got) != 0 {
+				t.Errorf("%v: RangeQuery on empty tree returned %v", a, got)
+			}
+			if _, _, ok := tree.NearestNeighbor(vecmath.V(0, 0, 0)); ok {
+				t.Errorf("%v: NearestNeighbor found something in an empty tree", a)
+			}
+		}
+	}
+}
+
+func TestBuildAllDegenerateInput(t *testing.T) {
+	tris := degenerateSoup()
+	for _, a := range allAlgorithms {
+		tree := Build(tris, testConfig(a))
+		exerciseQueries(t, a.String()+"/degenerate", tree)
+	}
+}
+
+// TestBuildGuardedDegenerateInput: the guarded entry point and the plain one
+// must agree on pathological input, and a guard must not misfire on it.
+func TestBuildGuardedDegenerateInput(t *testing.T) {
+	tris := degenerateSoup()
+	g := Guard{MaxDepth: 64, MaxArenaBytes: 1 << 30}
+	for _, a := range allAlgorithms {
+		tree, err := NewBuilder().BuildGuarded(tris, testConfig(a), g)
+		if err != nil {
+			t.Fatalf("%v: guarded build of degenerate soup aborted: %v", a, err)
+		}
+		exerciseQueries(t, a.String()+"/guarded-degenerate", tree)
+	}
+}
+
+// TestBuilderReuseAcrossDegenerateInput: feeding a Builder garbage must not
+// poison subsequent real builds (the frame loop alternates freely).
+func TestBuilderReuseAcrossDegenerateInput(t *testing.T) {
+	real := []vecmath.Triangle{
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+		vecmath.Tri(vecmath.V(0, 0, 1), vecmath.V(1, 0, 1), vecmath.V(0, 1, 1)),
+	}
+	for _, a := range allAlgorithms {
+		b := NewBuilder()
+		want := NewBuilder().Build(real, testConfig(a))
+		b.Build(degenerateSoup(), testConfig(a))
+		b.Build(nil, testConfig(a))
+		got := b.Build(real, testConfig(a))
+		if err := sameTree(want, got); err != nil {
+			t.Errorf("%v: tree after degenerate interleave differs: %v", a, err)
+		}
+		hit, ok := got.Intersect(vecmath.NewRay(vecmath.V(0.2, 0.2, -1), vecmath.V(0, 0, 1)), 0, 10)
+		if !ok || hit.Tri != 0 {
+			t.Errorf("%v: lost the real geometry: hit=%+v ok=%v", a, hit, ok)
+		}
+	}
+}

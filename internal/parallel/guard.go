@@ -1,0 +1,125 @@
+package parallel
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// WorkerPanic is the typed error a panicking worker goroutine is converted
+// into. The dispatching primitive (ForChunks and friends, Pool.Spawn,
+// SortFunc) recovers the panic on the worker, records the chunk it happened
+// in and the worker's stack, and re-raises it on the caller's goroutine —
+// turning a process-killing goroutine crash into a panic an enclosing
+// recover (kdtree.Builder.BuildGuarded) can contain and classify.
+type WorkerPanic struct {
+	Chunk int    // chunk index the worker was processing; -1 when not chunked
+	Value any    // the original panic value
+	Stack []byte // the panicking goroutine's stack at recovery time
+}
+
+func (e *WorkerPanic) Error() string {
+	return fmt.Sprintf("parallel: worker panic in chunk %d: %v", e.Chunk, e.Value)
+}
+
+// Unwrap exposes a panic value that is itself an error (e.g. an injected
+// fault sentinel) to errors.Is/As chains.
+func (e *WorkerPanic) Unwrap() error {
+	if err, ok := e.Value.(error); ok {
+		return err
+	}
+	return nil
+}
+
+// AsWorkerPanic wraps a recovered panic value into a *WorkerPanic, capturing
+// the current goroutine's stack. A value that already is a *WorkerPanic is
+// returned unchanged so re-raised panics keep their original chunk and stack.
+func AsWorkerPanic(chunk int, r any) *WorkerPanic {
+	if wp, ok := r.(*WorkerPanic); ok {
+		return wp
+	}
+	return &WorkerPanic{Chunk: chunk, Value: r, Stack: debug.Stack()}
+}
+
+// panicBox collects the first worker panic of one dispatch.
+type panicBox struct {
+	wp atomic.Pointer[WorkerPanic]
+}
+
+// recoverInto converts an in-flight panic (if any) into a WorkerPanic and
+// stores it unless another worker got there first. Must be called deferred.
+func (b *panicBox) recoverInto(chunk int) {
+	if r := recover(); r != nil {
+		b.wp.CompareAndSwap(nil, AsWorkerPanic(chunk, r))
+	}
+}
+
+// rethrow re-raises the first captured panic on the calling goroutine.
+func (b *panicBox) rethrow() {
+	if wp := b.wp.Load(); wp != nil {
+		panic(wp)
+	}
+}
+
+// Canceler is a lightweight cooperative cancellation flag shared between the
+// initiator of a parallel region and its workers. Cancel is one-shot per
+// Reset cycle: the first reason wins and is retained. Canceled is a single
+// atomic load, cheap enough to check at every chunk or tree-node boundary;
+// a nil *Canceler is valid and never canceled, so un-guarded callers pay
+// nothing.
+//
+// Cancellation is cooperative draining, not preemption: a chunk that is
+// already running completes; chunks (and tree nodes) that would start after
+// the flag is set are skipped. A primitive that was canceled mid-dispatch
+// leaves its outputs in an unspecified state — callers must check Canceled
+// before consuming results.
+type Canceler struct {
+	canceled atomic.Bool
+	mu       sync.Mutex
+	reason   error
+}
+
+// Cancel requests cancellation with the given reason. Only the first call
+// since the last Reset takes effect; it reports whether this call was the
+// one that canceled.
+func (c *Canceler) Cancel(reason error) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.canceled.Load() {
+		return false
+	}
+	c.reason = reason
+	c.canceled.Store(true)
+	return true
+}
+
+// Canceled reports whether cancellation has been requested. Safe on a nil
+// receiver (never canceled) and safe to call concurrently from any worker.
+func (c *Canceler) Canceled() bool {
+	return c != nil && c.canceled.Load()
+}
+
+// Err returns the reason passed to the winning Cancel call, or nil while not
+// canceled.
+func (c *Canceler) Err() error {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.canceled.Load() {
+		return nil
+	}
+	return c.reason
+}
+
+// Reset re-arms the canceler for a new region. The caller must guarantee no
+// worker from the previous region is still running (the usual fork-join
+// structure: all primitives join before returning).
+func (c *Canceler) Reset() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reason = nil
+	c.canceled.Store(false)
+}

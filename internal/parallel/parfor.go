@@ -1,6 +1,10 @@
 package parallel
 
-import "sync"
+import (
+	"sync"
+
+	"kdtune/internal/faultinject"
+)
 
 // chunkGeometry is the single source of truth for how a loop over [0, n) is
 // tiled into contiguous chunks: every chunk-dispatching primitive in this
@@ -43,20 +47,37 @@ func ChunkCount(n, workers, grain int) int {
 // always in [0, ChunkCount(n, workers, grain)) and chunks are numbered in
 // ascending range order. A single chunk runs inline on the caller.
 // workers <= 0 selects DefaultWorkers().
+//
+// A panic in any chunk body is recovered on the worker, the first one wins,
+// and it is re-raised on the caller as a *WorkerPanic after all workers have
+// joined — a crashing chunk can never leave detached goroutines writing into
+// caller-owned storage.
 func ForChunks(n, workers, grain int, body func(chunk, lo, hi int)) {
+	ForChunksCancel(nil, n, workers, grain, body)
+}
+
+// ForChunksCancel is ForChunks with cooperative cancellation: chunks that
+// have not started when cc is canceled are skipped (in-flight chunks drain).
+// After a canceled dispatch the per-chunk outputs are an unspecified mix of
+// written and untouched — callers must check cc.Canceled() before consuming
+// them. A nil cc disables cancellation at no cost.
+func ForChunksCancel(cc *Canceler, n, workers, grain int, body func(chunk, lo, hi int)) {
 	chunks, size := chunkGeometry(n, workers, grain)
-	if chunks == 0 {
+	if chunks == 0 || cc.Canceled() {
 		return
 	}
+	var verify func()
 	if chunkChecks {
-		var verify func()
 		body, verify = wrapChunkBody(n, chunks, size, body)
-		defer verify()
 	}
 	if chunks == 1 {
-		body(0, 0, n)
+		runChunk(nil, cc, 0, 0, n, body)
+		if verify != nil && !cc.Canceled() {
+			verify()
+		}
 		return
 	}
+	var box panicBox
 	var wg sync.WaitGroup
 	wg.Add(chunks)
 	for c := 0; c < chunks; c++ {
@@ -67,10 +88,38 @@ func ForChunks(n, workers, grain int, body func(chunk, lo, hi int)) {
 		}
 		go func(c, lo, hi int) {
 			defer wg.Done()
-			body(c, lo, hi)
+			runChunk(&box, cc, c, lo, hi, body)
 		}(c, lo, hi)
 	}
 	wg.Wait()
+	box.rethrow()
+	// The invariant check must only run on a clean pass: a canceled dispatch
+	// legitimately skips chunks, and a rethrown panic must not be masked by
+	// the checker's own "chunk ran 0 times" failure.
+	if verify != nil && !cc.Canceled() {
+		verify()
+	}
+}
+
+// runChunk executes one chunk body with the cancellation gate and the fault
+// probe. With a box it recovers panics into it (worker goroutines); without
+// one the panic propagates on the caller's stack (single-chunk inline path),
+// wrapped so both paths deliver the same *WorkerPanic type.
+func runChunk(box *panicBox, cc *Canceler, c, lo, hi int, body func(chunk, lo, hi int)) {
+	if box != nil {
+		defer box.recoverInto(c)
+	} else {
+		defer func() {
+			if r := recover(); r != nil {
+				panic(AsWorkerPanic(c, r))
+			}
+		}()
+	}
+	if cc.Canceled() {
+		return
+	}
+	faultinject.Check(faultinject.SiteParallelChunk, c)
+	body(c, lo, hi)
 }
 
 // For divides the index range [0, n) into one contiguous chunk per worker
@@ -80,7 +129,12 @@ func ForChunks(n, workers, grain int, body func(chunk, lo, hi int)) {
 // sequential call. Callers that need to know which chunk they are in must
 // use ForChunks instead of deriving it from lo.
 func For(n, workers int, body func(lo, hi int)) {
-	ForChunks(n, workers, 1, func(_, lo, hi int) { body(lo, hi) })
+	ForChunksCancel(nil, n, workers, 1, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForCancel is For with cooperative cancellation (see ForChunksCancel).
+func ForCancel(cc *Canceler, n, workers int, body func(lo, hi int)) {
+	ForChunksCancel(cc, n, workers, 1, func(_, lo, hi int) { body(lo, hi) })
 }
 
 // ForGrain is For with an explicit minimum chunk size (grain). Ranges
@@ -89,7 +143,12 @@ func For(n, workers int, body func(lo, hi int)) {
 // against parallelisation overhead dominating tiny loops, the same purpose
 // OpenMP's schedule chunk size serves.
 func ForGrain(n, workers, grain int, body func(lo, hi int)) {
-	ForChunks(n, workers, grain, func(_, lo, hi int) { body(lo, hi) })
+	ForChunksCancel(nil, n, workers, grain, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// ForGrainCancel is ForGrain with cooperative cancellation.
+func ForGrainCancel(cc *Canceler, n, workers, grain int, body func(lo, hi int)) {
+	ForChunksCancel(cc, n, workers, grain, func(_, lo, hi int) { body(lo, hi) })
 }
 
 // ForEach runs body(i) for every i in [0, n) using For with per-chunk

@@ -12,12 +12,21 @@
 // All primitives take an explicit worker count so the autotuner and the
 // platform-simulation harness (Figure 7c) can vary the parallelism budget
 // per invocation instead of being pinned to GOMAXPROCS.
+//
+// Fault containment: every goroutine this package launches (ForChunks
+// workers, SortFunc halves, Pool tasks) recovers panics and funnels the
+// first one into a typed *WorkerPanic that is either re-raised on the
+// caller after all workers join, or handed to a Pool panic handler. No
+// primitive can crash the process from a detached goroutine, and none
+// returns while a worker it started is still running.
 package parallel
 
 import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"kdtune/internal/faultinject"
 )
 
 // DefaultWorkers returns the parallelism budget used when a caller passes a
@@ -40,11 +49,21 @@ func normWorkers(n int) int {
 //
 // A Pool is reusable; Wait blocks until all spawned tasks (including tasks
 // spawned transitively from inside tasks) have finished.
+//
+// A panic in a task that got its own goroutine is recovered there and either
+// delivered to the handler installed with SetPanicHandler or stored and
+// re-raised by Wait. A panic in a task that ran inline propagates on the
+// calling goroutine's own stack, exactly like any function call — the
+// caller's enclosing recovery point (or the handler via Wait, if the unwind
+// reaches a joined frame) owns it.
 type Pool struct {
-	slots   chan struct{}
-	wg      sync.WaitGroup
-	spawned atomic.Int64 // tasks that actually got their own goroutine
-	inline  atomic.Int64 // tasks that ran inline due to saturation
+	slots      chan struct{}
+	wg         sync.WaitGroup
+	spawned    atomic.Int64 // tasks that actually got their own goroutine
+	inline     atomic.Int64 // tasks that ran inline due to saturation
+	dispatched atomic.Int64 // faultinject ordinal for SitePoolTask
+	box        panicBox
+	onPanic    func(*WorkerPanic)
 }
 
 // NewPool creates a pool with the given number of concurrent worker slots.
@@ -56,16 +75,40 @@ func NewPool(workers int) *Pool {
 // Workers returns the pool's worker-slot budget.
 func (p *Pool) Workers() int { return cap(p.slots) }
 
+// SetPanicHandler installs fn as the sink for panics recovered on pool
+// goroutines, replacing the default store-and-rethrow-in-Wait behaviour.
+// fn may be called concurrently from multiple tasks. Must be set before any
+// Spawn races with it (typically right after NewPool).
+func (p *Pool) SetPanicHandler(fn func(*WorkerPanic)) { p.onPanic = fn }
+
 // Spawn runs task, concurrently if a worker slot is available and otherwise
 // inline on the calling goroutine. It is safe to call Spawn from inside a
 // task.
 func (p *Pool) Spawn(task func()) {
+	if faultinject.Active() {
+		// The probe fires on the dispatching goroutine, before the task is
+		// scheduled or run: an injected panic here models a fault at task
+		// dispatch and propagates on the spawner's own stack, where its
+		// enclosing recovery point owns it. Panicking on the task goroutine
+		// before the task body runs would instead strand any join the task
+		// was meant to signal (a deadlock no real task panic can cause,
+		// since a task's own defers register before its body can fail).
+		faultinject.Check(faultinject.SitePoolTask, int(p.dispatched.Add(1))-1)
+	}
 	select {
 	case p.slots <- struct{}{}:
+		seq := int(p.spawned.Add(1)) - 1
 		p.wg.Add(1)
-		p.spawned.Add(1)
 		go func() {
 			defer func() {
+				if r := recover(); r != nil {
+					wp := AsWorkerPanic(seq, r)
+					if p.onPanic != nil {
+						p.onPanic(wp)
+					} else {
+						p.box.wp.CompareAndSwap(nil, wp)
+					}
+				}
 				<-p.slots
 				p.wg.Done()
 			}()
@@ -77,11 +120,17 @@ func (p *Pool) Spawn(task func()) {
 	}
 }
 
-// Wait blocks until every task spawned so far has completed. The caller must
-// ensure no further Spawn races with Wait (the usual fork-join pattern:
-// recursion has returned, so all Spawns are transitively complete once
-// outstanding goroutines drain).
-func (p *Pool) Wait() { p.wg.Wait() }
+// Wait blocks until every task spawned so far has completed, then re-raises
+// the first recovered task panic (as *WorkerPanic) if no panic handler is
+// installed. The caller must ensure no further Spawn races with Wait (the
+// usual fork-join pattern: recursion has returned, so all Spawns are
+// transitively complete once outstanding goroutines drain).
+func (p *Pool) Wait() {
+	p.wg.Wait()
+	if wp := p.box.wp.Swap(nil); wp != nil {
+		panic(wp)
+	}
+}
 
 // Stats reports how many tasks ran on their own goroutine and how many ran
 // inline because the pool was saturated. Useful in tests and ablations.

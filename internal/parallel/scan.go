@@ -15,13 +15,22 @@ type Number interface {
 // used: pass one computes per-block sums in parallel, a short sequential
 // scan turns them into block offsets, and pass two writes each block's
 // prefixes in parallel. This is the "sequence of parallel prefix operations"
-// substrate of the nested and in-place builders.
+// substrate of the nested and in-place builders. Worker panics propagate as
+// *WorkerPanic after all workers join (see ForChunks).
 func ExclusiveScan[T Number](dst, src []T, workers int) T {
+	return ExclusiveScanCancel(nil, dst, src, workers)
+}
+
+// ExclusiveScanCancel is ExclusiveScan with cooperative cancellation: blocks
+// not yet started when cc is canceled are skipped, which leaves dst and the
+// returned total meaningless — callers must check cc.Canceled() before using
+// either. A nil cc disables cancellation.
+func ExclusiveScanCancel[T Number](cc *Canceler, dst, src []T, workers int) T {
 	if len(dst) != len(src) {
 		panic("parallel: ExclusiveScan length mismatch")
 	}
 	n := len(src)
-	if n == 0 {
+	if n == 0 || cc.Canceled() {
 		var zero T
 		return zero
 	}
@@ -46,7 +55,7 @@ func ExclusiveScan[T Number](dst, src []T, workers int) T {
 	blockLen := (n + blocks - 1) / blocks
 	sums := make([]T, blocks)
 
-	For(blocks, workers, func(bLo, bHi int) {
+	ForCancel(cc, blocks, workers, func(bLo, bHi int) {
 		for b := bLo; b < bHi; b++ {
 			lo, hi := b*blockLen, (b+1)*blockLen
 			if lo >= n {
@@ -62,6 +71,10 @@ func ExclusiveScan[T Number](dst, src []T, workers int) T {
 			sums[b] = s
 		}
 	})
+	if cc.Canceled() {
+		var zero T
+		return zero
+	}
 
 	var total T
 	for b := 0; b < blocks; b++ {
@@ -70,7 +83,7 @@ func ExclusiveScan[T Number](dst, src []T, workers int) T {
 		total += s
 	}
 
-	For(blocks, workers, func(bLo, bHi int) {
+	ForCancel(cc, blocks, workers, func(bLo, bHi int) {
 		for b := bLo; b < bHi; b++ {
 			lo, hi := b*blockLen, (b+1)*blockLen
 			if lo >= n {
@@ -87,7 +100,7 @@ func ExclusiveScan[T Number](dst, src []T, workers int) T {
 			}
 		}
 	})
-	if chunkChecks {
+	if chunkChecks && !cc.Canceled() {
 		verifyScan(ref, dst, total)
 	}
 	return total
@@ -98,9 +111,17 @@ func ExclusiveScan[T Number](dst, src []T, workers int) T {
 // locally and the per-chunk partials are merged sequentially in ascending
 // chunk order, so merge is called O(workers) times and — because the merge
 // order is fixed — the result is deterministic for any worker count as long
-// as merge is associative (commutativity is not required).
+// as merge is associative (commutativity is not required). Worker panics
+// propagate as *WorkerPanic after all workers join.
 func Reduce[T any](n, workers int, identity T, f func(i int) T, merge func(a, b T) T) T {
-	if n <= 0 {
+	return ReduceCancel(nil, n, workers, identity, f, merge)
+}
+
+// ReduceCancel is Reduce with cooperative cancellation. A canceled reduction
+// returns a meaningless partial fold — callers must check cc.Canceled()
+// before using the result. A nil cc disables cancellation.
+func ReduceCancel[T any](cc *Canceler, n, workers int, identity T, f func(i int) T, merge func(a, b T) T) T {
+	if n <= 0 || cc.Canceled() {
 		return identity
 	}
 	chunks := ChunkCount(n, workers, 1)
@@ -112,7 +133,7 @@ func Reduce[T any](n, workers int, identity T, f func(i int) T, merge func(a, b 
 		return acc
 	}
 	partials := make([]T, chunks)
-	ForChunks(n, workers, 1, func(chunk, lo, hi int) {
+	ForChunksCancel(cc, n, workers, 1, func(chunk, lo, hi int) {
 		acc := identity
 		for i := lo; i < hi; i++ {
 			acc = merge(acc, f(i))

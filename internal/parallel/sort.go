@@ -15,6 +15,10 @@ const sortSequentialCutoff = 8192
 // event arrays of the SAH sweep: sorting is the dominant cost of the
 // Wald–Havran style builders, and the upper tree levels sort arrays with
 // millions of entries.
+//
+// A panic in cmp (on any half, goroutine or caller side) is captured, every
+// worker joins, and the first panic is re-raised on the caller as a
+// *WorkerPanic — no half is left sorting s after SortFunc returns.
 func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
 	workers = normWorkers(workers)
 	if workers == 1 || len(s) < sortSequentialCutoff {
@@ -22,14 +26,23 @@ func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
 		return
 	}
 	buf := make([]T, len(s))
-	mergeSort(s, buf, workers, cmp)
+	var box panicBox
+	mergeSort(s, buf, workers, cmp, &box)
+	box.rethrow()
 }
 
 // mergeSort recursively splits s, sorting halves on up to `workers` workers
-// and merging into buf.
-func mergeSort[T any](s, buf []T, workers int, cmp func(a, b T) int) {
+// and merging into buf. Panics from either half land in box (never unwind
+// past a pending join), and a poisoned box skips further work.
+func mergeSort[T any](s, buf []T, workers int, cmp func(a, b T) int, box *panicBox) {
+	if box.wp.Load() != nil {
+		return
+	}
 	if workers <= 1 || len(s) < sortSequentialCutoff {
-		slices.SortFunc(s, cmp)
+		func() {
+			defer box.recoverInto(-1)
+			slices.SortFunc(s, cmp)
+		}()
 		return
 	}
 	mid := len(s) / 2
@@ -37,13 +50,19 @@ func mergeSort[T any](s, buf []T, workers int, cmp func(a, b T) int) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		mergeSort(s[:mid], buf[:mid], workers/2, cmp)
+		mergeSort(s[:mid], buf[:mid], workers/2, cmp, box)
 	}()
-	mergeSort(s[mid:], buf[mid:], workers-workers/2, cmp)
+	mergeSort(s[mid:], buf[mid:], workers-workers/2, cmp, box)
 	wg.Wait()
 
-	merge(s[:mid], s[mid:], buf, cmp)
-	copy(s, buf)
+	if box.wp.Load() != nil {
+		return
+	}
+	func() {
+		defer box.recoverInto(-1)
+		merge(s[:mid], s[mid:], buf, cmp)
+		copy(s, buf)
+	}()
 }
 
 // merge combines two sorted runs into dst (len(dst) == len(a)+len(b)).

@@ -1,0 +1,105 @@
+package scene
+
+import (
+	"fmt"
+
+	"kdtune/internal/vecmath"
+)
+
+// SanitizeAction selects what Sanitize does with an offending triangle.
+type SanitizeAction uint8
+
+const (
+	// SanitizeDrop removes the triangle from the output (the default: the
+	// builders and the intersector are safe against dropped primitives by
+	// construction, but carrying hostile values into SAH sweeps wastes work
+	// and — for NaN — can poison every plane comparison of a node).
+	SanitizeDrop SanitizeAction = iota
+	// SanitizeReject fails the whole mesh with an error naming the first
+	// offending triangle — for ingestion paths that must not silently alter
+	// user geometry.
+	SanitizeReject
+	// SanitizeKeep passes the triangle through untouched — for callers that
+	// explicitly accept the cost (e.g. degenerate zero-area triangles are
+	// harmless to traversal, only wasteful).
+	SanitizeKeep
+)
+
+func (a SanitizeAction) String() string {
+	switch a {
+	case SanitizeDrop:
+		return "drop"
+	case SanitizeReject:
+		return "reject"
+	case SanitizeKeep:
+		return "keep"
+	}
+	return fmt.Sprintf("SanitizeAction(%d)", uint8(a))
+}
+
+// SanitizePolicy decides per defect class. The zero value drops both
+// classes, which is what the frame-loop harness wants: every surviving
+// triangle has finite bounds and positive area, so no hostile mesh can
+// reach the SAH event sweeps.
+type SanitizePolicy struct {
+	// NonFinite handles triangles with any NaN or ±Inf vertex component.
+	NonFinite SanitizeAction
+	// Degenerate handles triangles whose area is not positive — collapsed
+	// (coincident or collinear) vertices. Subnormal areas count as
+	// degenerate: their normals are unusable for intersection anyway.
+	Degenerate SanitizeAction
+}
+
+// SanitizeReport tallies one Sanitize pass.
+type SanitizeReport struct {
+	Input      int // triangles examined
+	NonFinite  int // triangles with NaN/Inf vertices encountered
+	Degenerate int // zero/subnormal-area triangles encountered
+	Dropped    int // triangles removed from the output
+}
+
+// minTriangleArea2 is the squared-length floor under which a triangle's
+// normal — and with it the triangle — counts as degenerate. It matches
+// vecmath.Triangle.IsDegenerate, so everything Sanitize passes is also
+// intersectable.
+const minTriangleArea2 = 1e-300
+
+// Sanitize applies the policy to tris and returns the cleaned slice. The
+// output aliases the input's backing array (triangles are filtered in
+// place); callers needing the original must copy first. With SanitizeReject
+// the first offending triangle aborts the pass with a descriptive error and
+// a nil slice.
+//
+// The classes are checked in order: a non-finite triangle is counted (and
+// handled) as non-finite only, even though its area is also unusable.
+func Sanitize(tris []vecmath.Triangle, policy SanitizePolicy) ([]vecmath.Triangle, SanitizeReport, error) {
+	rep := SanitizeReport{Input: len(tris)}
+	out := tris[:0]
+	for i, tr := range tris {
+		var class string
+		var action SanitizeAction
+		switch {
+		case !tr.A.IsFinite() || !tr.B.IsFinite() || !tr.C.IsFinite():
+			rep.NonFinite++
+			class, action = "non-finite vertex", policy.NonFinite
+		case !(tr.Normal().Len2() >= minTriangleArea2):
+			// Negated comparison so a NaN normal (possible from huge finite
+			// vertices whose cross product overflows to Inf-Inf) lands here
+			// rather than passing as healthy.
+			rep.Degenerate++
+			class, action = "degenerate (zero area)", policy.Degenerate
+		default:
+			out = append(out, tr)
+			continue
+		}
+		switch action {
+		case SanitizeReject:
+			return nil, rep, fmt.Errorf("scene: triangle %d: %s", i, class)
+		case SanitizeKeep:
+			out = append(out, tr)
+		default: // SanitizeDrop
+			rep.Dropped++
+		}
+	}
+	return out, rep, nil
+}

@@ -1,0 +1,131 @@
+package scene
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"kdtune/internal/kdtree"
+	"kdtune/internal/vecmath"
+)
+
+// sanitizeFuzzTriangles decodes raw fuzzer bytes into triangles, 9 float64
+// coordinates each, bit-for-bit — NaNs, infinities, denormals and exactly
+// coincident vertices all arise naturally from the byte stream.
+func sanitizeFuzzTriangles(data []byte) []vecmath.Triangle {
+	const triBytes = 9 * 8
+	n := len(data) / triBytes
+	if n > 128 {
+		n = 128 // bound per-execution build cost
+	}
+	tris := make([]vecmath.Triangle, n)
+	for i := range tris {
+		var c [9]float64
+		for j := range c {
+			c[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*triBytes+j*8:]))
+		}
+		tris[i] = vecmath.Tri(vecmath.V(c[0], c[1], c[2]), vecmath.V(c[3], c[4], c[5]), vecmath.V(c[6], c[7], c[8]))
+	}
+	return tris
+}
+
+func sanitizeSeedBytes(tris ...vecmath.Triangle) []byte {
+	out := make([]byte, 0, len(tris)*72)
+	for _, tr := range tris {
+		for _, v := range []vecmath.Vec3{tr.A, tr.B, tr.C} {
+			for _, x := range []float64{v.X, v.Y, v.Z} {
+				out = binary.LittleEndian.AppendUint64(out, math.Float64bits(x))
+			}
+		}
+	}
+	return out
+}
+
+// FuzzSanitize hammers Sanitize with adversarial triangle soups under every
+// policy combination: the pass must never panic, its report must account for
+// every triangle, and — for the default drop policy — everything it emits
+// must survive a guarded build without tripping any limit.
+func FuzzSanitize(f *testing.F) {
+	nan, inf := math.NaN(), math.Inf(1)
+	p := vecmath.V(1, 2, 3)
+	f.Add([]byte{}, uint8(0))
+	f.Add(sanitizeSeedBytes(
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+	), uint8(0))
+	f.Add(sanitizeSeedBytes(
+		vecmath.Tri(vecmath.V(nan, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+		vecmath.Tri(vecmath.V(inf, -inf, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+		vecmath.Tri(p, p, p),
+		vecmath.Tri(p, p, vecmath.V(4, 5, 6)),
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 1, 1), vecmath.V(2, 2, 2)),
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+	), uint8(1))
+	// Subnormal slivers and a denormal-coordinate triangle.
+	f.Add(sanitizeSeedBytes(
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1e-200, 0, 0), vecmath.V(0, 1e-200, 0)),
+		vecmath.Tri(vecmath.V(5e-324, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0)),
+	), uint8(2))
+	// Overflowing cross product from huge finite vertices.
+	h := math.MaxFloat64
+	f.Add(sanitizeSeedBytes(
+		vecmath.Tri(vecmath.V(-h, -h, 0), vecmath.V(h, 0, 0), vecmath.V(0, h, 0)),
+	), uint8(4))
+
+	f.Fuzz(func(t *testing.T, data []byte, policyPick uint8) {
+		tris := sanitizeFuzzTriangles(data)
+		policy := SanitizePolicy{
+			NonFinite:  SanitizeAction(policyPick % 3),
+			Degenerate: SanitizeAction(policyPick / 3 % 3),
+		}
+		in := append([]vecmath.Triangle(nil), tris...)
+		out, rep, err := Sanitize(in, policy)
+
+		if rep.Input != len(tris) {
+			t.Fatalf("report.Input = %d, want %d", rep.Input, len(tris))
+		}
+		if err != nil {
+			if policy.NonFinite != SanitizeReject && policy.Degenerate != SanitizeReject {
+				t.Fatalf("error %v without a reject action", err)
+			}
+			if out != nil {
+				t.Fatalf("rejecting pass returned a slice alongside the error")
+			}
+			return
+		}
+		if len(out) != rep.Input-rep.Dropped {
+			t.Fatalf("len(out)=%d but report says %d kept", len(out), rep.Input-rep.Dropped)
+		}
+		if rep.NonFinite+rep.Degenerate > rep.Input || rep.Dropped > rep.NonFinite+rep.Degenerate {
+			t.Fatalf("inconsistent report %+v", rep)
+		}
+
+		if policy != (SanitizePolicy{}) {
+			return
+		}
+		// Default policy: the output contract is "finite bounds, usable
+		// normal", and a second pass must be a no-op.
+		for i, tr := range out {
+			if !tr.A.IsFinite() || !tr.B.IsFinite() || !tr.C.IsFinite() {
+				t.Fatalf("triangle %d survived with non-finite vertices", i)
+			}
+			if !(tr.Normal().Len2() >= minTriangleArea2) {
+				t.Fatalf("triangle %d survived with degenerate normal", i)
+			}
+		}
+		again, rep2, err := Sanitize(append([]vecmath.Triangle(nil), out...), policy)
+		if err != nil || len(again) != len(out) || rep2.Dropped != 0 {
+			t.Fatalf("sanitize is not idempotent: %d -> %d (%+v, %v)", len(out), len(again), rep2, err)
+		}
+		// Sanitized output must build cleanly under a guard tight enough to
+		// catch runaway recursion — no misfires, no panics, a valid tree.
+		cfg := kdtree.Config{Algorithm: kdtree.AlgoNodeLevel, Workers: 2}
+		g := kdtree.Guard{MaxDepth: 64, MaxArenaBytes: 1 << 30}
+		tree, err := kdtree.NewBuilder().BuildGuarded(out, cfg, g)
+		if err != nil {
+			t.Fatalf("guarded build of sanitized mesh aborted: %v", err)
+		}
+		if err := tree.Validate(); err != nil {
+			t.Fatalf("invalid tree from sanitized mesh: %v", err)
+		}
+	})
+}

@@ -1,0 +1,130 @@
+package scene
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+func saneTri() vecmath.Triangle {
+	return vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0))
+}
+
+func nanTri() vecmath.Triangle {
+	return vecmath.Tri(vecmath.V(math.NaN(), 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0))
+}
+
+func infTri() vecmath.Triangle {
+	return vecmath.Tri(vecmath.V(math.Inf(-1), 0, 0), vecmath.V(1, 0, 0), vecmath.V(0, 1, 0))
+}
+
+func pointTri() vecmath.Triangle {
+	p := vecmath.V(2, 3, 4)
+	return vecmath.Tri(p, p, p)
+}
+
+func TestSanitizeDropDefaults(t *testing.T) {
+	in := []vecmath.Triangle{saneTri(), nanTri(), pointTri(), infTri(), saneTri()}
+	out, rep, err := Sanitize(in, SanitizePolicy{})
+	if err != nil {
+		t.Fatalf("drop policy errored: %v", err)
+	}
+	if len(out) != 2 {
+		t.Fatalf("kept %d triangles, want the 2 sane ones", len(out))
+	}
+	want := SanitizeReport{Input: 5, NonFinite: 2, Degenerate: 1, Dropped: 3}
+	if rep != want {
+		t.Fatalf("report %+v, want %+v", rep, want)
+	}
+	// In-place: output aliases the input's backing array.
+	if &out[0] != &in[0] {
+		t.Errorf("output does not alias input")
+	}
+}
+
+func TestSanitizeRejectNamesFirstOffender(t *testing.T) {
+	in := []vecmath.Triangle{saneTri(), pointTri(), nanTri()}
+	out, rep, err := Sanitize(in, SanitizePolicy{Degenerate: SanitizeReject})
+	if err == nil {
+		t.Fatalf("reject policy did not error")
+	}
+	if out != nil {
+		t.Fatalf("reject returned a slice alongside the error")
+	}
+	if !strings.Contains(err.Error(), "triangle 1") || !strings.Contains(err.Error(), "degenerate") {
+		t.Errorf("error %q does not name the offender", err)
+	}
+	if rep.Degenerate != 1 {
+		t.Errorf("report %+v stops at the first offender", rep)
+	}
+
+	// The same mesh passes when only non-finite triangles reject... until
+	// the NaN one is reached.
+	_, _, err = Sanitize([]vecmath.Triangle{saneTri(), pointTri()}, SanitizePolicy{NonFinite: SanitizeReject})
+	if err != nil {
+		t.Errorf("degenerate triangle tripped the NonFinite reject: %v", err)
+	}
+	_, _, err = Sanitize([]vecmath.Triangle{nanTri()}, SanitizePolicy{NonFinite: SanitizeReject})
+	if err == nil || !strings.Contains(err.Error(), "non-finite") {
+		t.Errorf("NaN triangle not rejected: %v", err)
+	}
+}
+
+func TestSanitizeKeepPassesThrough(t *testing.T) {
+	in := []vecmath.Triangle{nanTri(), pointTri(), saneTri()}
+	out, rep, err := Sanitize(in, SanitizePolicy{NonFinite: SanitizeKeep, Degenerate: SanitizeKeep})
+	if err != nil {
+		t.Fatalf("keep policy errored: %v", err)
+	}
+	if len(out) != 3 || rep.Dropped != 0 {
+		t.Fatalf("keep policy altered the mesh: %d kept, report %+v", len(out), rep)
+	}
+	if rep.NonFinite != 1 || rep.Degenerate != 1 {
+		t.Errorf("keep policy must still count defects: %+v", rep)
+	}
+}
+
+func TestSanitizeEmptyAndClean(t *testing.T) {
+	for _, in := range [][]vecmath.Triangle{nil, {}} {
+		out, rep, err := Sanitize(in, SanitizePolicy{})
+		if err != nil || len(out) != 0 || rep != (SanitizeReport{}) {
+			t.Fatalf("empty input: out=%v rep=%+v err=%v", out, rep, err)
+		}
+	}
+	clean := []vecmath.Triangle{saneTri(), saneTri()}
+	out, rep, err := Sanitize(clean, SanitizePolicy{})
+	if err != nil || len(out) != 2 || rep.Dropped != 0 {
+		t.Fatalf("clean mesh was altered: %d kept, %+v, %v", len(out), rep, err)
+	}
+}
+
+func TestSanitizeSubnormalArea(t *testing.T) {
+	// A sliver whose normal is far below minTriangleArea2: numerically
+	// present but unusable for intersection.
+	s := vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(1e-200, 0, 0), vecmath.V(0, 1e-200, 0))
+	if s.Normal().Len2() >= 1e-300 {
+		t.Skip("sliver is healthier than expected on this platform")
+	}
+	out, rep, err := Sanitize([]vecmath.Triangle{s}, SanitizePolicy{})
+	if err != nil || len(out) != 0 || rep.Degenerate != 1 {
+		t.Fatalf("subnormal sliver survived: %d kept, %+v, %v", len(out), rep, err)
+	}
+}
+
+// TestSanitizeOverflowNormal: huge finite vertices whose cross product
+// overflows to NaN/Inf must be classified degenerate, not passed as healthy.
+func TestSanitizeOverflowNormal(t *testing.T) {
+	h := math.MaxFloat64
+	tr := vecmath.Tri(vecmath.V(-h, -h, 0), vecmath.V(h, 0, 0), vecmath.V(0, h, 0))
+	if tr.A.IsFinite() && tr.B.IsFinite() && tr.C.IsFinite() {
+		out, rep, err := Sanitize([]vecmath.Triangle{tr}, SanitizePolicy{})
+		if err != nil {
+			t.Fatalf("unexpected error: %v", err)
+		}
+		if len(out) != 0 {
+			t.Fatalf("overflow-normal triangle passed as healthy (report %+v)", rep)
+		}
+	}
+}

@@ -93,6 +93,61 @@ var Algorithms = kdtree.Algorithms
 // Build constructs an SAH kD-tree.
 func Build(tris []Triangle, cfg Config) *Tree { return kdtree.Build(tris, cfg) }
 
+// Guarded construction: builds that can be bounded and aborted instead of
+// running away on hostile input or pathological configurations.
+type (
+	// Builder owns reusable build arenas; see NewBuilder.
+	Builder = kdtree.Builder
+	// Guard bounds one build (deadline, depth, arena bytes).
+	Guard = kdtree.Guard
+	// BuildAborted is the error a guarded build returns when stopped.
+	BuildAborted = kdtree.BuildAborted
+	// AbortCause classifies why a guarded build stopped.
+	AbortCause = kdtree.AbortCause
+)
+
+// The abort causes a BuildAborted reports.
+const (
+	AbortDeadline    = kdtree.AbortDeadline
+	AbortDepth       = kdtree.AbortDepth
+	AbortMemory      = kdtree.AbortMemory
+	AbortWorkerPanic = kdtree.AbortWorkerPanic
+)
+
+// NewBuilder creates a Builder whose arenas are reused across builds, so a
+// frame loop's steady-state rebuild allocates (almost) nothing.
+func NewBuilder() *Builder { return kdtree.NewBuilder() }
+
+// BuildGuarded constructs a tree under the guard's limits. On abort it
+// returns (nil, *BuildAborted) and the builder stays reusable — the caller
+// can immediately rebuild, e.g. with AlgoMedian as a cheap fallback.
+func BuildGuarded(tris []Triangle, cfg Config, g Guard) (*Tree, error) {
+	return kdtree.NewBuilder().BuildGuarded(tris, cfg, g)
+}
+
+// Mesh sanitisation.
+type (
+	// SanitizePolicy selects per defect class what Sanitize does.
+	SanitizePolicy = scene.SanitizePolicy
+	// SanitizeAction is one policy choice (drop, reject, keep).
+	SanitizeAction = scene.SanitizeAction
+	// SanitizeReport tallies a Sanitize pass.
+	SanitizeReport = scene.SanitizeReport
+)
+
+// The sanitize actions.
+const (
+	SanitizeDrop   = scene.SanitizeDrop
+	SanitizeReject = scene.SanitizeReject
+	SanitizeKeep   = scene.SanitizeKeep
+)
+
+// Sanitize filters NaN/Inf-vertex and zero-area triangles out of a mesh
+// (in place) according to the policy, before they reach the SAH sweeps.
+func Sanitize(tris []Triangle, policy SanitizePolicy) ([]Triangle, SanitizeReport, error) {
+	return scene.Sanitize(tris, policy)
+}
+
 // BaseConfig returns the paper's manually crafted base configuration
 // C_base = (CI, CB, S, R) = (17, 10, 3, 4096).
 func BaseConfig(a Algorithm) Config { return kdtree.BaseConfig(a) }
