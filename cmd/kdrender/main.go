@@ -66,7 +66,10 @@ func main() {
 	tris := sc.Triangles(*frame)
 
 	t0 := time.Now()
-	tree := kdtree.Build(tris, cfg)
+	tree, err := kdtree.NewBuilder().BuildGuarded(tris, cfg, kdtree.Guard{})
+	if err != nil {
+		fail(err)
+	}
 	build := time.Since(t0)
 
 	t0 = time.Now()

@@ -27,6 +27,13 @@ func main() {
 	must(tuner.RegisterNamedParameter("S", &s, 1, 8, 1))
 
 	lights := sc.Lights
+
+	// One retained Builder for the whole animation: its arenas are reused
+	// across frames, so steady-state rebuilds allocate (almost) nothing, and
+	// the guarded entry keeps a pathological configuration from wedging the
+	// frame loop.
+	builder := kdtune.NewBuilder()
+
 	const cycles = 60
 	for iter := 0; iter < cycles; iter++ {
 		frame := (iter / 2) % sc.Frames // each frame shown twice
@@ -38,7 +45,10 @@ func main() {
 			CI:        float64(ci), CB: float64(cb), S: s,
 		}
 		tris := sc.Triangles(frame)
-		tree := kdtune.Build(tris, cfg)
+		tree, err := builder.BuildGuarded(tris, cfg, kdtune.Guard{})
+		if err != nil {
+			panic(err)
+		}
 		_, _ = kdtune.Render(tree, sc.View, lights,
 			kdtune.RenderOptions{Width: 96, Height: 72})
 

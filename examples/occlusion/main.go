@@ -25,7 +25,7 @@ func main() {
 	// Eager baseline: the in-place parallel builder constructs everything.
 	eager := kdtune.BaseConfig(kdtune.AlgoInPlace)
 	t0 := time.Now()
-	eagerTree := kdtune.Build(tris, eager)
+	eagerTree := kdtune.Build(tris, eager) //kdlint:noguard example times the one-call API on trusted bundled scenes; guarding is the animation example's subject
 	eagerBuild := time.Since(t0)
 	t0 = time.Now()
 	kdtune.Render(eagerTree, sc.View, sc.Lights, opts)
@@ -39,7 +39,7 @@ func main() {
 		lazy := kdtune.BaseConfig(kdtune.AlgoLazy)
 		lazy.R = r
 		t0 = time.Now()
-		lazyTree := kdtune.Build(tris, lazy)
+		lazyTree := kdtune.Build(tris, lazy) //kdlint:noguard example times the one-call API on trusted bundled scenes; guarding is the animation example's subject
 		lazyBuild := time.Since(t0)
 		t0 = time.Now()
 		kdtune.Render(lazyTree, sc.View, sc.Lights, opts)

@@ -25,7 +25,7 @@ func main() {
 
 	// Build with the paper's base configuration and the in-place builder.
 	cfg := kdtune.BaseConfig(kdtune.AlgoInPlace)
-	tree := kdtune.Build(tris, cfg)
+	tree := kdtune.Build(tris, cfg) //kdlint:noguard quickstart shows the simplest one-call API; the animation example demonstrates the guarded frame loop
 	fmt.Println("built:", tree.Stats())
 
 	// Closest-hit query.

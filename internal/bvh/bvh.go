@@ -190,6 +190,7 @@ func (b *builder) recurse(refs []buildRef) *buildNode {
 	}
 
 	done := make(chan struct{})
+	//kdlint:nocancel BVH is the uninstrumented comparison structure; its builds are short and never run under a guard
 	b.pool.Spawn(func() {
 		defer close(done)
 		n.left = b.recurse(left)

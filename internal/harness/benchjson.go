@@ -217,14 +217,14 @@ const benchDeadlineFactor = 10
 func measureBuildAllocs(sc *scene.Scene, cfg kdtree.Config) (allocs, bytes, gcPauseMS float64) {
 	tris := sc.Triangles(0)
 	b := kdtree.NewBuilder()
-	b.Build(tris, cfg)
-	b.Build(tris, cfg)
+	b.Build(tris, cfg) //kdlint:noguard allocation profiling measures the raw build path; guard bookkeeping would pollute the counters
+	b.Build(tris, cfg) //kdlint:noguard allocation profiling measures the raw build path; guard bookkeeping would pollute the counters
 
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	for i := 0; i < allocMeasureBuilds; i++ {
-		b.Build(tris, cfg)
+		b.Build(tris, cfg) //kdlint:noguard allocation profiling measures the raw build path; guard bookkeeping would pollute the counters
 	}
 	runtime.ReadMemStats(&after)
 

@@ -153,7 +153,7 @@ func (c *buildCtx) decideSplitSweep(a *arena, items []item, bounds vecmath.AABB,
 	for i := range items {
 		a.boxes = append(a.boxes, items[i].bounds)
 	}
-	split, ok := sah.FindBestSplitSweepWorkers(c.params, bounds, a.boxes, workers)
+	split, ok := sah.FindBestSplitSweepCancel(c.canceler(), c.params, bounds, a.boxes, workers)
 	if !ok || c.params.ShouldTerminate(len(items), split) {
 		return sah.Split{}, false
 	}

@@ -115,6 +115,7 @@ func (c *buildCtx) buildBreadthFirst(lazy bool) vecmath.AABB {
 				bf.subs = append(bf.subs, sub)
 				subItems := level[ln.start:ln.end:ln.end]
 				wg.Add(1)
+				//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 				c.pool.Spawn(func() {
 					defer wg.Done()
 					c.finishSubtree(sub, subItems, ln.bounds, ln.depth, lazy)
@@ -219,7 +220,7 @@ func (c *buildCtx) decideSplitLevel(a *arena, sub []item, bounds vecmath.AABB, d
 	if depth >= c.cfg.MaxDepth {
 		return sah.Split{}, false
 	}
-	split, ok := sah.FindBestSplitBinnedChunks(c.params, bounds, len(sub), c.cfg.Bins, workers,
+	split, ok := sah.FindBestSplitBinnedChunksCancel(c.canceler(), c.params, bounds, len(sub), c.cfg.Bins, workers,
 		func(bs *sah.BinSet, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				bs.Add(sub[i].bounds)

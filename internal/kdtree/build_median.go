@@ -55,10 +55,12 @@ func (c *buildCtx) recurseMedian(a *arena, items []item, bounds vecmath.AABB, de
 		la, ra := c.b.getArena(), c.b.getArena()
 		var wg sync.WaitGroup
 		wg.Add(2)
+		//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 		c.pool.Spawn(func() {
 			defer wg.Done()
 			c.recurseMedian(la, left, lb, depth+1)
 		})
+		//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 		c.pool.Spawn(func() {
 			defer wg.Done()
 			c.recurseMedian(ra, right, rb, depth+1)

@@ -72,10 +72,12 @@ func (c *buildCtx) recurseNested(a *arena, items []item, bounds vecmath.AABB, de
 		la, ra := c.b.getArena(), c.b.getArena()
 		var wg sync.WaitGroup
 		wg.Add(2)
+		//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 		c.pool.Spawn(func() {
 			defer wg.Done()
 			c.recurseNested(la, left, lb, depth+1)
 		})
+		//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 		c.pool.Spawn(func() {
 			defer wg.Done()
 			c.recurseNested(ra, right, rb, depth+1)
@@ -99,7 +101,7 @@ func (c *buildCtx) recurseNested(a *arena, items []item, bounds vecmath.AABB, de
 // package, so no arithmetic here can drift out of sync with the scheduler;
 // worker counts <= 0 are normalised inside.
 func (c *buildCtx) parallelBestSplit(items []item, bounds vecmath.AABB) (sah.Split, bool) {
-	return sah.FindBestSplitBinnedChunks(c.params, bounds, len(items), c.cfg.Bins, c.cfg.Workers,
+	return sah.FindBestSplitBinnedChunksCancel(c.canceler(), c.params, bounds, len(items), c.cfg.Bins, c.cfg.Workers,
 		func(bs *sah.BinSet, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				bs.Add(items[i].bounds)

@@ -54,10 +54,12 @@ func (c *buildCtx) recurseNodeLevel(a *arena, items []item, bounds vecmath.AABB,
 		la, ra := c.b.getArena(), c.b.getArena()
 		var wg sync.WaitGroup
 		wg.Add(2)
+		//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 		c.pool.Spawn(func() {
 			defer wg.Done()
 			c.recurseNodeLevel(la, left, lb, depth+1)
 		})
+		//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 		c.pool.Spawn(func() {
 			defer wg.Done()
 			c.recurseNodeLevel(ra, right, rb, depth+1)

@@ -75,7 +75,7 @@ func (c *buildCtx) buildSortOnce() vecmath.AABB {
 	for slot, it := range items {
 		events = appendEvents(events, int32(slot), it.bounds)
 	}
-	parallel.SortFunc(events, c.cfg.Workers, soLess)
+	parallel.SortFuncCancel(c.canceler(), events, c.cfg.Workers, soLess)
 	c.recurseSortOnce(a, items, events, bounds, 0)
 	return bounds
 }
@@ -287,10 +287,12 @@ func (c *buildCtx) recurseSortOnce(a *arena, items []item, events []soEvent, bou
 		la, ra := c.b.getArena(), c.b.getArena()
 		var wg sync.WaitGroup
 		wg.Add(2)
+		//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 		c.pool.Spawn(func() {
 			defer wg.Done()
 			c.recurseSortOnce(la, leftItems, leftEvents, lb, depth+1)
 		})
+		//kdlint:nocancel subtree task polls the build Canceler via checkAbort at every node
 		c.pool.Spawn(func() {
 			defer wg.Done()
 			c.recurseSortOnce(ra, rightItems, rightEvents, rb, depth+1)

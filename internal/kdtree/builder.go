@@ -103,8 +103,8 @@ func (b *Builder) finish(bounds vecmath.AABB, numTris int) *Tree {
 	t := &b.tree
 	t.tris = b.ctx.tris
 	t.bounds = bounds
-	t.nodes = b.main.nodes
-	t.leafTris = b.main.leafTris
+	t.nodes = b.main.nodes       //kdlint:allow arena.store Tree borrows the main arena by documented contract: valid until the Builder's next Build
+	t.leafTris = b.main.leafTris //kdlint:allow arena.store same borrow contract as nodes above
 	t.root = 0
 	t.cfg = b.ctx.cfg
 	t.stats = b.ctx.counters.snapshot(b.ctx.cfg.Algorithm, numTris)

@@ -1,0 +1,10 @@
+//go:build !parallelcheck
+
+package kdtree
+
+// buildChecks disables the build-abort invariant layer in default builds;
+// see check_on.go. The call site guards with `if buildChecks`, so the stub
+// below is dead code the compiler removes.
+const buildChecks = false
+
+func (b *Builder) assertAbortDrained() {}

@@ -1,0 +1,37 @@
+//go:build parallelcheck
+
+package kdtree
+
+import "fmt"
+
+// buildChecks enables the kdtree half of the -tags parallelcheck invariant
+// layer: BuildGuarded asserts on its abort path that every pooled arena was
+// drained back to a pristine state, so an aborted build can never leak a
+// stale alias into the next build on the same Builder — the dynamic twin of
+// kdlint's static arena-hygiene rule. Default builds compile all of it away.
+const buildChecks = true
+
+// assertAbortDrained panics unless the Builder's pooled storage is back to
+// the state the next Build expects after an abort: no stranded breadth-first
+// subtree arenas, no arena still wired to the live-byte counter, and every
+// free-listed arena fully truncated. It runs after BuildGuarded's abort
+// cleanup, with the pool drained, so no worker can be mutating the arenas
+// concurrently.
+func (b *Builder) assertAbortDrained() {
+	if n := len(b.bf.subs); n != 0 {
+		panic(fmt.Sprintf("kdtree: %d subtree arenas stranded after aborted build", n))
+	}
+	if b.main.live != nil {
+		panic("kdtree: main arena still wired to live-byte accounting after aborted build")
+	}
+	b.arenaMu.Lock()
+	defer b.arenaMu.Unlock()
+	for i, a := range b.arenaFree {
+		if a.live != nil {
+			panic(fmt.Sprintf("kdtree: pooled arena %d still wired to live-byte accounting after aborted build", i))
+		}
+		if held := len(a.nodes) + len(a.leafTris) + len(a.defs) + len(a.defTris) + len(a.items) + len(a.events); held != 0 {
+			panic(fmt.Sprintf("kdtree: pooled arena %d holds %d entries after aborted build, want fully drained", i, held))
+		}
+	}
+}

@@ -1,0 +1,59 @@
+//go:build parallelcheck
+
+package kdtree
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"kdtune/internal/faultinject"
+)
+
+// TestBuildCheckLayerActive fails the -tags parallelcheck CI job loudly if
+// the kdtree invariant layer is ever wired out (mirrors the parallel
+// package's TestInvariantLayerActive).
+func TestBuildCheckLayerActive(t *testing.T) {
+	if !buildChecks {
+		t.Fatal("built with parallelcheck but buildChecks is false")
+	}
+}
+
+// TestAbortDrainsArenasUnderInjection cross-validates the static arena
+// rule with the runtime layer: every abort cause — injected worker panics,
+// depth and memory ceilings, and a deadline riding on injected delays —
+// must leave the Builder's pooled arenas fully drained. The assertions
+// themselves live inside BuildGuarded (assertAbortDrained); this test just
+// drives every abort path through them with warm, previously-used arenas.
+func TestAbortDrainsArenasUnderInjection(t *testing.T) {
+	r := rand.New(rand.NewSource(601))
+	tris := randomTriangles(r, 6000, 10, 0.2)
+	for _, a := range allAlgorithms {
+		b := NewBuilder()
+		b.Build(tris, testConfig(a)) // warm the arenas so drain is non-trivial
+
+		in := faultinject.Activate(faultinject.Fault{
+			Site: faultinject.SiteBuildNode, Index: 5, Kind: faultinject.KindPanic, Count: 1,
+		})
+		abortCause(t, b, a, tris, Guard{MaxDepth: 64}, AbortWorkerPanic)
+		in.Deactivate()
+
+		abortCause(t, b, a, tris, Guard{MaxDepth: 1}, AbortDepth)
+		abortCause(t, b, a, tris, Guard{MaxArenaBytes: 1 << 10}, AbortMemory)
+
+		// A delay injected into every chunk stretches the build past a short
+		// deadline, so the abort arrives via the timer while workers are
+		// mid-dispatch — the path where a stranded arena is most likely.
+		in = faultinject.Activate(faultinject.Fault{
+			Site: faultinject.SiteParallelChunk, Index: -1, Kind: faultinject.KindDelay,
+			Delay: 2 * time.Millisecond,
+		})
+		abortCause(t, b, a, tris, Guard{Deadline: time.Millisecond}, AbortDeadline)
+		in.Deactivate()
+
+		// The builder must still produce a valid tree afterwards.
+		if err := b.Build(tris, testConfig(a)).Validate(); err != nil {
+			t.Fatalf("%v: post-abort tree invalid: %v", a, err)
+		}
+	}
+}

@@ -276,6 +276,9 @@ func (b *Builder) BuildGuarded(tris []vecmath.Triangle, cfg Config, g Guard) (*T
 		}
 		b.bf.subs = b.bf.subs[:0]
 		b.main.live = nil
+		if buildChecks {
+			b.assertAbortDrained()
+		}
 		cause, wp := gd.failure()
 		return nil, &BuildAborted{Cause: cause, Algorithm: cfg.Algorithm, Guard: g, Panic: wp}
 	}

@@ -124,6 +124,9 @@ func TestGuardedSteadyStateAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("race instrumentation allocates; counts are meaningless under -race")
 	}
+	if buildChecks {
+		t.Skip("the parallelcheck invariant layer allocates per dispatch; counts are meaningless under -tags parallelcheck")
+	}
 	const budget = 32.0
 	r := rand.New(rand.NewSource(42))
 	tris := randomTriangles(r, 4000, 10, 0.2)

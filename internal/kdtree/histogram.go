@@ -37,9 +37,11 @@ func (t *Tree) shapeNode(idx int32, depth int, s *TreeShape) {
 	case kindDeferred:
 		sub := t.deferred[n.deferredIdx()].sub.Load()
 		subShape := sub.Shape()
+		//kdlint:allow determinism.maprange accumulating counts into a map commutes; order cannot change the histogram
 		for size, c := range subShape.LeafSizes {
 			s.LeafSizes[size] += c
 		}
+		//kdlint:allow determinism.maprange accumulating counts into a map commutes; order cannot change the histogram
 		for d, c := range subShape.LeafDepths {
 			s.LeafDepths[depth+d] += c
 		}
@@ -60,6 +62,7 @@ func (s TreeShape) MedianLeafDepth() int {
 func medianOfHistogram(h map[int]int) int {
 	total := 0
 	keys := make([]int, 0, len(h))
+	//kdlint:allow determinism.maprange keys are sorted below before any order-sensitive use; the sum commutes
 	for k, c := range h {
 		total += c
 		keys = append(keys, k)
@@ -86,6 +89,7 @@ func (s TreeShape) Print(w io.Writer) {
 
 func histString(h map[int]int) string {
 	keys := make([]int, 0, len(h))
+	//kdlint:allow determinism.maprange keys are sorted below before rendering
 	for k := range h {
 		keys = append(keys, k)
 	}

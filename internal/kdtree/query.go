@@ -22,6 +22,7 @@ func (t *Tree) RangeQuery(box vecmath.AABB) []int {
 	seen := map[int32]struct{}{}
 	t.rangeNode(t.root, t.bounds, box, seen)
 	out := make([]int, 0, len(seen))
+	//kdlint:allow determinism.maprange indices are sorted below before returning
 	for ti := range seen {
 		out = append(out, int(ti))
 	}

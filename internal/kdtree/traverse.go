@@ -65,6 +65,8 @@ func (t *Tree) Intersect(r vecmath.Ray, tMin, tMax float64) (Hit, bool) {
 // anywhere in the caller's original open interval (tMin, tMax), which
 // matters for triangles that poke out of the node being traversed and for
 // flat scenes whose bounds have zero extent.
+//
+//kdlint:hotpath
 func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tMin, tMax float64) (Hit, bool) {
 	var stackArr [traversalStackDepth]stackEntry
 	stack := stackArr[:0]
@@ -114,6 +116,7 @@ func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, t
 					// The ray lies exactly in the split plane: it grazes
 					// the boundary faces of BOTH children, and planar
 					// primitives on the plane live in only one of them.
+					//kdlint:allow hotpath.alloc stack spills past the 64-entry stackArr only beyond the builder's depth cap; steady state never grows
 					stack = append(stack, stackEntry{far, curMin, curMax})
 				}
 				// Otherwise the ray stays strictly on the near side.
@@ -135,6 +138,7 @@ func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, t
 			case tSplit < curMin-slack:
 				node = far
 			default:
+				//kdlint:allow hotpath.alloc stack spills past the 64-entry stackArr only beyond the builder's depth cap; steady state never grows
 				stack = append(stack, stackEntry{far, tSplit, curMax})
 				node = near
 				curMax = tSplit
@@ -186,6 +190,7 @@ func (t *Tree) Occluded(r vecmath.Ray, tMin, tMax float64) bool {
 	return t.occludedRange(r, inv, t0, t1, tMin, tMax)
 }
 
+//kdlint:hotpath
 func (t *Tree) occludedRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tMin, tMax float64) bool {
 	var stackArr [traversalStackDepth]stackEntry
 	stack := stackArr[:0]
@@ -209,6 +214,7 @@ func (t *Tree) occludedRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tM
 			if d == 0 {
 				if o == n.pos {
 					// In-plane ray: grazes both children (see Intersect).
+					//kdlint:allow hotpath.alloc stack spills past the 64-entry stackArr only beyond the builder's depth cap; steady state never grows
 					stack = append(stack, stackEntry{far, curMin, curMax})
 				}
 				node = near
@@ -223,6 +229,7 @@ func (t *Tree) occludedRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tM
 			case tSplit < curMin-slack:
 				node = far
 			default:
+				//kdlint:allow hotpath.alloc stack spills past the 64-entry stackArr only beyond the builder's depth cap; steady state never grows
 				stack = append(stack, stackEntry{far, tSplit, curMax})
 				node = near
 				curMax = tSplit

@@ -1,0 +1,83 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Callee resolves the function or method a call expression invokes, seeing
+// through parentheses and explicit generic instantiation. It returns nil
+// for calls of function-typed variables, conversions, and builtins — the
+// dynamic cases a static call-site rule cannot attribute to a package.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	fun := ast.Unparen(call.Fun)
+	for {
+		switch f := fun.(type) {
+		case *ast.IndexExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		case *ast.IndexListExpr:
+			fun = ast.Unparen(f.X)
+			continue
+		}
+		break
+	}
+	var id *ast.Ident
+	switch f := fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// FuncPkgPath returns the import path of the package declaring fn ("" for
+// builtins and universe functions).
+func FuncPkgPath(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	return fn.Pkg().Path()
+}
+
+// RecvTypeName returns the name of fn's receiver type (pointers stripped),
+// or "" for a package-level function.
+func RecvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	if n := NamedOf(sig.Recv().Type()); n != nil {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// NamedOf returns the named type behind t, stripping pointers and aliases,
+// or nil if t is not (a pointer to) a named type.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	if p, ok := t.(*types.Pointer); ok {
+		t = types.Unalias(p.Elem())
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// IsNilIdent reports whether e is the predeclared nil (after parens) — used
+// to flag dispatch calls that formally accept a Canceler but thread none.
+func IsNilIdent(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}

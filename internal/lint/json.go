@@ -1,0 +1,47 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"path/filepath"
+)
+
+// jsonDiagnostic is the machine-readable form emitted by kdlint -json: one
+// object per finding, newline-delimited inside a single JSON array, stable
+// field order via struct tags.
+type jsonDiagnostic struct {
+	Rule    string `json:"rule"`
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Column  int    `json:"column"`
+	Message string `json:"message"`
+}
+
+// WriteJSON renders diags as an indented JSON array (an empty array for no
+// findings, never null) so downstream tooling can parse CI output without
+// special cases.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			Rule:    d.Rule,
+			File:    d.Pos.Filename,
+			Line:    d.Pos.Line,
+			Column:  d.Pos.Column,
+			Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(out)
+}
+
+// Relativize rewrites every diagnostic's filename relative to dir (when
+// possible), giving stable, repo-rooted paths in terminal and JSON output.
+func Relativize(diags []Diagnostic, dir string) {
+	for i := range diags {
+		if rel, err := filepath.Rel(dir, diags[i].Pos.Filename); err == nil && !filepath.IsAbs(rel) {
+			diags[i].Pos.Filename = filepath.ToSlash(rel)
+		}
+	}
+}

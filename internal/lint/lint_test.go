@@ -1,0 +1,131 @@
+package lint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kdtune/internal/lint"
+	"kdtune/internal/lint/arena"
+	"kdtune/internal/lint/determinism"
+	"kdtune/internal/lint/guard"
+	"kdtune/internal/lint/hotpath"
+	"kdtune/internal/lint/linttest"
+)
+
+const fixtureRoot = "kdtune/internal/lint/testdata/src/"
+
+// AllRules assembles the production rule set, mirroring cmd/kdlint.
+func allRules() []lint.Rule {
+	return []lint.Rule{determinism.Rule(), guard.Rule(), arena.Rule(), hotpath.Rule()}
+}
+
+func TestDeterminismRule(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.DeterminismPackages = []string{fixtureRoot + "detfx"}
+	linttest.Run(t, fixtureRoot+"detfx", cfg, []lint.Rule{determinism.Rule()})
+}
+
+// TestGuardRule needs no rescoping: the fixture imports the real parallel
+// and kdtree packages, so the default config's dispatch and entry tables
+// apply as-is.
+func TestGuardRule(t *testing.T) {
+	linttest.Run(t, fixtureRoot+"guardfx", lint.DefaultConfig(), []lint.Rule{guard.Rule()})
+}
+
+func TestArenaRule(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.ArenaPackages = []string{fixtureRoot + "arenafx"}
+	linttest.Run(t, fixtureRoot+"arenafx", cfg, []lint.Rule{arena.Rule()})
+}
+
+// TestHotpathRule: the rule is driven by //kdlint:hotpath markers, not
+// package scoping, so the default config applies.
+func TestHotpathRule(t *testing.T) {
+	linttest.Run(t, fixtureRoot+"hotfx", lint.DefaultConfig(), []lint.Rule{hotpath.Rule()})
+}
+
+// TestPragmaEngine checks that malformed pragmas are diagnosed, reasonless
+// pragmas suppress nothing, and valid pragmas suppress the line below.
+func TestPragmaEngine(t *testing.T) {
+	linttest.Run(t, fixtureRoot+"pragmafx", lint.DefaultConfig(), []lint.Rule{guard.Rule()})
+}
+
+// TestRulesCleanOnFixturesOutOfScope pins the scoping logic: determinism
+// and arena rules must stay silent on packages not listed in their scope,
+// no matter what the code does.
+func TestRulesCleanOutOfScope(t *testing.T) {
+	pkgs, err := lint.Load("", []string{fixtureRoot + "detfx", fixtureRoot + "arenafx"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig() // scopes point at the real repo packages, not the fixtures
+	for _, d := range lint.Run(pkgs, cfg, []lint.Rule{determinism.Rule(), arena.Rule()}) {
+		t.Errorf("out-of-scope finding: %s", d)
+	}
+}
+
+// TestLoadTestVariant exercises the -test loading path: the internal test
+// variant replaces the plain package and type-checks test files against
+// bracket-variant export data.
+func TestLoadTestVariant(t *testing.T) {
+	pkgs, err := lint.Load("", []string{"kdtune/internal/sah"}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1 (variant replaces plain)", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ForTest != "kdtune/internal/sah" {
+		t.Errorf("ForTest = %q, want kdtune/internal/sah", p.ForTest)
+	}
+	if p.PkgPath() != "kdtune/internal/sah" {
+		t.Errorf("PkgPath = %q, want the plain path", p.PkgPath())
+	}
+	hasTestFile := false
+	for _, f := range p.Files {
+		if name := p.Fset.Position(f.Pos()).Filename; filepath.Base(name) == "sah_test.go" {
+			hasTestFile = true
+		}
+	}
+	if !hasTestFile {
+		t.Error("test variant does not include sah_test.go")
+	}
+}
+
+// TestJSONGolden pins the machine-readable output format end to end: load
+// a fixture, run the full rule set, relativize paths to the module root,
+// and compare byte-for-byte with the committed golden file.
+func TestJSONGolden(t *testing.T) {
+	pkgs, err := lint.Load("", []string{fixtureRoot + "detfx"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig()
+	cfg.DeterminismPackages = []string{fixtureRoot + "detfx"}
+	diags := lint.Run(pkgs, cfg, allRules())
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lint.Relativize(diags, root)
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "detfx.golden.json")
+	if os.Getenv("KDLINT_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with KDLINT_UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output differs from golden file %s:\ngot:\n%s\nwant:\n%s\n(regenerate with KDLINT_UPDATE_GOLDEN=1)", golden, buf.Bytes(), want)
+	}
+}

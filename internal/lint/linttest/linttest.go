@@ -1,0 +1,132 @@
+// Package linttest runs kdlint rules against fixture packages and checks
+// the findings against expectations written in the fixtures themselves.
+//
+// A fixture line that should trigger a finding carries a trailing comment:
+//
+//	rand.Intn(10) // want `math/rand`
+//	for k := range m { // want "map iteration" "second finding"
+//
+// Each quoted or backquoted string is a regular expression that must match
+// the rendered finding ("message [rule]") reported on that line, one
+// expectation per finding. Findings without a matching expectation and
+// expectations without a matching finding both fail the test. Fixtures
+// import the real module packages (kdtune/internal/parallel, ...), so the
+// type-based matching inside every rule is exercised end to end.
+//
+// A finding on a line that cannot carry a trailing comment — a kdlint
+// pragma line, whose text runs to end of line — is expected from the line
+// below with "// want-above":
+//
+//	//kdlint:nocancel
+//	// want-above `gives no reason`
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"kdtune/internal/lint"
+)
+
+// wantToken extracts the "..."- and `...`-delimited expectation strings
+// from a want comment.
+var wantToken = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	source  string
+	matched bool
+}
+
+// Run loads the package matched by pattern, applies rules under cfg, and
+// compares the findings with the fixture's want comments.
+func Run(t *testing.T, pattern string, cfg *lint.Config, rules []lint.Rule) {
+	t.Helper()
+	pkgs, err := lint.Load("", []string{pattern}, cfg.IncludeTests)
+	if err != nil {
+		t.Fatalf("loading %s: %v", pattern, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("pattern %s matched no packages", pattern)
+	}
+
+	var wants []*expectation
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			wants = append(wants, collectWants(t, pkg, f)...)
+		}
+	}
+
+	diags := lint.Run(pkgs, cfg, rules)
+	for _, d := range diags {
+		rendered := fmt.Sprintf("%s [%s]", d.Message, d.Rule)
+		if w := matchWant(wants, d.Pos.Filename, d.Pos.Line, rendered); w != nil {
+			w.matched = true
+			continue
+		}
+		t.Errorf("unexpected finding at %s", d)
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %s, got none", w.file, w.line, w.source)
+		}
+	}
+}
+
+// matchWant finds the first unmatched expectation on (file, line) whose
+// regexp matches the rendered finding.
+func matchWant(wants []*expectation, file string, line int, rendered string) *expectation {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.re.MatchString(rendered) {
+			return w
+		}
+	}
+	return nil
+}
+
+// collectWants parses the want comments of one file.
+func collectWants(t *testing.T, pkg *lint.Package, f *ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			above := false
+			text, ok := strings.CutPrefix(c.Text, "// want ")
+			if !ok {
+				if text, ok = strings.CutPrefix(c.Text, "// want-above "); !ok {
+					continue
+				}
+				above = true
+			}
+			pos := pkg.Fset.Position(c.Pos())
+			if above {
+				pos.Line--
+			}
+			tokens := wantToken.FindAllString(text, -1)
+			if len(tokens) == 0 {
+				t.Fatalf("%s:%d: malformed want comment %q", pos.Filename, pos.Line, c.Text)
+			}
+			for _, tok := range tokens {
+				pat := strings.Trim(tok, "`")
+				if tok[0] == '"' {
+					var err error
+					if pat, err = strconv.Unquote(tok); err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", pos.Filename, pos.Line, tok, err)
+					}
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, tok, err)
+				}
+				wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, source: tok})
+			}
+		}
+	}
+	return wants
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+)
+
+// Package is one parsed and type-checked package ready for rule checks.
+type Package struct {
+	Path    string // import path as reported by go list (test variants keep their "[pkg.test]" suffix)
+	Name    string
+	Dir     string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Types   *types.Package
+	Info    *types.Info
+	ForTest string // for test variants, the import path of the package under test
+}
+
+// PkgPath returns the import path rules should scope on: the type-checker's
+// package path, which for an internal test variant is the plain path of the
+// package under test (the "[pkg.test]" suffix is a go tool naming
+// convention, stripped before type checking), so a package's invariants
+// also hold for its internal test variant.
+func (p *Package) PkgPath() string { return p.Types.Path() }
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	Standard   bool
+	DepOnly    bool
+	ForTest    string
+	ImportMap  map[string]string
+}
+
+// Load lists the patterns with the go tool and type-checks every matched
+// package from source. Dependencies are resolved from compiler export data
+// (`go list -export`), so loading needs one `go list` invocation and no
+// compilation of the packages under analysis themselves.
+//
+// dir is the working directory for the go tool (""; the process's). With
+// includeTests, test variants replace their plain packages and external
+// test packages are loaded too.
+func Load(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	args := []string{"list", "-export", "-deps", "-json"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := map[string]*listPkg{}
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		byPath[lp.ImportPath] = lp
+		order = append(order, lp)
+	}
+
+	// Select the packages to analyze: non-dep, non-stdlib matches of the
+	// patterns. With -test, go list emits the plain package, its internal
+	// test variant "pkg [pkg.test]", the external "pkg_test [pkg.test]",
+	// and a synthesized "pkg.test" main; analyze the variants (which
+	// contain the plain sources plus the test files) and skip the plain
+	// duplicate and the synthesized main.
+	hasTestVariant := map[string]bool{}
+	for _, lp := range order {
+		if lp.ForTest != "" && !strings.HasSuffix(strings.Fields(lp.ImportPath)[0], "_test") {
+			hasTestVariant[lp.ForTest] = true
+		}
+	}
+	var roots []*listPkg
+	for _, lp := range order {
+		if lp.DepOnly || lp.Standard || len(lp.GoFiles) == 0 {
+			continue
+		}
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // synthesized test main
+		}
+		if includeTests && lp.ForTest == "" && hasTestVariant[lp.ImportPath] {
+			continue // superseded by its test variant
+		}
+		roots = append(roots, lp)
+	}
+	sort.Slice(roots, func(i, j int) bool { return roots[i].ImportPath < roots[j].ImportPath })
+
+	fset := token.NewFileSet()
+	var pkgs []*Package
+	for _, lp := range roots {
+		pkg, err := typecheck(fset, lp, byPath)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// typecheck parses lp's sources and type-checks them against export data
+// for all imports.
+func typecheck(fset *token.FileSet, lp *listPkg, byPath map[string]*listPkg) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported by kdlint", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+		}
+		files = append(files, f)
+	}
+
+	// Resolve imports through compiler export data. The importer is
+	// per-package because ImportMap is: inside a test variant, an import of
+	// the package under test must resolve to the variant's own export data,
+	// not the plain package's.
+	lookup := func(path string) (io.ReadCloser, error) {
+		dep, ok := byPath[path]
+		if !ok || dep.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(dep.Export)
+	}
+	imp := &mappedImporter{
+		base: importer.ForCompiler(fset, "gc", lookup),
+		imap: lp.ImportMap,
+	}
+
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Implicits:  map[ast.Node]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: imp,
+		// Sizes must match the gc toolchain: the repo pins node layout with
+		// unsafe.Sizeof in constant expressions, which the checker must
+		// evaluate exactly as the compiler would.
+		Sizes: types.SizesFor("gc", runtime.GOARCH),
+	}
+	// Type-check under the plain import path (bracket suffixes are a go
+	// tool naming convention, not part of the language's package path).
+	tpath := strings.Fields(lp.ImportPath)[0]
+	tpkg, err := conf.Check(tpath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("%s: type checking: %v", lp.ImportPath, err)
+	}
+	return &Package{
+		Path:    lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Fset:    fset,
+		Files:   files,
+		Types:   tpkg,
+		Info:    info,
+		ForTest: lp.ForTest,
+	}, nil
+}
+
+// mappedImporter resolves source-level import paths through a package's
+// ImportMap (vendor and test-variant remapping) before loading export data,
+// and short-circuits "unsafe", which has no export data.
+type mappedImporter struct {
+	base types.Importer
+	imap map[string]string
+}
+
+func (m *mappedImporter) Import(path string) (*types.Package, error) {
+	if actual, ok := m.imap[path]; ok {
+		path = actual
+	}
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return m.base.Import(path)
+}

@@ -1,0 +1,117 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// kdlint pragmas are machine-readable suppressions written as Go compiler
+// directives (no space after //):
+//
+//	//kdlint:nocancel <reason>      suppress guard.cancel
+//	//kdlint:noguard <reason>       suppress guard.entry
+//	//kdlint:allow <rule> <reason>  suppress any rule category by name
+//	//kdlint:hotpath                mark a function as a hot path (not a
+//	                                suppression; read by the hotpath rule)
+//
+// A suppression applies to the pragma's own line and the line below it, so
+// it can ride at the end of the offending line or on a comment line
+// directly above. Every suppression MUST carry a free-text reason — an
+// unexplained suppression is itself a diagnostic (pragma.reason), and an
+// unrecognized directive is flagged too (pragma.unknown) so typos cannot
+// silently disable a check.
+
+const pragmaPrefix = "//kdlint:"
+
+// suppression is one parsed, valid pragma.
+type suppression struct {
+	rule string // rule category (or family prefix) it silences
+}
+
+// pragmaIndex records valid suppressions by file and line.
+type pragmaIndex map[string]map[int][]suppression
+
+// suppresses reports whether d is silenced by a pragma on its own line or
+// the line above. A suppression for a rule family (e.g. "guard") covers all
+// its categories ("guard.cancel", "guard.entry").
+func (idx pragmaIndex) suppresses(d Diagnostic) bool {
+	lines := idx[d.Pos.Filename]
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		for _, s := range lines[line] {
+			if d.Rule == s.rule || strings.HasPrefix(d.Rule, s.rule+".") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// parsePragmas scans every comment of the package for kdlint directives,
+// returning the valid suppressions and the diagnostics for malformed ones.
+func parsePragmas(pkg *Package) (pragmaIndex, []Diagnostic) {
+	idx := pragmaIndex{}
+	var diags []Diagnostic
+	report := func(rule string, c *ast.Comment, msg string) {
+		diags = append(diags, Diagnostic{Rule: rule, Pos: pkg.Fset.Position(c.Pos()), Message: msg})
+	}
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, pragmaPrefix) {
+					continue
+				}
+				rest := c.Text[len(pragmaPrefix):]
+				name, args := rest, ""
+				if i := strings.IndexAny(rest, " \t"); i >= 0 {
+					name, args = rest[:i], strings.TrimSpace(rest[i+1:])
+				}
+				var rule string
+				switch name {
+				case "hotpath":
+					continue // marker, not a suppression; read by the hotpath rule
+				case "nocancel":
+					rule = "guard.cancel"
+				case "noguard":
+					rule = "guard.entry"
+				case "allow":
+					fields := strings.Fields(args)
+					if len(fields) < 2 {
+						report("pragma.reason", c, "kdlint:allow needs a rule category and a reason: //kdlint:allow <rule> <why this is safe>")
+						continue
+					}
+					rule = fields[0]
+					args = strings.TrimSpace(args[strings.Index(args, fields[0])+len(fields[0]):])
+				default:
+					report("pragma.unknown", c, "unknown kdlint directive "+strconv.Quote(name)+"; known: nocancel, noguard, allow, hotpath")
+					continue
+				}
+				if args == "" {
+					report("pragma.reason", c, "kdlint:"+name+" suppresses "+rule+" but gives no reason; append why this site is safe")
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if idx[pos.Filename] == nil {
+					idx[pos.Filename] = map[int][]suppression{}
+				}
+				idx[pos.Filename][pos.Line] = append(idx[pos.Filename][pos.Line], suppression{rule: rule})
+			}
+		}
+	}
+	return idx, diags
+}
+
+// HotpathMarked reports whether fn's doc comment carries the
+// //kdlint:hotpath marker. The hotpath rule audits allocation sites inside
+// the loops of marked functions.
+func HotpathMarked(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	for _, c := range fn.Doc.List {
+		if c.Text == "//kdlint:hotpath" || strings.HasPrefix(c.Text, pragmaPrefix+"hotpath ") {
+			return true
+		}
+	}
+	return false
+}

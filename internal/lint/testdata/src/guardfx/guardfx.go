@@ -1,0 +1,63 @@
+// Package guardfx is the guard-rule fixture. It imports the real
+// kdtune/internal/parallel and kdtune/internal/kdtree packages, so the
+// type-based call-site matching (including generic instantiation and
+// pointer receivers) is exercised against genuine signatures.
+package guardfx
+
+import (
+	"kdtune/internal/kdtree"
+	"kdtune/internal/parallel"
+	"kdtune/internal/vecmath"
+)
+
+func plainDispatches(xs []float64) {
+	parallel.For(len(xs), 4, func(lo, hi int) {})                                                                       // want `parallel\.For dispatches without a cancellation point`
+	parallel.ForGrain(len(xs), 4, 64, func(lo, hi int) {})                                                              // want `parallel\.ForGrain dispatches without a cancellation point`
+	parallel.ForChunks(len(xs), 4, 64, func(chunk, lo, hi int) {})                                                      // want `parallel\.ForChunks dispatches without a cancellation point`
+	parallel.ForEach(len(xs), 4, func(i int) {})                                                                        // want `parallel\.ForEach has no Cancel variant`
+	parallel.ExclusiveScan(xs, xs, 4)                                                                                   // want `parallel\.ExclusiveScan dispatches without a cancellation point`
+	parallel.Reduce(len(xs), 4, 0.0, func(i int) float64 { return xs[i] }, func(a, b float64) float64 { return a + b }) // want `parallel\.Reduce dispatches without a cancellation point`
+	parallel.SortFunc(xs, 4, func(a, b float64) int { return 0 })                                                       // want `parallel\.SortFunc dispatches without a cancellation point`
+}
+
+func nilCanceler(xs []float64) {
+	parallel.ForCancel(nil, len(xs), 4, func(lo, hi int) {})                          // want `parallel\.ForCancel threads a nil Canceler`
+	parallel.SortFuncCancel[float64](nil, xs, 4, func(a, b float64) int { return 0 }) // want `parallel\.SortFuncCancel threads a nil Canceler`
+}
+
+func threaded(cc *parallel.Canceler, xs []float64) {
+	parallel.ForCancel(cc, len(xs), 4, func(lo, hi int) {})
+	parallel.ForChunksCancel(cc, len(xs), 4, 64, func(chunk, lo, hi int) {})
+	parallel.ExclusiveScanCancel(cc, xs, xs, 4)
+	parallel.SortFuncCancel(cc, xs, 4, func(a, b float64) int { return 0 })
+}
+
+func spawns(p *parallel.Pool, cc *parallel.Canceler) {
+	p.Spawn(func() {}) // want `Pool\.Spawn has no cancellation parameter`
+
+	//kdlint:nocancel the task polls cc at its own chunk boundaries
+	p.Spawn(func() { _ = cc.Canceled() })
+}
+
+// suppressedDispatch shows a justified plain dispatch: the pragma rides at
+// the end of the offending line.
+func suppressedDispatch(xs []float64) {
+	parallel.For(len(xs), 4, func(lo, hi int) {}) //kdlint:nocancel fixture: bounded 3-element dispatch cannot block an abort
+}
+
+func rawEntries(tris []vecmath.Triangle, cfg kdtree.Config) *kdtree.Tree {
+	b := kdtree.NewBuilder()
+	t := b.Build(tris, cfg) // want `unguarded build entry kdtune/internal/kdtree\.Builder\.Build`
+	_ = t
+	return kdtree.Build(tris, cfg) // want `unguarded build entry kdtune/internal/kdtree\.Build`
+}
+
+func guardedEntry(tris []vecmath.Triangle, cfg kdtree.Config) (*kdtree.Tree, error) {
+	return kdtree.NewBuilder().BuildGuarded(tris, cfg, kdtree.Guard{})
+}
+
+// justifiedRawEntry shows the sanctioned escape hatch for entry discipline.
+func justifiedRawEntry(tris []vecmath.Triangle, cfg kdtree.Config) *kdtree.Tree {
+	//kdlint:noguard fixture: caller owns the process lifetime and wants the panic
+	return kdtree.Build(tris, cfg)
+}

@@ -1,0 +1,66 @@
+// Package hotfx is the hotpath-rule fixture: allocation sites inside the
+// loops of //kdlint:hotpath-marked functions must be reported; unmarked
+// functions and loop-free allocations must not.
+package hotfx
+
+type node struct{ next *node }
+
+// traverse walks a list the way the traversal kernels walk the tree.
+//
+//kdlint:hotpath
+func traverse(head *node, xs []float64) float64 {
+	sum := 0.0
+	var stack []*node
+	for n := head; n != nil; n = n.next {
+		stack = append(stack, n)  // want `append may grow its backing array inside a loop of hot path traverse`
+		buf := make([]float64, 4) // want `make allocates inside a loop of hot path traverse`
+		_ = buf
+		p := new(node) // want `new allocates inside a loop of hot path traverse`
+		_ = p
+		box := &node{} // want `address-taken composite literal allocates inside a loop of hot path traverse`
+		_ = box
+		pair := []float64{1, 2} // want `composite literal allocates inside a loop of hot path traverse`
+		_ = pair
+		f := func() float64 { return sum } // want `closure literal allocates inside a loop of hot path traverse`
+		sum += f()
+	}
+	for _, x := range xs {
+		sum += x // no allocation: clean hot loop
+	}
+	_ = stack
+	return sum
+}
+
+// amortized shows the sanctioned escape hatch: the stack reaches
+// steady-state capacity after the first traversal, so the append amortizes
+// to zero allocations — the pragma keeps that argument at the site.
+//
+//kdlint:hotpath
+func amortized(head *node, stack []*node) []*node {
+	for n := head; n != nil; n = n.next {
+		//kdlint:allow hotpath.alloc stack reaches steady-state capacity; append amortizes to zero allocs
+		stack = append(stack, n)
+	}
+	return stack
+}
+
+// coldSetup is unmarked: setup code may allocate freely.
+func coldSetup(n int) []*node {
+	out := make([]*node, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, &node{})
+	}
+	return out
+}
+
+// hoisted allocates before the loop, which is the fix the rule suggests.
+//
+//kdlint:hotpath
+func hoisted(n int) float64 {
+	buf := make([]float64, n)
+	sum := 0.0
+	for i := range buf {
+		sum += buf[i]
+	}
+	return sum
+}

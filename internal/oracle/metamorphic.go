@@ -27,8 +27,8 @@ func CheckPermutationInvariance(tris []vecmath.Triangle, cfg kdtree.Config, rays
 		shuffled[p] = tris[i] // triangle i moves to slot perm[i]
 	}
 
-	a := kdtree.Build(tris, cfg)
-	b := kdtree.Build(shuffled, cfg)
+	a := kdtree.Build(tris, cfg)     //kdlint:noguard oracle builds must be raw and deterministic; a panic should fail the test loudly, not degrade
+	b := kdtree.Build(shuffled, cfg) //kdlint:noguard oracle builds must be raw and deterministic; a panic should fail the test loudly, not degrade
 
 	tMin, tMax := defaultInterval()
 	var m mismatch
@@ -85,7 +85,7 @@ func CheckTransformInvariance(tris []vecmath.Triangle, cfg kdtree.Config, rays [
 	refOrig := NewReference(tris, rays, tMin, tMax, o)
 	refMoved := NewReference(moved, movedRays, tMin, tMax, o)
 
-	tree := kdtree.Build(moved, cfg)
+	tree := kdtree.Build(moved, cfg) //kdlint:noguard oracle builds must be raw and deterministic; a panic should fail the test loudly, not degrade
 	if err := refMoved.CheckTree(tree, "transformed frame"); err != nil {
 		return err
 	}
@@ -126,7 +126,7 @@ func CheckWorkerInvariance(tris []vecmath.Triangle, cfg kdtree.Config, workerCou
 	for i, w := range workerCounts {
 		c := cfg
 		c.Workers = w
-		tree := kdtree.Build(tris, c)
+		tree := kdtree.Build(tris, c) //kdlint:noguard worker-invariance compares raw builds bit-for-bit; guard plumbing must stay out of the hashed path
 		h := fnv.New64a()
 		if err := tree.Serialize(h); err != nil {
 			return fmt.Errorf("oracle: worker invariance: serialize at workers=%d: %w", w, err)

@@ -95,6 +95,7 @@ func NewReference(tris []vecmath.Triangle, rays []vecmath.Ray, tMin, tMax float6
 		opts: o,
 		hits: make([]refHit, len(rays)),
 	}
+	//kdlint:nocancel oracle ground-truth fan-out runs in tests, never inside a guarded build
 	parallel.ForEach(len(rays), o.Workers, func(i int) {
 		ref.hits[i] = linearClosest(tris, rays[i], tMin, tMax, o)
 	})

@@ -7,7 +7,7 @@ package parallel
 // below are dead code the compiler removes.
 const chunkChecks = false
 
-func wrapChunkBody(n, chunks, size int, body func(chunk, lo, hi int)) (func(chunk, lo, hi int), func()) {
+func wrapChunkBody(n, chunks, size int, cc *Canceler, body func(chunk, lo, hi int)) (func(chunk, lo, hi int), func()) {
 	return body, func() {}
 }
 

@@ -17,9 +17,14 @@ const chunkChecks = true
 // wrapChunkBody instruments a ForChunks body with the chunk-contract
 // assertions: every chunk index is in range, dispatched exactly once, and
 // its [lo, hi) range agrees with the published geometry (chunks tile [0, n)
-// disjointly in ascending index order). The returned verify func must run
-// after the dispatch completes.
-func wrapChunkBody(n, chunks, size int, body func(chunk, lo, hi int)) (func(chunk, lo, hi int), func()) {
+// disjointly in ascending index order). When a Canceler is threaded through
+// the dispatch, verify additionally asserts that it was consulted at least
+// once per chunk — the static kdlint guard rule requires call sites to
+// thread a Canceler, and this runtime check proves the substrate actually
+// polls it at chunk granularity, so the two layers cross-validate. The
+// returned verify func must run after the dispatch completes.
+func wrapChunkBody(n, chunks, size int, cc *Canceler, body func(chunk, lo, hi int)) (func(chunk, lo, hi int), func()) {
+	checksBefore := cc.checkCount()
 	calls := make([]int32, chunks)
 	wrapped := func(chunk, lo, hi int) {
 		if chunk < 0 || chunk >= chunks {
@@ -41,6 +46,11 @@ func wrapChunkBody(n, chunks, size int, body func(chunk, lo, hi int)) (func(chun
 		}
 		if last := (chunks - 1) * size; last >= n || chunks*size < n {
 			panic(fmt.Sprintf("parallel: %d chunks of size %d do not tile [0,%d)", chunks, size, n))
+		}
+		if cc != nil {
+			if got := cc.checkCount() - checksBefore; got < int64(chunks) {
+				panic(fmt.Sprintf("parallel: canceler checked %d times across %d chunks, want at least once per chunk", got, chunks))
+			}
 		}
 	}
 	return wrapped, verify

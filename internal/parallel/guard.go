@@ -78,6 +78,13 @@ type Canceler struct {
 	canceled atomic.Bool
 	mu       sync.Mutex
 	reason   error
+
+	// checks counts Canceled calls, but only under -tags parallelcheck
+	// (chunkChecks folds the increment away otherwise). The invariant layer
+	// uses it to assert that every dispatched chunk observed at least one
+	// cancellation check — the guarantee BuildGuarded's abort latency
+	// depends on.
+	checks atomic.Int64
 }
 
 // Cancel requests cancellation with the given reason. Only the first call
@@ -97,7 +104,23 @@ func (c *Canceler) Cancel(reason error) bool {
 // Canceled reports whether cancellation has been requested. Safe on a nil
 // receiver (never canceled) and safe to call concurrently from any worker.
 func (c *Canceler) Canceled() bool {
-	return c != nil && c.canceled.Load()
+	if c == nil {
+		return false
+	}
+	if chunkChecks {
+		c.checks.Add(1)
+	}
+	return c.canceled.Load()
+}
+
+// checkCount returns the number of Canceled calls observed so far. It is
+// meaningful only under -tags parallelcheck; default builds never increment
+// the counter. Safe on a nil receiver.
+func (c *Canceler) checkCount() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.checks.Load()
 }
 
 // Err returns the reason passed to the winning Cancel call, or nil while not

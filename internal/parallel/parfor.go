@@ -68,7 +68,7 @@ func ForChunksCancel(cc *Canceler, n, workers, grain int, body func(chunk, lo, h
 	}
 	var verify func()
 	if chunkChecks {
-		body, verify = wrapChunkBody(n, chunks, size, body)
+		body, verify = wrapChunkBody(n, chunks, size, cc, body)
 	}
 	if chunks == 1 {
 		runChunk(nil, cc, 0, 0, n, body)

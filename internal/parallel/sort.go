@@ -20,6 +20,23 @@ const sortSequentialCutoff = 8192
 // worker joins, and the first panic is re-raised on the caller as a
 // *WorkerPanic — no half is left sorting s after SortFunc returns.
 func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
+	SortFuncCancel(nil, s, workers, cmp)
+}
+
+// SortFuncCancel is SortFunc with cooperative cancellation: subproblems that
+// have not started when cc is canceled are skipped and pending merges are
+// abandoned (in-flight leaf sorts drain). After a canceled call s is an
+// unspecified permutation of its elements — callers must check cc.Canceled()
+// before relying on the order. A nil cc disables cancellation at no cost.
+//
+// Cancellation matters here because the sort is the single longest
+// uninterruptible stretch of a build: the sort-once builder sorts six events
+// per primitive in one call, so without a cancellation point a guarded
+// build's deadline could not fire until millions of comparisons finished.
+func SortFuncCancel[T any](cc *Canceler, s []T, workers int, cmp func(a, b T) int) {
+	if cc.Canceled() {
+		return
+	}
 	workers = normWorkers(workers)
 	if workers == 1 || len(s) < sortSequentialCutoff {
 		slices.SortFunc(s, cmp)
@@ -27,15 +44,16 @@ func SortFunc[T any](s []T, workers int, cmp func(a, b T) int) {
 	}
 	buf := make([]T, len(s))
 	var box panicBox
-	mergeSort(s, buf, workers, cmp, &box)
+	mergeSort(cc, s, buf, workers, cmp, &box)
 	box.rethrow()
 }
 
 // mergeSort recursively splits s, sorting halves on up to `workers` workers
 // and merging into buf. Panics from either half land in box (never unwind
-// past a pending join), and a poisoned box skips further work.
-func mergeSort[T any](s, buf []T, workers int, cmp func(a, b T) int, box *panicBox) {
-	if box.wp.Load() != nil {
+// past a pending join), and a poisoned box — or a canceled cc — skips
+// further work.
+func mergeSort[T any](cc *Canceler, s, buf []T, workers int, cmp func(a, b T) int, box *panicBox) {
+	if box.wp.Load() != nil || cc.Canceled() {
 		return
 	}
 	if workers <= 1 || len(s) < sortSequentialCutoff {
@@ -50,12 +68,12 @@ func mergeSort[T any](s, buf []T, workers int, cmp func(a, b T) int, box *panicB
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		mergeSort(s[:mid], buf[:mid], workers/2, cmp, box)
+		mergeSort(cc, s[:mid], buf[:mid], workers/2, cmp, box)
 	}()
-	mergeSort(s[mid:], buf[mid:], workers-workers/2, cmp, box)
+	mergeSort(cc, s[mid:], buf[mid:], workers-workers/2, cmp, box)
 	wg.Wait()
 
-	if box.wp.Load() != nil {
+	if box.wp.Load() != nil || cc.Canceled() {
 		return
 	}
 	func() {

@@ -155,6 +155,7 @@ func renderCore(im *Image, tree *kdtree.Tree, view scene.View, lights []vecmath.
 	// Parallelise across rows of pixels — "as the tree can be traversed
 	// independently for every ray, we parallelize intersection testing
 	// across different rays".
+	//kdlint:nocancel frame rendering runs outside any guarded build; a frame either completes or the process exits
 	parallel.For(opt.Height, opt.Workers, func(yLo, yHi int) {
 		local := RenderStats{}
 		samples := opt.Samples

@@ -186,8 +186,18 @@ const binnedParallelGrain = 2048
 // order is fixed by the explicit chunk index — which is what lets the
 // builders guarantee worker-count-independent trees.
 func FindBestSplitBinnedChunks(p Params, node vecmath.AABB, n, bins, workers int, fill func(bs *BinSet, lo, hi int)) (Split, bool) {
+	return FindBestSplitBinnedChunksCancel(nil, p, node, n, bins, workers, fill)
+}
+
+// FindBestSplitBinnedChunksCancel is FindBestSplitBinnedChunks with
+// cooperative cancellation: chunks not yet histogrammed when cc is canceled
+// are skipped and the partial histograms are discarded, so a guarded build's
+// abort propagates through the split search at chunk granularity. A canceled
+// search returns (Split{}, false); callers must check cc before trusting
+// even that. A nil cc disables cancellation.
+func FindBestSplitBinnedChunksCancel(cc *parallel.Canceler, p Params, node vecmath.AABB, n, bins, workers int, fill func(bs *BinSet, lo, hi int)) (Split, bool) {
 	nChunks := parallel.ChunkCount(n, workers, binnedParallelGrain)
-	if nChunks == 0 { // n <= 0: no primitives, no candidate planes
+	if nChunks == 0 || cc.Canceled() { // n <= 0: no primitives, no candidate planes
 		return Split{Cost: math.Inf(1)}, false
 	}
 	sp := setsPool.Get().(*[]*BinSet)
@@ -198,11 +208,22 @@ func FindBestSplitBinnedChunks(p Params, node vecmath.AABB, n, bins, workers int
 		sets = sets[:nChunks]
 		clear(sets)
 	}
-	parallel.ForChunks(n, workers, binnedParallelGrain, func(chunk, lo, hi int) {
+	parallel.ForChunksCancel(cc, n, workers, binnedParallelGrain, func(chunk, lo, hi int) {
 		bs := getBinSet(node, bins)
 		fill(bs, lo, hi)
 		sets[chunk] = bs
 	})
+	if cc.Canceled() {
+		// Skipped chunks left nil holes; recycle what was filled and bail.
+		for _, bs := range sets {
+			if bs != nil {
+				binSetPool.Put(bs)
+			}
+		}
+		*sp = sets[:0]
+		setsPool.Put(sp)
+		return Split{Cost: math.Inf(1)}, false
+	}
 	total := sets[0]
 	for _, bs := range sets[1:] {
 		if bs != nil {

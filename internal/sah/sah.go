@@ -104,17 +104,27 @@ type event struct {
 // ignored). It returns the minimum-cost split and false if no valid
 // candidate plane exists.
 func FindBestSplitSweep(p Params, node vecmath.AABB, prims []vecmath.AABB) (Split, bool) {
-	return FindBestSplitSweepWorkers(p, node, prims, 1)
+	return FindBestSplitSweepCancel(nil, p, node, prims, 1)
 }
 
 // FindBestSplitSweepWorkers is FindBestSplitSweep with a parallelism budget
 // for the event sort — sorting dominates the sweep's cost, and the builders
 // hand the budget down for the topmost (largest) nodes.
 func FindBestSplitSweepWorkers(p Params, node vecmath.AABB, prims []vecmath.AABB, workers int) (Split, bool) {
+	return FindBestSplitSweepCancel(nil, p, node, prims, workers)
+}
+
+// FindBestSplitSweepCancel is FindBestSplitSweepWorkers with cooperative
+// cancellation threaded into the parallel event sort: the sort is the single
+// longest uninterruptible stretch of a top-level node's split search, and
+// without a cancellation point a guarded build's deadline could not fire
+// until it finished. A canceled search returns (Split{}, false); callers
+// must check cc before trusting even that. A nil cc disables cancellation.
+func FindBestSplitSweepCancel(cc *parallel.Canceler, p Params, node vecmath.AABB, prims []vecmath.AABB, workers int) (Split, bool) {
 	best := Split{Cost: math.Inf(1)}
 	found := false
 	areaNode := node.SurfaceArea()
-	if areaNode <= 0 || len(prims) == 0 {
+	if areaNode <= 0 || len(prims) == 0 || cc.Canceled() {
 		return best, false
 	}
 
@@ -142,7 +152,10 @@ func FindBestSplitSweepWorkers(p Params, node vecmath.AABB, prims []vecmath.AABB
 		if n == 0 {
 			continue
 		}
-		sortEvents(events, workers)
+		sortEvents(cc, events, workers)
+		if cc.Canceled() {
+			return Split{Cost: math.Inf(1)}, false
+		}
 
 		nl, nr := 0, n
 		for i := 0; i < len(events); {
@@ -192,8 +205,8 @@ func FindBestSplitSweepWorkers(p Params, node vecmath.AABB, prims []vecmath.AABB
 
 // sortEvents orders events by (pos, kind) so the sweep sees ends before
 // planars before starts at coincident positions.
-func sortEvents(ev []event, workers int) {
-	parallel.SortFunc(ev, workers, func(a, b event) int {
+func sortEvents(cc *parallel.Canceler, ev []event, workers int) {
+	parallel.SortFuncCancel(cc, ev, workers, func(a, b event) int {
 		switch {
 		case a.pos < b.pos:
 			return -1

@@ -91,7 +91,10 @@ const (
 var Algorithms = kdtree.Algorithms
 
 // Build constructs an SAH kD-tree.
-func Build(tris []Triangle, cfg Config) *Tree { return kdtree.Build(tris, cfg) }
+func Build(tris []Triangle, cfg Config) *Tree {
+	//kdlint:noguard thin facade over the documented plain entry; kdtree.Build already arms the guard for panic containment, and callers wanting errors use BuildGuarded
+	return kdtree.Build(tris, cfg)
+}
 
 // Guarded construction: builds that can be bounded and aborted instead of
 // running away on hostile input or pathological configurations.
