@@ -388,6 +388,75 @@ func BenchmarkTraversal(b *testing.B) {
 	}
 }
 
+// BenchmarkPacketTraversal puts the packet walk next to the scalar walk on
+// the same ray load: one op traces 1024 camera-coherent rays, at width 1
+// (the scalar loop) and packet widths 4/8/16. The demotions/ray metric
+// shows how much of the packet win survives the scene's divergence.
+func BenchmarkPacketTraversal(b *testing.B) {
+	sc := cachedScene(b, "Sponza")
+	tree := kdtree.Build(sc.Triangles(0), kdtree.BaseConfig(kdtree.AlgoInPlace))
+	rays := make([]vecmath.Ray, 1024)
+	for i := range rays {
+		// A coherent 32x32 fan, raster order — the renderer's packet shape.
+		u := float64(i%32)/32 - 0.5
+		v := float64(i/32)/32 - 0.5
+		rays[i] = vecmath.NewRay(vecmath.V(-10, 4, 0), vecmath.V(1, u*0.6, v*0.6))
+	}
+	for _, w := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("width=%d", w), func(b *testing.B) {
+			var ps kdtree.PacketScratch
+			demoted := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if w == 1 {
+					for _, r := range rays {
+						tree.Intersect(r, 1e-9, math.Inf(1))
+					}
+					continue
+				}
+				for s := 0; s < len(rays); s += w {
+					demoted += tree.IntersectPacket(&ps, rays[s:s+w], 1e-9, math.Inf(1))
+				}
+			}
+			if w > 1 {
+				b.ReportMetric(float64(demoted)/float64(b.N*len(rays)), "demotions/ray")
+			}
+		})
+	}
+}
+
+// BenchmarkIntersectSoA isolates the leaf kernel change: Möller–Trumbore
+// with edges recomputed per test (the old AoS Triangle.IntersectRay) versus
+// the precomputed SoA form the tree's leaves now store. One op tests one ray
+// against every triangle in the scene.
+func BenchmarkIntersectSoA(b *testing.B) {
+	sc := cachedScene(b, "Toasters")
+	tris := sc.Triangles(0)
+	a := make([]vecmath.Vec3, len(tris))
+	e1 := make([]vecmath.Vec3, len(tris))
+	e2 := make([]vecmath.Vec3, len(tris))
+	for i, t := range tris {
+		a[i] = t.A
+		e1[i] = t.B.Sub(t.A)
+		e2[i] = t.C.Sub(t.A)
+	}
+	ray := vecmath.NewRay(vecmath.V(-12, 3, 0), vecmath.V(1, 0.05, 0.02))
+	b.Run("aos-recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range tris {
+				tris[j].IntersectRay(ray, 1e-9, math.Inf(1))
+			}
+		}
+	})
+	b.Run("soa-precomputed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j := range a {
+				vecmath.IntersectRayPre(a[j], e1[j], e2[j], ray, 1e-9, math.Inf(1))
+			}
+		}
+	})
+}
+
 // BenchmarkMedianVsSAH ablates the SAH itself: frame time (build + render)
 // with the SAH node-level builder vs the naive spatial-median baseline.
 // The SAH pays cost-model evaluation per split and earns it back both in

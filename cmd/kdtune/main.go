@@ -70,15 +70,15 @@ func main() {
 		if res.ConvergedAt >= 0 && f.Iteration == res.ConvergedAt {
 			marker = "   <- converged"
 		}
-		fmt.Printf("iter %3d  frame %3d  C=(%3d,%2d,%d,%4d)  build %8s  render %8s  total %8s  speedup %.2fx%s\n",
-			f.Iteration, f.FrameIndex, f.CI, f.CB, f.S, f.R,
+		fmt.Printf("iter %3d  frame %3d  C=(%3d,%2d,%d,%4d)  P=%2d T=%2d  build %8s  render %8s  total %8s  speedup %.2fx%s\n",
+			f.Iteration, f.FrameIndex, f.CI, f.CB, f.S, f.R, f.P, f.T,
 			f.Build.Round(time.Millisecond), f.Render.Round(time.Millisecond),
 			f.Total.Round(time.Millisecond),
 			float64(base)/float64(f.Total), marker)
 	}
 
-	fmt.Printf("\nbest configuration C=(%d,%d,%d,%d), steady-state frame %v, speedup %.2fx\n",
-		res.BestCI, res.BestCB, res.BestS, res.BestR,
+	fmt.Printf("\nbest configuration C=(%d,%d,%d,%d) P=%d T=%d, steady-state frame %v, speedup %.2fx\n",
+		res.BestCI, res.BestCB, res.BestS, res.BestR, res.BestP, res.BestT,
 		res.BestTotal.Round(time.Millisecond),
 		float64(base)/float64(res.BestTotal))
 }

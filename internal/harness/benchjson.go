@@ -111,6 +111,14 @@ type BenchResult struct {
 	ConvergedAt int     `json:"converged_at"` // -1 = never
 	Speedup     float64 `json:"speedup"`      // base median / tuned median
 
+	// Render-side tuned parameters (packet width, tile size) and the
+	// demotion rate (demoted lanes / packet rays) observed during the tuned
+	// measurement frames. Zero TunedP marks a report from before these were
+	// tunable; -compare then skips the render-config equality requirement.
+	TunedP       int     `json:"tuned_packet,omitempty"`
+	TunedT       int     `json:"tuned_tile,omitempty"`
+	DemotionRate float64 `json:"demotion_rate,omitempty"`
+
 	// Steady-state allocation profile of one rebuild under the tuned
 	// configuration, measured on a warm Builder (heap deltas averaged over
 	// several rebuilds). GCPauseMS is the total stop-the-world pause time
@@ -267,6 +275,8 @@ func RunBench(o BenchOptions) *BenchReport {
 
 			tuned := rc
 			tuned.Base = run.BestConfig()
+			tuned.PacketWidth = run.BestP
+			tuned.TileSize = run.BestT
 			frame, build, rend, tunedRes := measureStats(tuned, s)
 			allocsB, bytesB, gcMS := measureBuildAllocs(sc, run.BestConfig())
 			abortedB := baseRes.AbortedBuilds + run.AbortedBuilds + tunedRes.AbortedBuilds
@@ -276,12 +286,18 @@ func RunBench(o BenchOptions) *BenchReport {
 			if frame.MedianMS > 0 {
 				speedup = baseFrame.MedianMS / frame.MedianMS
 			}
+			demRate := 0.0
+			if tunedRes.PacketRays > 0 {
+				demRate = float64(tunedRes.Demotions) / float64(tunedRes.PacketRays)
+			}
 			res := BenchResult{
 				Scene: sc.Name, Algorithm: algo.String(),
 				Triangles: sc.NumTriangles(), Dynamic: sc.IsDynamic(),
 				Base: baseFrame, Frame: frame, Build: build, Rend: rend,
 				TunedCI: run.BestCI, TunedCB: run.BestCB,
 				TunedS: run.BestS, TunedR: run.BestR,
+				TunedP: run.BestP, TunedT: run.BestT,
+				DemotionRate:   demRate,
 				ConvergedAt:    run.ConvergedAt,
 				Speedup:        speedup,
 				AllocsPerBuild: allocsB, BytesPerBuild: bytesB, GCPauseMS: gcMS,
@@ -289,9 +305,10 @@ func RunBench(o BenchOptions) *BenchReport {
 			}
 			rep.Results = append(rep.Results, res)
 			if o.Progress != nil {
-				fmt.Fprintf(o.Progress, "bench %-12s %-10s base %.2fms tuned %.2fms (%.2fx) cfg=(%d,%d,%d,%d)\n",
+				fmt.Fprintf(o.Progress, "bench %-12s %-10s base %.2fms tuned %.2fms (%.2fx) cfg=(%d,%d,%d,%d) render=(P%d,T%d)\n",
 					res.Scene, res.Algorithm, res.Base.MedianMS, res.Frame.MedianMS,
-					res.Speedup, res.TunedCI, res.TunedCB, res.TunedS, res.TunedR)
+					res.Speedup, res.TunedCI, res.TunedCB, res.TunedS, res.TunedR,
+					res.TunedP, res.TunedT)
 			}
 		}
 	}
@@ -414,13 +431,22 @@ func CompareBenchReports(old, new *BenchReport, thresholdPct float64) CompareRes
 				o.Key(), n.AbortedBuilds, n.FallbackFrames))
 		}
 		check(o.Key(), "base", o.Base, n.Base)
-		if o.TunedCI == n.TunedCI && o.TunedCB == n.TunedCB &&
-			o.TunedS == n.TunedS && o.TunedR == n.TunedR {
+		// Tuned cells compare only under equal tuned configurations. The
+		// render-side pair (P, T) joins the equality requirement when both
+		// reports carry it; a zero TunedP marks a report predating the
+		// render tunables, and a cross-era comparison then gates on the
+		// tree parameters alone (the new tuned path must still not regress
+		// the old tuned time past the threshold).
+		sameTree := o.TunedCI == n.TunedCI && o.TunedCB == n.TunedCB &&
+			o.TunedS == n.TunedS && o.TunedR == n.TunedR
+		sameRender := o.TunedP == 0 || n.TunedP == 0 ||
+			(o.TunedP == n.TunedP && o.TunedT == n.TunedT)
+		if sameTree && sameRender {
 			check(o.Key(), "tuned", o.Frame, n.Frame)
 		} else {
-			c.TunedSkipped = append(c.TunedSkipped, fmt.Sprintf("%s (%d,%d,%d,%d) -> (%d,%d,%d,%d)",
-				o.Key(), o.TunedCI, o.TunedCB, o.TunedS, o.TunedR,
-				n.TunedCI, n.TunedCB, n.TunedS, n.TunedR))
+			c.TunedSkipped = append(c.TunedSkipped, fmt.Sprintf("%s (%d,%d,%d,%d,P%d,T%d) -> (%d,%d,%d,%d,P%d,T%d)",
+				o.Key(), o.TunedCI, o.TunedCB, o.TunedS, o.TunedR, o.TunedP, o.TunedT,
+				n.TunedCI, n.TunedCB, n.TunedS, n.TunedR, n.TunedP, n.TunedT))
 		}
 	}
 	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Pct > c.Regressions[j].Pct })

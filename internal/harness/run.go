@@ -20,6 +20,17 @@ const (
 	RMin, RMax   = 16, 8192
 )
 
+// Render-side tuning ranges (not in the paper's Table II): packet width and
+// render tile size, co-tuned with the tree parameters by the online search
+// in the spirit of kernel-level tuners (packet traversal is bitwise
+// identical to scalar at any width, so both are pure speed knobs). Both are
+// power-of-two ranges; P = 1 is the scalar path, giving the tuner a safe
+// retreat on scenes where packets do not pay.
+const (
+	PMin, PMax = 1, kdtree.MaxPacketWidth
+	TMin, TMax = 8, 64
+)
+
 // Search selects how configurations are chosen during a run.
 type Search int
 
@@ -53,8 +64,17 @@ type RunConfig struct {
 	RepeatFrames int
 
 	// ExhaustiveStrides coarsens the §V-D4 grid (per parameter: CI, CB, S,
-	// R). nil = full grid.
+	// R). nil = full grid. The exhaustive walk covers only the paper's tree
+	// parameters; PacketWidth/TileSize stay at their base values there.
 	ExhaustiveStrides []int
+
+	// PacketWidth and TileSize are the base render configuration: rays per
+	// traversal packet (1 = scalar) and the square tile edge of the packet
+	// path. SearchNelderMead co-tunes both (ranges [PMin, PMax] and
+	// [TMin, TMax]); SearchFixed and SearchExhaustive keep them as given.
+	// Zero selects the defaults (scalar rendering, 16-pixel tiles).
+	PacketWidth int
+	TileSize    int
 
 	// Base is the configuration used by SearchFixed and as the speedup
 	// reference; zero-value selects kdtree.BaseConfig(Algorithm).
@@ -88,6 +108,7 @@ type FrameRecord struct {
 	Iteration    int
 	FrameIndex   int
 	CI, CB, S, R int
+	P, T         int // packet width and tile size the frame rendered with
 	Build        time.Duration
 	Render       time.Duration
 	Total        time.Duration
@@ -106,7 +127,14 @@ type RunResult struct {
 	AbortedBuilds                int // guarded builds stopped by a Guard limit
 	FallbackFrames               int // frames rendered from the median-split fallback tree
 	BestCI, BestCB, BestS, BestR int
+	BestP, BestT                 int // best packet width / tile size (base values unless co-tuned)
 	BestTotal                    time.Duration
+
+	// Packet-path render counters summed over all frames (see
+	// render.RenderStats); Demotions/PacketRays is the run's demotion rate.
+	Packets    int
+	Demotions  int
+	PacketRays int
 }
 
 // normalize fills RunConfig defaults.
@@ -129,6 +157,12 @@ func (rc RunConfig) normalize() RunConfig {
 		} else {
 			rc.RepeatFrames = 1
 		}
+	}
+	if rc.PacketWidth <= 0 {
+		rc.PacketWidth = 1
+	}
+	if rc.TileSize <= 0 {
+		rc.TileSize = 16
 	}
 	if rc.Base.CI == 0 {
 		rc.Base = kdtree.BaseConfig(rc.Algorithm)
@@ -166,6 +200,9 @@ func (rc RunConfig) Validate() error {
 	check(rc.RetuneWindow >= 0, "RetuneWindow %d negative", rc.RetuneWindow)
 	check(!math.IsNaN(rc.DeadlineFactor) && !math.IsInf(rc.DeadlineFactor, 0) && !(rc.DeadlineFactor < 0),
 		"DeadlineFactor %v must be finite and non-negative", rc.DeadlineFactor)
+	check(rc.PacketWidth >= 0 && rc.PacketWidth <= kdtree.MaxPacketWidth,
+		"PacketWidth %d outside [0, %d]", rc.PacketWidth, kdtree.MaxPacketWidth)
+	check(rc.TileSize >= 0 && rc.TileSize <= maxRunResolution, "TileSize %d outside [0, %d]", rc.TileSize, maxRunResolution)
 	check(rc.BuildGuard.Deadline >= 0, "BuildGuard.Deadline %v negative", rc.BuildGuard.Deadline)
 	check(rc.BuildGuard.MaxDepth >= 0, "BuildGuard.MaxDepth %d negative", rc.BuildGuard.MaxDepth)
 	check(rc.BuildGuard.MaxArenaBytes >= 0, "BuildGuard.MaxArenaBytes %d negative", rc.BuildGuard.MaxArenaBytes)
@@ -194,6 +231,7 @@ func Run(rc RunConfig) *RunResult {
 
 	// The tuned program variables, initialised to the base configuration.
 	ci, cb, s, r := int(rc.Base.CI), int(rc.Base.CB), rc.Base.S, rc.Base.R
+	pw, ts := rc.PacketWidth, rc.TileSize
 
 	var tuner *autotune.Tuner
 	registerParams := func(t *autotune.Tuner) error {
@@ -219,6 +257,16 @@ func Run(rc RunConfig) *RunResult {
 			RetuneWindow:    rc.RetuneWindow,
 		})
 		if err := registerParams(tuner); err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		// The online search also owns the render-side knobs — packet width
+		// and tile size — registered after the tree parameters so Best()
+		// indices stay backward compatible. The exhaustive walk stays on
+		// the paper's Table II grid.
+		if err := tuner.RegisterPow2Parameter("P", &pw, PMin, PMax); err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		if err := tuner.RegisterPow2Parameter("T", &ts, TMin, TMax); err != nil {
 			panic(fmt.Sprintf("harness: %v", err))
 		}
 	case SearchExhaustive:
@@ -302,9 +350,13 @@ func Run(rc RunConfig) *RunResult {
 		}
 		tBuild := time.Since(t0)
 		if tree != nil {
-			_ = render.RenderInto(im, tree, rc.Scene.ViewAt(frame), rc.Scene.Lights, render.Options{
+			st := render.RenderInto(im, tree, rc.Scene.ViewAt(frame), rc.Scene.Lights, render.Options{
 				Width: rc.Width, Height: rc.Height, Workers: rc.Workers,
+				PacketWidth: pw, TileSize: ts,
 			})
+			res.Packets += st.Packets
+			res.Demotions += st.Demotions
+			res.PacketRays += st.PacketRays
 		}
 		total := time.Since(t0)
 
@@ -323,7 +375,7 @@ func Run(rc RunConfig) *RunResult {
 		}
 		res.Frames = append(res.Frames, FrameRecord{
 			Iteration: iter, FrameIndex: frame,
-			CI: ci, CB: cb, S: s, R: r,
+			CI: ci, CB: cb, S: s, R: r, P: pw, T: ts,
 			Build: tBuild, Render: total - tBuild, Total: total,
 			Aborted: aborted,
 		})
@@ -347,14 +399,22 @@ func Run(rc RunConfig) *RunResult {
 		}
 	}
 
+	res.BestP, res.BestT = pw, ts
 	if tuner != nil {
 		res.Restarts = tuner.Restarts()
 		if best, _, ok := tuner.Best(); ok {
 			res.BestCI, res.BestCB, res.BestS = best[0], best[1], best[2]
+			i := 3
 			if rc.Algorithm.HasR() {
-				res.BestR = best[3]
+				res.BestR = best[i]
+				i++
 			} else {
 				res.BestR = rc.Base.R
+			}
+			if len(best) > i+1 {
+				// SearchNelderMead registered P and T after the tree
+				// parameters (the exhaustive grid does not).
+				res.BestP, res.BestT = best[i], best[i+1]
 			}
 		}
 	} else {

@@ -26,6 +26,7 @@ type Builder struct {
 	ctx  buildCtx
 	main arena
 	tree Tree
+	soa  triSoA         // backing for tree.soa, refilled in place per build
 	defs []deferredNode // backing for tree.deferred, reused across builds
 
 	pool        *parallel.Pool
@@ -105,6 +106,8 @@ func (b *Builder) finish(bounds vecmath.AABB, numTris int) *Tree {
 	t.bounds = bounds
 	t.nodes = b.main.nodes       //kdlint:allow arena.store Tree borrows the main arena by documented contract: valid until the Builder's next Build
 	t.leafTris = b.main.leafTris //kdlint:allow arena.store same borrow contract as nodes above
+	b.soa.build(t.tris, t.leafTris)
+	t.soa = b.soa //kdlint:allow arena.store same borrow contract as nodes above
 	t.root = 0
 	t.cfg = b.ctx.cfg
 	t.stats = b.ctx.counters.snapshot(b.ctx.cfg.Algorithm, numTris)

@@ -1,0 +1,118 @@
+package kdtree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"kdtune/internal/vecmath"
+)
+
+// fuzzPacketRays decodes raw fuzzer bytes into rays: 6 float64 per ray
+// (origin, direction), bit-for-bit, so zero, denormal, NaN and infinite
+// components — including the axis-parallel and in-plane cases whose ulp
+// inversions the scalar traversal's boundary slack exists for — occur
+// naturally. At most one full packet is decoded.
+func fuzzPacketRays(data []byte) []vecmath.Ray {
+	const rayBytes = 6 * 8
+	n := len(data) / rayBytes
+	if n > MaxPacketWidth {
+		n = MaxPacketWidth
+	}
+	rays := make([]vecmath.Ray, n)
+	for i := range rays {
+		var c [6]float64
+		for j := range c {
+			c[j] = math.Float64frombits(binary.LittleEndian.Uint64(data[i*rayBytes+j*8:]))
+		}
+		rays[i] = vecmath.NewRay(vecmath.V(c[0], c[1], c[2]), vecmath.V(c[3], c[4], c[5]))
+	}
+	return rays
+}
+
+func fuzzRaySeedBytes(rays ...vecmath.Ray) []byte {
+	var buf bytes.Buffer
+	for _, r := range rays {
+		for _, x := range []float64{r.Origin.X, r.Origin.Y, r.Origin.Z, r.Dir.X, r.Dir.Y, r.Dir.Z} {
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(x))
+			buf.Write(b[:])
+		}
+	}
+	return buf.Bytes()
+}
+
+// FuzzPacketTraverse is the packet-vs-scalar differential fuzzer: whatever
+// geometry and ray soup arrive, every packet lane must reproduce the scalar
+// traversal's hit record bitwise and its occlusion verdict exactly. The
+// seeds aim at the boundary cases scalar traversal historically got wrong
+// (in-plane rays on coplanar geometry, axis-parallel rays, degenerate
+// directions) plus mixed-direction packets that force demotion.
+func FuzzPacketTraverse(f *testing.F) {
+	quad := []vecmath.Triangle{
+		vecmath.Tri(vecmath.V(0, 0, 0), vecmath.V(2, 0, 0), vecmath.V(0, 2, 0)),
+		vecmath.Tri(vecmath.V(2, 2, 0), vecmath.V(0, 2, 0), vecmath.V(2, 0, 0)),
+		vecmath.Tri(vecmath.V(0, 0, 1), vecmath.V(2, 0, 1), vecmath.V(0, 2, 1)),
+		vecmath.Tri(vecmath.V(1, 1, -1), vecmath.V(1.5, 1, -1), vecmath.V(1, 1.5, -1)),
+	}
+	// In-plane ray (z=0, dz=0) over coplanar geometry, an axis-parallel ray,
+	// a degenerate zero-direction ray, and two opposed rays (forced near/far
+	// disagreement -> demotion).
+	f.Add(fuzzSeedBytes(quad...), fuzzRaySeedBytes(
+		vecmath.NewRay(vecmath.V(-1, 0.5, 0), vecmath.V(1, 0, 0)),
+		vecmath.NewRay(vecmath.V(0.5, 0.5, -5), vecmath.V(0, 0, 1)),
+		vecmath.NewRay(vecmath.V(0.5, 0.5, 5), vecmath.V(0, 0, -1)),
+		vecmath.NewRay(vecmath.V(1, 1, 2), vecmath.V(0, 0, 0)),
+	), uint8(0), uint8(4))
+	// Shallow grazing directions: tiny components whose tSplit products
+	// round near interval endpoints (the ulp-inversion class).
+	f.Add(fuzzSeedBytes(quad...), fuzzRaySeedBytes(
+		vecmath.NewRay(vecmath.V(0.5, 0.5, -3), vecmath.V(1e-13, -1e-13, 1)),
+		vecmath.NewRay(vecmath.V(0.5, 0.5, -3), vecmath.V(-1e-13, 1e-13, 1)),
+	), uint8(2), uint8(2))
+	f.Add([]byte{}, []byte{}, uint8(1), uint8(8))
+	f.Add(fuzzSeedBytes(quad[0]), fuzzRaySeedBytes(
+		vecmath.NewRay(vecmath.V(math.NaN(), 0, -1), vecmath.V(0, 0, 1)),
+		vecmath.NewRay(vecmath.V(0.5, 0.5, math.Inf(-1)), vecmath.V(0, 0, 1)),
+	), uint8(3), uint8(16))
+
+	f.Fuzz(func(t *testing.T, triData, rayData []byte, algoPick, widthPick uint8) {
+		tris := fuzzTriangles(triData)
+		rays := fuzzPacketRays(rayData)
+		if len(rays) == 0 {
+			return
+		}
+		algo := Algorithms[int(algoPick)%len(Algorithms)]
+		cfg := testConfig(algo)
+		cfg.Workers = 1
+		tree := Build(tris, cfg)
+
+		w := 1 + int(widthPick)%MaxPacketWidth
+		tMin, tMax := 1e-9, math.Inf(1)
+		var ps PacketScratch
+		for start := 0; start < len(rays); start += w {
+			end := min(start+w, len(rays))
+			pk := rays[start:end]
+			tree.IntersectPacket(&ps, pk, tMin, tMax)
+			for l, r := range pk {
+				sh, sok := tree.Intersect(r, tMin, tMax)
+				if ps.Ok[l] != sok ||
+					math.Float64bits(ps.Hits[l].T) != math.Float64bits(sh.T) ||
+					ps.Hits[l].Tri != sh.Tri ||
+					math.Float64bits(ps.Hits[l].U) != math.Float64bits(sh.U) ||
+					math.Float64bits(ps.Hits[l].V) != math.Float64bits(sh.V) {
+					t.Fatalf("%v width=%d lane %d: packet %+v ok=%v != scalar %+v ok=%v",
+						algo, w, l, ps.Hits[l], ps.Ok[l], sh, sok)
+				}
+			}
+			tree.OccludedPacket(&ps, pk, tMin, tMax)
+			for l, r := range pk {
+				if socc := tree.Occluded(r, tMin, tMax); ps.Occ[l] != socc {
+					t.Fatalf("%v width=%d lane %d: packet occluded=%v != scalar %v",
+						algo, w, l, ps.Occ[l], socc)
+				}
+			}
+		}
+	})
+}

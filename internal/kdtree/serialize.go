@@ -401,5 +401,6 @@ func ReadTree(r io.Reader) (*Tree, error) {
 	}
 	t.cfg = Config{Algorithm: Algorithm(algo), CI: ci, CB: cb, S: int(s), R: int(rr)}
 	t.stats = BuildStats{Algorithm: Algorithm(algo), NumTris: int(numTris), NumNodes: int(numNodes)}
+	t.soa.build(t.tris, t.leafTris)
 	return t, nil
 }

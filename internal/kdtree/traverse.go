@@ -65,9 +65,24 @@ func (t *Tree) Intersect(r vecmath.Ray, tMin, tMax float64) (Hit, bool) {
 // anywhere in the caller's original open interval (tMin, tMax), which
 // matters for triangles that poke out of the node being traversed and for
 // flat scenes whose bounds have zero extent.
+func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tMin, tMax float64) (Hit, bool) {
+	h, ok := t.intersectFrom(r, inv, t.root, curMin, curMax, tMin, tMax, Hit{T: math.Inf(1)}, false)
+	if !ok {
+		return Hit{}, false
+	}
+	return h, true
+}
+
+// intersectFrom is the scalar traversal core, parameterised on the start
+// node and the running best hit so packet traversal can demote a single
+// lane mid-walk: a demoted lane resumes here at the divergent node with its
+// current interval and best, which continues the walk bitwise-identically
+// to a ray that had been scalar from the start. The returned pair is the
+// threaded (best, found) state — the caller decides whether an un-found
+// Hit{T: +Inf} sentinel should be zeroed.
 //
 //kdlint:hotpath
-func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tMin, tMax float64) (Hit, bool) {
+func (t *Tree) intersectFrom(r vecmath.Ray, inv vecmath.Vec3, start int32, curMin, curMax, tMin, tMax float64, best Hit, found bool) (Hit, bool) {
 	var stackArr [traversalStackDepth]stackEntry
 	stack := stackArr[:0]
 
@@ -77,9 +92,7 @@ func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, t
 	dir := [3]float64{r.Dir.X, r.Dir.Y, r.Dir.Z}
 	idir := [3]float64{inv.X, inv.Y, inv.Z}
 
-	best := Hit{T: math.Inf(1)}
-	found := false
-	node := t.root
+	node := start
 
 	for {
 		if found && best.T < curMin {
@@ -146,11 +159,12 @@ func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, t
 			continue
 
 		case kindLeaf:
+			// Leaf candidates stream from the SoA layout: three contiguous
+			// precomputed-edge arrays in leaf-reference order (see triSoA);
+			// bitwise identical to testing t.tris[leafTris[i]] directly.
 			for i := n.triStart(); i < n.triStart()+n.triCount(); i++ {
-				ti := t.leafTris[i]
-				tr := t.tris[ti]
-				if th, u, v, hit := tr.IntersectRay(r, tMin, tMax); hit && th < best.T {
-					best = Hit{T: th, Tri: int(ti), U: u, V: v}
+				if th, u, v, hit := vecmath.IntersectRayPre(t.soa.a[i], t.soa.e1[i], t.soa.e2[i], r, tMin, tMax); hit && th < best.T {
+					best = Hit{T: th, Tri: int(t.leafTris[i]), U: u, V: v}
 					found = true
 				}
 			}
@@ -172,10 +186,7 @@ func (t *Tree) intersectRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, t
 		stack = stack[:len(stack)-1]
 		node, curMin, curMax = top.node, top.tMin, top.tMax
 	}
-	if !found {
-		return Hit{}, false
-	}
-	return best, true
+	return best, found
 }
 
 // Occluded reports whether any triangle blocks r within (tMin, tMax) — the
@@ -190,11 +201,19 @@ func (t *Tree) Occluded(r vecmath.Ray, tMin, tMax float64) bool {
 	return t.occludedRange(r, inv, t0, t1, tMin, tMax)
 }
 
-//kdlint:hotpath
 func (t *Tree) occludedRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tMin, tMax float64) bool {
+	return t.occludedFrom(r, inv, t.root, curMin, curMax, tMin, tMax)
+}
+
+// occludedFrom is the any-hit traversal core, parameterised on the start
+// node for the same reason as intersectFrom: packet lanes demoted at a
+// divergent inner node finish the subtree here.
+//
+//kdlint:hotpath
+func (t *Tree) occludedFrom(r vecmath.Ray, inv vecmath.Vec3, start int32, curMin, curMax, tMin, tMax float64) bool {
 	var stackArr [traversalStackDepth]stackEntry
 	stack := stackArr[:0]
-	node := t.root
+	node := start
 
 	org := [3]float64{r.Origin.X, r.Origin.Y, r.Origin.Z}
 	dir := [3]float64{r.Dir.X, r.Dir.Y, r.Dir.Z}
@@ -238,8 +257,7 @@ func (t *Tree) occludedRange(r vecmath.Ray, inv vecmath.Vec3, curMin, curMax, tM
 
 		case kindLeaf:
 			for i := n.triStart(); i < n.triStart()+n.triCount(); i++ {
-				tr := t.tris[t.leafTris[i]]
-				if _, _, _, hit := tr.IntersectRay(r, tMin, tMax); hit {
+				if _, _, _, hit := vecmath.IntersectRayPre(t.soa.a[i], t.soa.e1[i], t.soa.e2[i], r, tMin, tMax); hit {
 					return true
 				}
 			}

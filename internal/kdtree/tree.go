@@ -63,6 +63,7 @@ type Tree struct {
 	bounds   vecmath.AABB
 	nodes    []node
 	leafTris []int32
+	soa      triSoA // per-leaf-reference precomputed triangles, parallel to leafTris
 	deferred []deferredNode
 	root     int32
 

@@ -1,0 +1,64 @@
+package oracle
+
+import (
+	"fmt"
+	"math"
+
+	"kdtune/internal/kdtree"
+	"kdtune/internal/vecmath"
+)
+
+// Packet-vs-scalar differential oracle. Packet traversal
+// (kdtree.IntersectPacket / OccludedPacket) promises results bitwise
+// identical to the scalar walk for every lane — not merely within epsilon:
+// the renderer's packet path claims bitwise-equal frames, and the autotuner
+// treats packet width as a pure speed knob, both of which are only sound if
+// the hit records (t, triangle id, barycentrics) match exactly. So unlike
+// the brute-force ray oracle, this check tolerates nothing.
+
+// packetWidths are the widths every check exercises; the ray sets are not
+// multiples of them, so ragged tail packets are always included.
+var packetWidths = [...]int{4, 8, 16}
+
+func sameHit(a, b kdtree.Hit) bool {
+	return math.Float64bits(a.T) == math.Float64bits(b.T) &&
+		a.Tri == b.Tri &&
+		math.Float64bits(a.U) == math.Float64bits(b.U) &&
+		math.Float64bits(a.V) == math.Float64bits(b.V)
+}
+
+// CheckPackets slices rays into packets of each width in packetWidths
+// (including a ragged tail) and requires, for every lane, bitwise-identical
+// closest-hit records and identical occlusion verdicts between packet and
+// scalar traversal of tree. The caller's ray set provides the coherence
+// spectrum: camera rays form coherent packets, randomized rays form
+// mixed-direction incoherent ones (maximising demotions).
+func CheckPackets(tree *kdtree.Tree, label string, rays []vecmath.Ray, o Options) error {
+	o = o.normalized()
+	tMin, tMax := defaultInterval()
+	var ps kdtree.PacketScratch
+	for _, w := range packetWidths {
+		for start := 0; start < len(rays); start += w {
+			end := min(start+w, len(rays))
+			pk := rays[start:end]
+
+			tree.IntersectPacket(&ps, pk, tMin, tMax)
+			for l, r := range pk {
+				sh, sok := tree.Intersect(r, tMin, tMax)
+				if ps.Ok[l] != sok || !sameHit(ps.Hits[l], sh) {
+					return fmt.Errorf("oracle: %s: packet width %d, rays[%d:%d), lane %d: packet hit %+v (ok=%v) != scalar hit %+v (ok=%v)",
+						label, w, start, end, l, ps.Hits[l], ps.Ok[l], sh, sok)
+				}
+			}
+
+			tree.OccludedPacket(&ps, pk, tMin, tMax)
+			for l, r := range pk {
+				if socc := tree.Occluded(r, tMin, tMax); ps.Occ[l] != socc {
+					return fmt.Errorf("oracle: %s: packet width %d, rays[%d:%d), lane %d: packet occluded=%v != scalar occluded=%v",
+						label, w, start, end, l, ps.Occ[l], socc)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -156,6 +156,24 @@ func CheckScene(sc *scene.Scene, so SceneOptions) (SceneReport, error) {
 		}
 	}
 
+	// Packet-vs-scalar differential oracle: bitwise lane identity at every
+	// packet width, on every builder's tree. The atMax lazy tree is already
+	// fully expanded by the ray oracle above, so a fresh lazy tree joins
+	// the check: its suspended nodes are first touched by packet traversal
+	// itself, covering packet-triggered expansion.
+	for _, b := range atMax {
+		if err := CheckPackets(b.tree, b.label, rays, o); err != nil {
+			return rep, fmt.Errorf("%s: %w", sc.Name, err)
+		}
+	}
+	lazyCfg := kdtree.BaseConfig(kdtree.AlgoLazy)
+	lazyCfg.Workers = maxW
+	lazyFresh := kdtree.Build(tris, lazyCfg) //kdlint:noguard oracle builds must be raw and deterministic; a panic should fail the test loudly, not degrade
+	rep.Trees++
+	if err := CheckPackets(lazyFresh, "lazy/packet-first-touch", rays, o); err != nil {
+		return rep, fmt.Errorf("%s: %w", sc.Name, err)
+	}
+
 	boxes := RandomBoxes(bounds, so.QueryBoxes, o.Seed+7)
 	points := RandomPoints(bounds, so.QueryPoints, o.Seed+13)
 	if err := CheckQueries(atMax[0].tree, boxes, points, o); err != nil {

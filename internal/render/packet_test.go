@@ -1,0 +1,137 @@
+package render
+
+import (
+	"testing"
+
+	"kdtune/internal/kdtree"
+	"kdtune/internal/scene"
+	"kdtune/internal/vecmath"
+)
+
+// shadowScene is the floor scene plus an off-frustum blocker so packet
+// frames exercise both the primary and the shadow packet paths with a mix
+// of lit, shadowed and background pixels.
+func shadowScene() (*kdtree.Tree, scene.View, []vecmath.Vec3) {
+	tris, view, lights := floorScene()
+	tris = append(tris,
+		vecmath.Tri(vecmath.V(-0.5, 8, -0.5), vecmath.V(0.5, 8, -0.5), vecmath.V(0.5, 8, 0.5)),
+		vecmath.Tri(vecmath.V(-0.5, 8, -0.5), vecmath.V(0.5, 8, 0.5), vecmath.V(-0.5, 8, 0.5)),
+	)
+	return buildTree(tris), view, lights
+}
+
+// TestPacketRenderMatchesScalar: the packet path is a pure speed knob — for
+// every packet width and tile size (including tiles that do not divide the
+// frame, forcing ragged packets) the frame must be bitwise identical to the
+// scalar render, and the hit statistics must agree.
+func TestPacketRenderMatchesScalar(t *testing.T) {
+	tree, view, lights := shadowScene()
+	opt := Options{Width: 64, Height: 48, Workers: 4}
+	want, wstats := Render(tree, view, lights, opt)
+
+	for _, pw := range []int{4, 8, 16} {
+		for _, ts := range []int{7, 16, 64} {
+			opt := opt
+			opt.PacketWidth = pw
+			opt.TileSize = ts
+			im, stats := Render(tree, view, lights, opt)
+			for i := range want.Pix {
+				if im.Pix[i] != want.Pix[i] {
+					t.Fatalf("P=%d T=%d: pixel %d differs from scalar render", pw, ts, i)
+				}
+			}
+			if stats.PrimaryRays != wstats.PrimaryRays || stats.Hits != wstats.Hits || stats.ShadowRays != wstats.ShadowRays {
+				t.Fatalf("P=%d T=%d: stats %+v disagree with scalar %+v", pw, ts, stats, wstats)
+			}
+			if stats.Packets == 0 || stats.PacketRays == 0 {
+				t.Fatalf("P=%d T=%d: packet path did not run (stats %+v)", pw, ts, stats)
+			}
+			if stats.PacketRays < stats.PrimaryRays {
+				t.Fatalf("P=%d T=%d: PacketRays %d < PrimaryRays %d — primaries escaped the packet path",
+					pw, ts, stats.PacketRays, stats.PrimaryRays)
+			}
+		}
+	}
+	if wstats.Packets != 0 || wstats.PacketRays != 0 || wstats.Demotions != 0 {
+		t.Fatalf("scalar render reported packet counters: %+v", wstats)
+	}
+}
+
+// TestPacketRenderRealScene repeats the bitwise-identity check on a real
+// mesh across all builders, where rays actually diverge and demotion fires.
+func TestPacketRenderRealScene(t *testing.T) {
+	s := scene.WoodDoll()
+	tris := s.Triangles(0)
+	for _, a := range kdtree.Algorithms {
+		cfg := kdtree.BaseConfig(a)
+		cfg.Workers = 4
+		tree := kdtree.Build(tris, cfg)
+		opt := Options{Width: 48, Height: 36, Workers: 4}
+		want, _ := Render(tree, s.View, s.Lights, opt)
+		opt.PacketWidth = 8
+		opt.TileSize = 16
+		im, _ := Render(tree, s.View, s.Lights, opt)
+		for i := range want.Pix {
+			if im.Pix[i] != want.Pix[i] {
+				t.Fatalf("%v: pixel %d differs between packet and scalar render", a, i)
+			}
+		}
+	}
+}
+
+// TestPacketRenderDeterministicAcrossWorkers: tile scheduling order must not
+// leak into the image.
+func TestPacketRenderDeterministicAcrossWorkers(t *testing.T) {
+	tree, view, lights := shadowScene()
+	opt := Options{Width: 40, Height: 30, PacketWidth: 8, TileSize: 13}
+	opt.Workers = 1
+	im1, _ := Render(tree, view, lights, opt)
+	for _, w := range []int{2, 8} {
+		opt.Workers = w
+		im, _ := Render(tree, view, lights, opt)
+		for i := range im1.Pix {
+			if im.Pix[i] != im1.Pix[i] {
+				t.Fatalf("workers=%d: pixel %d differs from workers=1", w, i)
+			}
+		}
+	}
+}
+
+// TestPacketSupersamplingFallsBackToScalar: packets only apply at Samples==1;
+// a supersampled render with PacketWidth set must silently take the scalar
+// path and match a plain supersampled render exactly.
+func TestPacketSupersamplingFallsBackToScalar(t *testing.T) {
+	tree, view, lights := shadowScene()
+	want, _ := Render(tree, view, lights, Options{Width: 32, Height: 24, Samples: 2})
+	im, stats := Render(tree, view, lights, Options{Width: 32, Height: 24, Samples: 2, PacketWidth: 16})
+	if stats.Packets != 0 || stats.PacketRays != 0 {
+		t.Fatalf("supersampled render used the packet path: %+v", stats)
+	}
+	for i := range want.Pix {
+		if im.Pix[i] != want.Pix[i] {
+			t.Fatalf("pixel %d differs", i)
+		}
+	}
+}
+
+// TestPacketRenderIntoReuse: RenderInto with the packet path must be safe to
+// call repeatedly into the same image and keep producing identical frames
+// (the pooled per-tile scratch must not leak state between frames).
+func TestPacketRenderIntoReuse(t *testing.T) {
+	tree, view, lights := shadowScene()
+	opt := Options{Width: 40, Height: 30, Workers: 4, PacketWidth: 8, TileSize: 16}
+	im := NewImage(opt.Width, opt.Height)
+	stats0 := RenderInto(im, tree, view, lights, opt)
+	first := append([]float64(nil), im.Pix...)
+	for frame := 0; frame < 3; frame++ {
+		stats := RenderInto(im, tree, view, lights, opt)
+		if stats != stats0 {
+			t.Fatalf("frame %d: stats %+v != first frame %+v", frame, stats, stats0)
+		}
+		for i := range first {
+			if im.Pix[i] != first[i] {
+				t.Fatalf("frame %d: pixel %d drifted", frame, i)
+			}
+		}
+	}
+}

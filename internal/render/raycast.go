@@ -91,6 +91,21 @@ type Options struct {
 	// "fixed quality setting"; raising Samples is how a client would trade
 	// quality against the frame time the tuner is minimising.
 	Samples int
+
+	// PacketWidth bundles up to this many coherent rays per kD-tree
+	// traversal (see kdtree.IntersectPacket). 0 or 1 selects the scalar
+	// path; values above kdtree.MaxPacketWidth are clamped. Packets apply
+	// only when Samples == 1 (the paper's quality setting); pixels are
+	// bitwise identical to the scalar path either way, so this is purely a
+	// speed knob — which is why the autotuner co-tunes it with the tree
+	// parameters.
+	PacketWidth int
+
+	// TileSize is the square tile edge the packet path decomposes the
+	// image into (default 16). Rays are packed in row-major order within a
+	// tile, so the tile shape controls packet coherence; it is the second
+	// render-side tunable.
+	TileSize int
 }
 
 // RenderStats reports what the ray caster did — used by tests and by the
@@ -99,6 +114,14 @@ type RenderStats struct {
 	PrimaryRays int
 	ShadowRays  int
 	Hits        int
+
+	// Packet-path counters (zero under scalar rendering): Packets counts
+	// packet traversals (primary and shadow), Demotions counts lanes that
+	// fell back to scalar traversal mid-walk. Demotions/PacketRays is the
+	// demotion rate the bench report records.
+	Packets    int
+	Demotions  int
+	PacketRays int // rays traced through packets (primary + shadow)
 }
 
 // Render ray-casts the scene geometry through tree from the given view and
@@ -136,6 +159,15 @@ func (opt Options) normalized(tree *kdtree.Tree) (Options, float64) {
 	if opt.Samples < 1 {
 		opt.Samples = 1
 	}
+	if opt.PacketWidth < 1 {
+		opt.PacketWidth = 1
+	}
+	if opt.PacketWidth > kdtree.MaxPacketWidth {
+		opt.PacketWidth = kdtree.MaxPacketWidth
+	}
+	if opt.TileSize < 1 {
+		opt.TileSize = 16
+	}
 	eps := opt.Epsilon
 	if eps <= 0 {
 		eps = 1e-6 * (1 + tree.Bounds().Diagonal().Len())
@@ -145,6 +177,9 @@ func (opt Options) normalized(tree *kdtree.Tree) (Options, float64) {
 
 func renderCore(im *Image, tree *kdtree.Tree, view scene.View, lights []vecmath.Vec3, opt Options, eps float64) RenderStats {
 	cam := NewCamera(view, float64(opt.Width)/float64(opt.Height))
+	if opt.PacketWidth > 1 && opt.Samples == 1 {
+		return renderPackets(im, tree, cam, lights, opt, eps)
+	}
 	tris := tree.Triangles()
 
 	// Each worker accumulates stats privately and folds them in with three

@@ -60,15 +60,22 @@ const epsIntersect = 1e-12
 // |r.Dir|) with t in (tMin, tMax), plus the barycentric coordinates (u, v)
 // of the hit point with respect to vertices B and C.
 func (t Triangle) IntersectRay(r Ray, tMin, tMax float64) (tHit, u, v float64, hit bool) {
-	e1 := t.B.Sub(t.A)
-	e2 := t.C.Sub(t.A)
+	return IntersectRayPre(t.A, t.B.Sub(t.A), t.C.Sub(t.A), r, tMin, tMax)
+}
+
+// IntersectRayPre is IntersectRay over a triangle in precomputed-edge form:
+// vertex a plus the edge vectors e1 = B-A and e2 = C-A. Callers that store
+// many triangles this way (the kD-tree's SoA leaf layout) skip the two edge
+// subtractions per test; results are bitwise identical to IntersectRay as
+// long as e1/e2 were produced by exactly those subtractions.
+func IntersectRayPre(a, e1, e2 Vec3, r Ray, tMin, tMax float64) (tHit, u, v float64, hit bool) {
 	p := r.Dir.Cross(e2)
 	det := e1.Dot(p)
 	if math.Abs(det) < epsIntersect {
 		return 0, 0, 0, false
 	}
 	inv := 1 / det
-	s := r.Origin.Sub(t.A)
+	s := r.Origin.Sub(a)
 	u = s.Dot(p) * inv
 	if u < 0 || u > 1 {
 		return 0, 0, 0, false
