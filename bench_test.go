@@ -95,16 +95,18 @@ func BenchmarkTableI(b *testing.B) {
 func BenchmarkTableII(b *testing.B) {
 	tuner := NewTuner(TunerOptions{Seed: 1})
 	var ci, cb, s, r int
-	if err := tuner.RegisterNamedParameter("CI", &ci, 3, 101, 1); err != nil {
-		b.Fatal(err)
+	reg := NewTunableRegistry()
+	for _, tn := range []Tunable{
+		{Name: "CI", Target: &ci, Min: 3, Max: 101, Step: 1},
+		{Name: "CB", Target: &cb, Min: 0, Max: 60, Step: 1},
+		{Name: "S", Target: &s, Min: 1, Max: 8, Step: 1},
+		{Name: "R", Target: &r, Min: 16, Max: 8192, Scale: ScalePow2},
+	} {
+		if err := reg.Register(tn); err != nil {
+			b.Fatal(err)
+		}
 	}
-	if err := tuner.RegisterNamedParameter("CB", &cb, 0, 60, 1); err != nil {
-		b.Fatal(err)
-	}
-	if err := tuner.RegisterNamedParameter("S", &s, 1, 8, 1); err != nil {
-		b.Fatal(err)
-	}
-	if err := tuner.RegisterPow2Parameter("R", &r, 16, 8192); err != nil {
+	if err := tuner.RegisterAll(reg); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()

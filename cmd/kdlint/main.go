@@ -25,6 +25,7 @@ import (
 	"kdtune/internal/lint/escapes"
 	"kdtune/internal/lint/guard"
 	"kdtune/internal/lint/hotpath"
+	"kdtune/internal/lint/tunable"
 )
 
 // defaultHot are the packages whose allocations the cost model treats as
@@ -63,7 +64,7 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "kdlint:", err)
 		return 2
 	}
-	rules := []lint.Rule{determinism.Rule(), guard.Rule(), arena.Rule(), hotpath.Rule()}
+	rules := []lint.Rule{determinism.Rule(), guard.Rule(), arena.Rule(), hotpath.Rule(), tunable.Rule()}
 	diags := lint.Run(pkgs, cfg, rules)
 	if cwd, err := os.Getwd(); err == nil {
 		lint.Relativize(diags, cwd)

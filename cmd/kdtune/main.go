@@ -4,14 +4,19 @@
 //
 //	kdtune -scene Sponza -algo in-place -iters 100
 //	kdtune -scene FairyForest -algo lazy -search exhaustive
+//	kdtune -list-params
+//	kdtune -scene Bunny -search fixed -params B=64,G=512,SB=2
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
+	"kdtune/internal/autotune"
 	"kdtune/internal/harness"
 	"kdtune/internal/kdtree"
 	"kdtune/internal/scene"
@@ -19,20 +24,18 @@ import (
 
 func main() {
 	var (
-		sceneName = flag.String("scene", "Sponza", "scene name")
-		algoName  = flag.String("algo", "in-place", "builder: node-level|nested|in-place|lazy")
-		iters     = flag.Int("iters", 100, "max measurement cycles")
-		width     = flag.Int("width", 192, "render width (height = 3/4 width)")
-		workers   = flag.Int("workers", 0, "parallelism budget; 0 = all cores")
-		seed      = flag.Int64("seed", 1, "tuner RNG seed")
-		search    = flag.String("search", "nelder-mead", "nelder-mead|exhaustive|fixed")
+		sceneName  = flag.String("scene", "Sponza", "scene name")
+		algoName   = flag.String("algo", "in-place", "builder: node-level|nested|in-place|lazy")
+		iters      = flag.Int("iters", 100, "max measurement cycles")
+		width      = flag.Int("width", 192, "render width (height = 3/4 width)")
+		workers    = flag.Int("workers", 0, "parallelism budget; 0 = all cores")
+		seed       = flag.Int64("seed", 1, "tuner RNG seed")
+		search     = flag.String("search", "nelder-mead", "nelder-mead|exhaustive|fixed")
+		listParams = flag.Bool("list-params", false, "print the registered tunables as a markdown table and exit")
+		params     = flag.String("params", "", "comma-separated name=value overrides for the base vector, e.g. B=64,G=512,SB=2")
 	)
 	flag.Parse()
 
-	sc, err := scene.ByName(*sceneName)
-	if err != nil {
-		fail(err)
-	}
 	var algo kdtree.Algorithm
 	found := false
 	for _, a := range kdtree.Algorithms {
@@ -42,6 +45,18 @@ func main() {
 	}
 	if !found {
 		fail(fmt.Errorf("unknown algorithm %q", *algoName))
+	}
+
+	if *listParams {
+		if err := printParamTable(os.Stdout, algo); err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	sc, err := scene.ByName(*sceneName)
+	if err != nil {
+		fail(err)
 	}
 
 	rc := harness.RunConfig{
@@ -59,6 +74,9 @@ func main() {
 	default:
 		fail(fmt.Errorf("unknown search %q", *search))
 	}
+	if err := applyParamOverrides(&rc, algo, *params); err != nil {
+		fail(err)
+	}
 
 	fmt.Printf("tuning %s with the %s builder (%s search)\n", sc, algo, *search)
 	base := harness.MeasureFixed(rc, 5)
@@ -70,17 +88,122 @@ func main() {
 		if res.ConvergedAt >= 0 && f.Iteration == res.ConvergedAt {
 			marker = "   <- converged"
 		}
-		fmt.Printf("iter %3d  frame %3d  C=(%3d,%2d,%d,%4d)  P=%2d T=%2d  build %8s  render %8s  total %8s  speedup %.2fx%s\n",
-			f.Iteration, f.FrameIndex, f.CI, f.CB, f.S, f.R, f.P, f.T,
+		fmt.Printf("iter %3d  frame %3d  [%s]  build %8s  render %8s  total %8s  speedup %.2fx%s\n",
+			f.Iteration, f.FrameIndex, formatVector(res.ParamNames, f.Params),
 			f.Build.Round(time.Millisecond), f.Render.Round(time.Millisecond),
 			f.Total.Round(time.Millisecond),
 			float64(base)/float64(f.Total), marker)
 	}
 
-	fmt.Printf("\nbest configuration C=(%d,%d,%d,%d) P=%d T=%d, steady-state frame %v, speedup %.2fx\n",
-		res.BestCI, res.BestCB, res.BestS, res.BestR, res.BestP, res.BestT,
+	fmt.Printf("\nbest configuration [%s], steady-state frame %v, speedup %.2fx\n",
+		formatNamed(res.ParamNames, res.TunedParams),
 		res.BestTotal.Round(time.Millisecond),
 		float64(base)/float64(res.BestTotal))
+}
+
+// formatVector renders a positional parameter vector as name=value pairs in
+// registration order.
+func formatVector(names []string, values []int) string {
+	var b strings.Builder
+	for i, name := range names {
+		if i >= len(values) {
+			break
+		}
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, values[i])
+	}
+	return b.String()
+}
+
+// formatNamed renders a name-keyed vector in registration order.
+func formatNamed(names []string, values map[string]int) string {
+	var b strings.Builder
+	for _, name := range names {
+		v, ok := values[name]
+		if !ok {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, v)
+	}
+	return b.String()
+}
+
+// printParamTable renders the full tunable registry of one run as a markdown
+// table — the source of the README "Tunables" section.
+func printParamTable(w *os.File, algo kdtree.Algorithm) error {
+	var vars harness.TunedVars
+	reg, err := harness.ComposeRegistry(algo, &vars)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "| Name | Range | Scale | Description |")
+	fmt.Fprintln(w, "|------|-------|-------|-------------|")
+	for _, tn := range reg.Tunables() {
+		rng := fmt.Sprintf("[%d, %d]", tn.Min, tn.Max)
+		scale := tn.Scale.String()
+		if tn.Scale == autotune.ScaleLinear && tn.Step > 1 {
+			scale = fmt.Sprintf("linear, step %d", tn.Step)
+		}
+		fmt.Fprintf(w, "| %s | %s | %s | %s |\n", tn.Name, rng, scale, tn.Desc)
+	}
+	return nil
+}
+
+// applyParamOverrides parses "name=value,..." and writes each value into the
+// run's base configuration through the registry, so a deliberately
+// non-default vector (CI smoke legs, experiments) rides the same named
+// mechanism as the tuner.
+func applyParamOverrides(rc *harness.RunConfig, algo kdtree.Algorithm, spec string) error {
+	if spec == "" {
+		return nil
+	}
+	if rc.Base.CI == 0 {
+		rc.Base = kdtree.BaseConfig(algo)
+	}
+	vars := harness.TunedVars{
+		CI: int(rc.Base.CI), CB: int(rc.Base.CB), S: rc.Base.S, R: rc.Base.R,
+		Bins: rc.Base.Bins, ScatterGrain: rc.Base.ScatterGrain,
+		BinGrain: rc.Base.BinGrain, SplitBias: rc.Base.SplitBias,
+		PacketWidth: rc.PacketWidth, TileSize: rc.TileSize,
+	}
+	reg, err := harness.ComposeRegistry(algo, &vars)
+	if err != nil {
+		return err
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return fmt.Errorf("-params: %q is not name=value", kv)
+		}
+		tn, found := reg.Lookup(name)
+		if !found {
+			return fmt.Errorf("-params: unknown tunable %q (see -list-params)", name)
+		}
+		v, err := strconv.Atoi(val)
+		if err != nil {
+			return fmt.Errorf("-params: %s: %v", name, err)
+		}
+		if v < tn.Min || v > tn.Max {
+			return fmt.Errorf("-params: %s=%d outside [%d, %d]", name, v, tn.Min, tn.Max)
+		}
+		*tn.Target = v
+	}
+	rc.Base.CI = float64(vars.CI)
+	rc.Base.CB = float64(vars.CB)
+	rc.Base.S = vars.S
+	rc.Base.R = vars.R
+	rc.Base.Bins = vars.Bins
+	rc.Base.ScatterGrain = vars.ScatterGrain
+	rc.Base.BinGrain = vars.BinGrain
+	rc.Base.SplitBias = vars.SplitBias
+	rc.PacketWidth = vars.PacketWidth
+	rc.TileSize = vars.TileSize
+	return nil
 }
 
 func fail(err error) {

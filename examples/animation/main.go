@@ -18,13 +18,20 @@ func main() {
 	}
 	fmt.Println("scene:", sc)
 
-	// Register the Table-I parameters with the online tuner, exactly as a
-	// client application would (paper Figure 1).
+	// Register the Table-I parameters through a tunable registry, exactly as
+	// a client application would (paper Figure 1): each subsystem declares
+	// its tunables (name, target, range, scale hint) against the registry,
+	// and the tuner composes its search space from it.
 	ci, cb, s := 17, 10, 3
+	reg := kdtune.NewTunableRegistry()
+	must(reg.Register(kdtune.Tunable{Name: "CI", Target: &ci, Min: 3, Max: 101, Step: 1,
+		Desc: "SAH triangle intersection cost"}))
+	must(reg.Register(kdtune.Tunable{Name: "CB", Target: &cb, Min: 0, Max: 60, Step: 1,
+		Desc: "SAH primitive duplication cost"}))
+	must(reg.Register(kdtune.Tunable{Name: "S", Target: &s, Min: 1, Max: 8, Step: 1,
+		Desc: "max subtrees per thread"}))
 	tuner := kdtune.NewTuner(kdtune.TunerOptions{Seed: 42})
-	must(tuner.RegisterNamedParameter("CI", &ci, 3, 101, 1))
-	must(tuner.RegisterNamedParameter("CB", &cb, 0, 60, 1))
-	must(tuner.RegisterNamedParameter("S", &s, 1, 8, 1))
+	must(tuner.RegisterAll(reg))
 
 	lights := sc.Lights
 

@@ -178,3 +178,55 @@ func TestCensoredSamplesSteerSearchAway(t *testing.T) {
 		t.Fatalf("best cost %v is a penalty, not a measurement", cost)
 	}
 }
+
+// TestCensoredGrainDimensionsAvoidExtremes is the registry-level version of
+// the cliff test for the PR 8 build tunables: grain dimensions registered
+// through a Registry whose extreme values wedge the build (guard abort →
+// StopAborted). The search must converge onto a finishable grain, and the
+// name-keyed best must stay out of the censored region.
+func TestCensoredGrainDimensionsAvoidExtremes(t *testing.T) {
+	grain, bins := 4096, 32
+	reg := NewRegistry()
+	if err := reg.Register(Tunable{Name: "G", Target: &grain, Min: 256, Max: 65536, Scale: ScalePow2,
+		Desc: "scatter grain"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(Tunable{Name: "B", Target: &bins, Min: 8, Max: 128, Scale: ScalePow2,
+		Desc: "SAH bins"}); err != nil {
+		t.Fatal(err)
+	}
+	tn := New(Options{Seed: 17})
+	if err := tn.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	aborted := 0
+	for i := 0; i < 400; i++ {
+		tn.Start()
+		if grain >= 32768 {
+			// An extreme grain serializes the build past the deadline:
+			// every probe there is a guard abort, never a measurement.
+			aborted++
+			tn.StopAborted()
+		} else {
+			g := math.Log2(float64(grain))
+			b := math.Log2(float64(bins))
+			tn.StopWithCost((g-11)*(g-11) + (b-5)*(b-5) + 1)
+		}
+		if tn.Converged() {
+			break
+		}
+	}
+	if aborted == 0 {
+		t.Skip("search never probed the extreme-grain region; censoring not exercised")
+	}
+	best, ok := tn.BestByName()
+	if !ok {
+		t.Fatalf("no best configuration after censored cycles")
+	}
+	if best["G"] >= 32768 {
+		t.Fatalf("best grain %d sits inside the censored region", best["G"])
+	}
+	if _, ok := best["B"]; !ok {
+		t.Fatalf("BestByName dropped the bins dimension: %v", best)
+	}
+}

@@ -116,3 +116,13 @@ func NewExhaustiveTuner(opts Options, build func(t *Tuner) error, strides []int)
 	t.search = NewExhaustive(t.params, strides)
 	return t, nil
 }
+
+// NewExhaustiveTunerFromRegistry composes the exhaustive grid directly from
+// a tunable registry: dimension i of the walk is registry tunable i, and
+// strides[i] (nil = full resolution) coarsens it exactly as in
+// NewExhaustiveTuner.
+func NewExhaustiveTunerFromRegistry(opts Options, reg *Registry, strides []int) (*Tuner, error) {
+	return NewExhaustiveTuner(opts, func(t *Tuner) error {
+		return t.RegisterAll(reg)
+	}, strides)
+}

@@ -242,14 +242,17 @@ func TestHarnessAbortFallbackRecover(t *testing.T) {
 func TestHarnessStaticDeadlineFallback(t *testing.T) {
 	in := faultinject.Activate(faultinject.Fault{
 		Site: faultinject.SiteBuildNode, Index: -1, Kind: faultinject.KindDelay,
-		Delay: 60 * time.Millisecond, Count: 1,
+		Delay: 300 * time.Millisecond, Count: 1,
 	})
 	defer in.Deactivate()
 	res := harness.Run(harness.RunConfig{
 		Scene: gridScene(), Algorithm: kdtree.AlgoNodeLevel,
 		Search: harness.SearchFixed, Workers: 4,
 		Width: 32, Height: 24, MaxIterations: 3,
-		BuildGuard: kdtree.Guard{Deadline: 10 * time.Millisecond},
+		// Far above any healthy build of the 288-triangle grid — even with
+		// race instrumentation — and far below the injected stall, so only
+		// the faulted frame can abort.
+		BuildGuard: kdtree.Guard{Deadline: 75 * time.Millisecond},
 	})
 	if res.AbortedBuilds != 1 || res.FallbackFrames != 1 {
 		t.Fatalf("AbortedBuilds=%d FallbackFrames=%d, want 1/1", res.AbortedBuilds, res.FallbackFrames)
@@ -285,5 +288,59 @@ func TestHarnessWatchdogDeadline(t *testing.T) {
 	}
 	if !res.Frames[1].Aborted || !res.Frames[2].Aborted {
 		t.Fatalf("watchdog did not abort the stalled frames: %+v", res.Frames)
+	}
+}
+
+// TestHarnessExtremeGrainVectorAbortRecover is the PR 8 guard-interaction
+// drill: the run starts from a deliberately extreme scheduling vector (max
+// scatter grain, min bin grain, full split bias) while a Count-budgeted
+// stall at the parallel-chunk probe trips the static deadline. The guarded
+// pipeline must turn the stall into one censored, fallback-rendered frame,
+// the tuner must keep cycling (abort → penalty sample → next probe), and
+// once the fault budget is spent every remaining frame must build and
+// render normally under the tuned vector.
+func TestHarnessExtremeGrainVectorAbortRecover(t *testing.T) {
+	in := faultinject.Activate(faultinject.Fault{
+		Site: faultinject.SiteParallelChunk, Index: -1, Kind: faultinject.KindDelay,
+		Delay: 300 * time.Millisecond, Count: 1,
+	})
+	defer in.Deactivate()
+
+	base := kdtree.BaseConfig(kdtree.AlgoInPlace)
+	base.ScatterGrain = 65536 // one chunk per node: maximally serial
+	base.BinGrain = 512       // maximally eager binned fan-out
+	base.SplitBias = 3        // full budget pushed into within-node width
+	res := harness.Run(harness.RunConfig{
+		Scene: gridScene(), Algorithm: kdtree.AlgoInPlace, Base: base,
+		Search: harness.SearchNelderMead, Workers: 4,
+		Width: 32, Height: 24, MaxIterations: 6, Seed: 9,
+		// Same margins as TestHarnessStaticDeadlineFallback: healthy builds
+		// (race-instrumented included) finish well under the deadline, the
+		// injected stall lands well over it.
+		BuildGuard: kdtree.Guard{Deadline: 75 * time.Millisecond},
+	})
+	if res.AbortedBuilds != 1 || res.FallbackFrames != 1 {
+		t.Fatalf("AbortedBuilds=%d FallbackFrames=%d, want 1/1", res.AbortedBuilds, res.FallbackFrames)
+	}
+	if len(res.Frames) != 6 {
+		t.Fatalf("run recorded %d frames, want 6 — the abort must not shorten the run", len(res.Frames))
+	}
+	for i, f := range res.Frames {
+		if want := i == 0; f.Aborted != want {
+			t.Errorf("frame %d Aborted=%v, want %v", i, f.Aborted, want)
+		}
+		if f.Total <= 0 {
+			t.Errorf("frame %d not rendered: %+v", i, f)
+		}
+		if len(f.Params) != len(res.ParamNames) {
+			t.Errorf("frame %d records %d params, want the full vector of %d", i, len(f.Params), len(res.ParamNames))
+		}
+	}
+	if len(res.TunedParams) != len(res.ParamNames) {
+		t.Fatalf("recovered run reports %d tuned params, want %d: %v",
+			len(res.TunedParams), len(res.ParamNames), res.TunedParams)
+	}
+	if res.BestTotal <= 0 {
+		t.Fatalf("recovered run has no steady-state frame time: %+v", res.BestTotal)
 	}
 }

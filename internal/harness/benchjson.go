@@ -10,6 +10,7 @@ import (
 	"sort"
 	"time"
 
+	"kdtune/internal/autotune"
 	"kdtune/internal/kdtree"
 	"kdtune/internal/scene"
 )
@@ -103,6 +104,13 @@ type BenchResult struct {
 	Frame BenchStat `json:"tuned_frame"` // tuned total frame time
 	Build BenchStat `json:"tuned_build"` // tuned build component
 	Rend  BenchStat `json:"tuned_render"`
+
+	// TunedParams is the full named tuned vector (CI, CB, S, R, B, G, GB,
+	// SB, P, T — see RunResult.TunedParams). The individual Tuned* fields
+	// below are legacy projections of it, still written so old reports and
+	// old readers keep comparing; -compare prefers the map when both sides
+	// carry one.
+	TunedParams map[string]int `json:"tuned_params,omitempty"`
 
 	TunedCI     int     `json:"tuned_ci"`
 	TunedCB     int     `json:"tuned_cb"`
@@ -294,7 +302,8 @@ func RunBench(o BenchOptions) *BenchReport {
 				Scene: sc.Name, Algorithm: algo.String(),
 				Triangles: sc.NumTriangles(), Dynamic: sc.IsDynamic(),
 				Base: baseFrame, Frame: frame, Build: build, Rend: rend,
-				TunedCI: run.BestCI, TunedCB: run.BestCB,
+				TunedParams: run.TunedParams,
+				TunedCI:     run.BestCI, TunedCB: run.BestCB,
 				TunedS: run.BestS, TunedR: run.BestR,
 				TunedP: run.BestP, TunedT: run.BestT,
 				DemotionRate:   demRate,
@@ -305,10 +314,9 @@ func RunBench(o BenchOptions) *BenchReport {
 			}
 			rep.Results = append(rep.Results, res)
 			if o.Progress != nil {
-				fmt.Fprintf(o.Progress, "bench %-12s %-10s base %.2fms tuned %.2fms (%.2fx) cfg=(%d,%d,%d,%d) render=(P%d,T%d)\n",
+				fmt.Fprintf(o.Progress, "bench %-12s %-10s base %.2fms tuned %.2fms (%.2fx) cfg=[%s]\n",
 					res.Scene, res.Algorithm, res.Base.MedianMS, res.Frame.MedianMS,
-					res.Speedup, res.TunedCI, res.TunedCB, res.TunedS, res.TunedR,
-					res.TunedP, res.TunedT)
+					res.Speedup, autotune.FormatParams(res.TunedParams))
 			}
 		}
 	}
@@ -371,6 +379,18 @@ type Regression struct {
 	OldCoV, NewCoV float64
 }
 
+// PhaseDelta attributes a tuned cell's frame-time change to its phases:
+// one entry per (cell, phase) with the old/new medians and the delta. Only
+// cells compared under an equal tuned configuration produce entries — a
+// phase delta across different configurations measures search luck, not
+// code.
+type PhaseDelta struct {
+	Key          string  // scene/algorithm
+	Phase        string  // "frame", "build" or "render"
+	OldMS, NewMS float64 // phase medians
+	Pct          float64 // (new-old)/old * 100
+}
+
 // CompareResult is the outcome of diffing two reports.
 type CompareResult struct {
 	ThresholdPct float64
@@ -379,6 +399,15 @@ type CompareResult struct {
 	Missing      []string     // keys in old that new lacks
 	Faulted      []string     // new-report cells measured through aborts/fallbacks
 	Regressions  []Regression // cells past the threshold
+
+	// Per-phase attribution for the same-config tuned cells. Frame and
+	// render phases gate (they join Regressions past the threshold); the
+	// build phase is informational — build medians on small scenes are
+	// noisy, and a genuine build regression surfaces in the frame gate —
+	// but BuildImproved/BuildCompared summarise where build time went.
+	Phases        []PhaseDelta
+	BuildImproved int // same-config cells whose tuned_build median shrank
+	BuildCompared int // same-config cells with a comparable build median
 }
 
 // OK reports whether the comparison passes: nothing missing, nothing
@@ -431,29 +460,86 @@ func CompareBenchReports(old, new *BenchReport, thresholdPct float64) CompareRes
 				o.Key(), n.AbortedBuilds, n.FallbackFrames))
 		}
 		check(o.Key(), "base", o.Base, n.Base)
-		// Tuned cells compare only under equal tuned configurations. The
-		// render-side pair (P, T) joins the equality requirement when both
-		// reports carry it; a zero TunedP marks a report predating the
-		// render tunables, and a cross-era comparison then gates on the
-		// tree parameters alone (the new tuned path must still not regress
-		// the old tuned time past the threshold).
-		sameTree := o.TunedCI == n.TunedCI && o.TunedCB == n.TunedCB &&
-			o.TunedS == n.TunedS && o.TunedR == n.TunedR
-		sameRender := o.TunedP == 0 || n.TunedP == 0 ||
-			(o.TunedP == n.TunedP && o.TunedT == n.TunedT)
-		if sameTree && sameRender {
+		if sameTunedConfig(o, n) {
+			// Gate the tuned frame median as before, and the render phase on
+			// its own — a render regression can hide inside an unchanged
+			// frame median when the build got faster (exactly the trade this
+			// PR makes), and the acceptance bar is "build improves, render
+			// does not pay for it".
 			check(o.Key(), "tuned", o.Frame, n.Frame)
+			check(o.Key(), "render", o.Rend, n.Rend)
+			// Per-phase attribution (informational for build): where inside
+			// the frame did the time move?
+			phase := func(name string, os, ns BenchStat) {
+				if os.MedianMS <= 0 || ns.MedianMS <= 0 {
+					return
+				}
+				c.Phases = append(c.Phases, PhaseDelta{
+					Key: o.Key(), Phase: name, OldMS: os.MedianMS, NewMS: ns.MedianMS,
+					Pct: (ns.MedianMS - os.MedianMS) / os.MedianMS * 100,
+				})
+				if name == "build" {
+					c.BuildCompared++
+					if ns.MedianMS < os.MedianMS {
+						c.BuildImproved++
+					}
+				}
+			}
+			phase("frame", o.Frame, n.Frame)
+			phase("build", o.Build, n.Build)
+			phase("render", o.Rend, n.Rend)
 		} else {
-			c.TunedSkipped = append(c.TunedSkipped, fmt.Sprintf("%s (%d,%d,%d,%d,P%d,T%d) -> (%d,%d,%d,%d,P%d,T%d)",
-				o.Key(), o.TunedCI, o.TunedCB, o.TunedS, o.TunedR, o.TunedP, o.TunedT,
-				n.TunedCI, n.TunedCB, n.TunedS, n.TunedR, n.TunedP, n.TunedT))
+			c.TunedSkipped = append(c.TunedSkipped, fmt.Sprintf("%s [%s] -> [%s]",
+				o.Key(), formatTunedConfig(o), formatTunedConfig(n)))
 		}
 	}
 	sort.Slice(c.Regressions, func(i, j int) bool { return c.Regressions[i].Pct > c.Regressions[j].Pct })
 	sort.Strings(c.Missing)
 	sort.Strings(c.Faulted)
 	sort.Strings(c.TunedSkipped)
+	sort.Slice(c.Phases, func(i, j int) bool {
+		if c.Phases[i].Key != c.Phases[j].Key {
+			return c.Phases[i].Key < c.Phases[j].Key
+		}
+		return c.Phases[i].Phase < c.Phases[j].Phase
+	})
 	return c
+}
+
+// sameTunedConfig decides whether two cells' tuned measurements measured the
+// same work. When both reports carry the full named vector, the maps must be
+// equal — any dimension moving (a different bin count, a different grain)
+// makes the medians incomparable. Reports from before tuned_params fall back
+// to the legacy field rule: equal tree parameters, and equal render
+// parameters when both sides carry them (zero TunedP marks a report from
+// before the render tunables existed).
+func sameTunedConfig(o, n BenchResult) bool {
+	if len(o.TunedParams) > 0 && len(n.TunedParams) > 0 {
+		if len(o.TunedParams) != len(n.TunedParams) {
+			return false
+		}
+		for k, v := range o.TunedParams {
+			nv, ok := n.TunedParams[k]
+			if !ok || nv != v {
+				return false
+			}
+		}
+		return true
+	}
+	sameTree := o.TunedCI == n.TunedCI && o.TunedCB == n.TunedCB &&
+		o.TunedS == n.TunedS && o.TunedR == n.TunedR
+	sameRender := o.TunedP == 0 || n.TunedP == 0 ||
+		(o.TunedP == n.TunedP && o.TunedT == n.TunedT)
+	return sameTree && sameRender
+}
+
+// formatTunedConfig renders a cell's tuned configuration for the skip list:
+// the full named vector when present, the legacy tuple otherwise.
+func formatTunedConfig(r BenchResult) string {
+	if len(r.TunedParams) > 0 {
+		return autotune.FormatParams(r.TunedParams)
+	}
+	return fmt.Sprintf("%d,%d,%d,%d,P%d,T%d", r.TunedCI, r.TunedCB, r.TunedS, r.TunedR, r.TunedP, r.TunedT)
 }
 
 // Format renders the comparison for humans.
@@ -468,6 +554,13 @@ func (c CompareResult) Format(w io.Writer) {
 	for _, r := range c.Regressions {
 		fmt.Fprintf(w, "  REGRESSION %-30s %-5s %8.2fms -> %8.2fms (%+.1f%%, cov %.2f -> %.2f)\n",
 			r.Key, r.Metric, r.OldMS, r.NewMS, r.Pct, r.OldCoV, r.NewCoV)
+	}
+	for _, p := range c.Phases {
+		fmt.Fprintf(w, "  phase      %-30s %-6s %8.2fms -> %8.2fms (%+.1f%%)\n",
+			p.Key, p.Phase, p.OldMS, p.NewMS, p.Pct)
+	}
+	if c.BuildCompared > 0 {
+		fmt.Fprintf(w, "  tuned_build improved on %d/%d same-config cells\n", c.BuildImproved, c.BuildCompared)
 	}
 	for _, k := range c.TunedSkipped {
 		fmt.Fprintf(w, "  tuned-config changed, tuned time not compared: %s\n", k)

@@ -9,6 +9,7 @@ import (
 	"kdtune/internal/autotune"
 	"kdtune/internal/kdtree"
 	"kdtune/internal/render"
+	"kdtune/internal/sah"
 	"kdtune/internal/scene"
 )
 
@@ -109,9 +110,13 @@ type FrameRecord struct {
 	FrameIndex   int
 	CI, CB, S, R int
 	P, T         int // packet width and tile size the frame rendered with
-	Build        time.Duration
-	Render       time.Duration
-	Total        time.Duration
+	// Params is the full registered parameter vector the frame ran with, in
+	// RunResult.ParamNames order — the generic form of the legacy fields
+	// above, covering the substrate tunables (B, G, GB, SB) too.
+	Params []int
+	Build  time.Duration
+	Render time.Duration
+	Total  time.Duration
 	// Aborted marks a frame whose guarded build hit a Guard limit; the
 	// frame was still rendered, from a median-split fallback tree, and its
 	// Build/Total include both the aborted attempt and the fallback build.
@@ -129,6 +134,14 @@ type RunResult struct {
 	BestCI, BestCB, BestS, BestR int
 	BestP, BestT                 int // best packet width / tile size (base values unless co-tuned)
 	BestTotal                    time.Duration
+
+	// ParamNames names every registered tunable of the run in registration
+	// order (the dimension order of FrameRecord.Params), and TunedParams is
+	// the full named best-found vector — tuned dimensions carry the search
+	// optimum, untuned ones their base values. The legacy Best* fields above
+	// are projections of TunedParams kept for existing consumers.
+	ParamNames  []string
+	TunedParams map[string]int
 
 	// Packet-path render counters summed over all frames (see
 	// render.RenderStats); Demotions/PacketRays is the run's demotion rate.
@@ -169,6 +182,20 @@ func (rc RunConfig) normalize() RunConfig {
 	}
 	rc.Base.Algorithm = rc.Algorithm
 	rc.Base.Workers = rc.Workers
+	// The substrate tunables need concrete base values: they seed the tuned
+	// program variables and are what untuned searches run with.
+	if rc.Base.Bins < 2 {
+		rc.Base.Bins = sah.DefaultBins
+	}
+	if rc.Base.ScatterGrain <= 0 {
+		rc.Base.ScatterGrain = kdtree.DefaultScatterGrain
+	}
+	if rc.Base.BinGrain <= 0 {
+		rc.Base.BinGrain = sah.DefaultBinGrain
+	}
+	if rc.Base.SplitBias < 0 {
+		rc.Base.SplitBias = 0
+	}
 	return rc
 }
 
@@ -215,6 +242,97 @@ func (rc RunConfig) Validate() error {
 	return fmt.Errorf("harness: invalid run config: %w", errors.Join(errs...))
 }
 
+// TunedVars bundles the tuned program variables of one run: the registered
+// tunables point into these fields, so the search mutates them directly and
+// the per-frame build/render configuration is assembled from them. The zero
+// value is not useful — use newTunedVars to seed from a RunConfig.
+type TunedVars struct {
+	CI, CB, S, R int // Table II cost-model parameters
+
+	// Build-side concurrency tunables (kdtree.RegisterBuildTunables).
+	Bins, ScatterGrain, BinGrain, SplitBias int
+
+	// Render-side packet tunables (render.RegisterTunables).
+	PacketWidth, TileSize int
+}
+
+// newTunedVars seeds the tuned variables from the (normalized) run config's
+// base configuration.
+func newTunedVars(rc RunConfig) TunedVars {
+	return TunedVars{
+		CI: int(rc.Base.CI), CB: int(rc.Base.CB), S: rc.Base.S, R: rc.Base.R,
+		Bins: rc.Base.Bins, ScatterGrain: rc.Base.ScatterGrain,
+		BinGrain: rc.Base.BinGrain, SplitBias: rc.Base.SplitBias,
+		PacketWidth: rc.PacketWidth, TileSize: rc.TileSize,
+	}
+}
+
+// buildConfig assembles the per-frame build configuration from the current
+// tuned values.
+func (v *TunedVars) buildConfig(rc RunConfig) kdtree.Config {
+	return kdtree.Config{
+		Algorithm:    rc.Algorithm,
+		CI:           float64(v.CI),
+		CB:           float64(v.CB),
+		S:            v.S,
+		R:            v.R,
+		Workers:      rc.Workers,
+		Bins:         v.Bins,
+		ScatterGrain: v.ScatterGrain,
+		BinGrain:     v.BinGrain,
+		SplitBias:    v.SplitBias,
+	}
+}
+
+// TreeRegistry composes the paper's Table II cost-model grid over v: CI, CB,
+// S, and — for the lazy builder — R. It is the exhaustive walk's search
+// space (§V-D4), kept separate from the full registry so ExhaustiveStrides
+// keeps its positional (CI, CB, S, R) meaning and the grid stays tractable.
+func TreeRegistry(algo kdtree.Algorithm, v *TunedVars) (*autotune.Registry, error) {
+	reg := autotune.NewRegistry()
+	for _, tn := range []autotune.Tunable{
+		{Name: "CI", Target: &v.CI, Min: CIMin, Max: CIMax, Step: 1,
+			Desc: "SAH triangle intersection cost"},
+		{Name: "CB", Target: &v.CB, Min: CBMin, Max: CBMax, Step: 1,
+			Desc: "SAH primitive duplication cost"},
+		{Name: "S", Target: &v.S, Min: SMin, Max: SMax, Step: 1,
+			Desc: "max subtrees per thread (task spawn budget)"},
+	} {
+		if err := reg.Register(tn); err != nil {
+			return nil, err
+		}
+	}
+	if algo.HasR() {
+		if err := reg.Register(autotune.Tunable{
+			Name: "R", Target: &v.R, Min: RMin, Max: RMax, Scale: autotune.ScalePow2,
+			Desc: "lazy minimal node resolution (primitives)",
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return reg, nil
+}
+
+// ComposeRegistry composes the full co-tuned search space of one run over v:
+// the Table II cost parameters, then the build-side concurrency tunables
+// (B, G, GB, SB), then the render-side packet parameters (P, T). Every
+// subsystem registers through the same autotune.Registry mechanism, and the
+// registration order here is the canonical dimension order of
+// RunResult.ParamNames and FrameRecord.Params.
+func ComposeRegistry(algo kdtree.Algorithm, v *TunedVars) (*autotune.Registry, error) {
+	reg, err := TreeRegistry(algo, v)
+	if err != nil {
+		return nil, err
+	}
+	if err := kdtree.RegisterBuildTunables(reg, &v.Bins, &v.ScatterGrain, &v.BinGrain, &v.SplitBias); err != nil {
+		return nil, err
+	}
+	if err := render.RegisterTunables(reg, &v.PacketWidth, &v.TileSize); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
 // Run executes the Figure 4 workflow: per frame, apply the configuration
 // under test, rebuild the kD-tree for the frame's geometry, render, and
 // report total frame time (m_a = t_c + t_r) to the search. Builds run
@@ -230,48 +348,39 @@ func Run(rc RunConfig) *RunResult {
 	res := &RunResult{Config: rc, ConvergedAt: -1}
 
 	// The tuned program variables, initialised to the base configuration.
-	ci, cb, s, r := int(rc.Base.CI), int(rc.Base.CB), rc.Base.S, rc.Base.R
-	pw, ts := rc.PacketWidth, rc.TileSize
+	// Every registered tunable points into vars; the searches mutate them
+	// through the registry.
+	vars := newTunedVars(rc)
+	fullReg, err := ComposeRegistry(rc.Algorithm, &vars)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	res.ParamNames = fullReg.Names()
 
 	var tuner *autotune.Tuner
-	registerParams := func(t *autotune.Tuner) error {
-		if err := t.RegisterNamedParameter("CI", &ci, CIMin, CIMax, 1); err != nil {
-			return err
-		}
-		if err := t.RegisterNamedParameter("CB", &cb, CBMin, CBMax, 1); err != nil {
-			return err
-		}
-		if err := t.RegisterNamedParameter("S", &s, SMin, SMax, 1); err != nil {
-			return err
-		}
-		if rc.Algorithm.HasR() {
-			return t.RegisterPow2Parameter("R", &r, RMin, RMax)
-		}
-		return nil
-	}
 	switch rc.Search {
 	case SearchNelderMead:
+		// The online search owns the full co-tuned space: Table II cost
+		// parameters, the build-side concurrency tunables, and the
+		// render-side packet parameters.
 		tuner = autotune.New(autotune.Options{
 			Seed:            rc.Seed,
 			RetuneThreshold: rc.RetuneThreshold,
 			RetuneWindow:    rc.RetuneWindow,
 		})
-		if err := registerParams(tuner); err != nil {
-			panic(fmt.Sprintf("harness: %v", err))
-		}
-		// The online search also owns the render-side knobs — packet width
-		// and tile size — registered after the tree parameters so Best()
-		// indices stay backward compatible. The exhaustive walk stays on
-		// the paper's Table II grid.
-		if err := tuner.RegisterPow2Parameter("P", &pw, PMin, PMax); err != nil {
-			panic(fmt.Sprintf("harness: %v", err))
-		}
-		if err := tuner.RegisterPow2Parameter("T", &ts, TMin, TMax); err != nil {
+		if err := tuner.RegisterAll(fullReg); err != nil {
 			panic(fmt.Sprintf("harness: %v", err))
 		}
 	case SearchExhaustive:
-		var err error
-		tuner, err = autotune.NewExhaustiveTuner(autotune.Options{Seed: rc.Seed}, registerParams, rc.ExhaustiveStrides)
+		// The exhaustive walk stays on the paper's Table II grid: composing
+		// the substrate dimensions in would explode the §V-D4 comparison
+		// from ~thousands of points to millions, and ExhaustiveStrides keeps
+		// its positional (CI, CB, S, R) meaning.
+		treeReg, err := TreeRegistry(rc.Algorithm, &vars)
+		if err != nil {
+			panic(fmt.Sprintf("harness: %v", err))
+		}
+		tuner, err = autotune.NewExhaustiveTunerFromRegistry(autotune.Options{Seed: rc.Seed}, treeReg, rc.ExhaustiveStrides)
 		if err != nil {
 			panic(fmt.Sprintf("harness: %v", err))
 		}
@@ -311,14 +420,7 @@ func Run(rc RunConfig) *RunResult {
 		if tuner != nil {
 			tuner.Start()
 		}
-		cfg := kdtree.Config{
-			Algorithm: rc.Algorithm,
-			CI:        float64(ci),
-			CB:        float64(cb),
-			S:         s,
-			R:         r,
-			Workers:   rc.Workers,
-		}
+		cfg := vars.buildConfig(rc)
 		if err := cfg.Validate(); err != nil {
 			// Tuner probes stay inside Table II, far within the hard
 			// limits; anything else (a corrupted Base leaking through) is
@@ -352,7 +454,7 @@ func Run(rc RunConfig) *RunResult {
 		if tree != nil {
 			st := render.RenderInto(im, tree, rc.Scene.ViewAt(frame), rc.Scene.Lights, render.Options{
 				Width: rc.Width, Height: rc.Height, Workers: rc.Workers,
-				PacketWidth: pw, TileSize: ts,
+				PacketWidth: vars.PacketWidth, TileSize: vars.TileSize,
 			})
 			res.Packets += st.Packets
 			res.Demotions += st.Demotions
@@ -375,8 +477,10 @@ func Run(rc RunConfig) *RunResult {
 		}
 		res.Frames = append(res.Frames, FrameRecord{
 			Iteration: iter, FrameIndex: frame,
-			CI: ci, CB: cb, S: s, R: r, P: pw, T: ts,
-			Build: tBuild, Render: total - tBuild, Total: total,
+			CI: vars.CI, CB: vars.CB, S: vars.S, R: vars.R,
+			P: vars.PacketWidth, T: vars.TileSize,
+			Params: fullReg.Vector(),
+			Build:  tBuild, Render: total - tBuild, Total: total,
 			Aborted: aborted,
 		})
 
@@ -399,27 +503,31 @@ func Run(rc RunConfig) *RunResult {
 		}
 	}
 
-	res.BestP, res.BestT = pw, ts
+	// The best-found vector: tuned dimensions carry the search optimum;
+	// dimensions the search never moved (everything under SearchFixed, the
+	// substrate/render dimensions under SearchExhaustive) stay at their base
+	// values, which is what the current targets hold for them.
+	base := newTunedVars(rc)
+	baseReg, err := ComposeRegistry(rc.Algorithm, &base)
+	if err != nil {
+		panic(fmt.Sprintf("harness: %v", err))
+	}
+	tp := baseReg.Snapshot()
 	if tuner != nil {
 		res.Restarts = tuner.Restarts()
-		if best, _, ok := tuner.Best(); ok {
-			res.BestCI, res.BestCB, res.BestS = best[0], best[1], best[2]
-			i := 3
-			if rc.Algorithm.HasR() {
-				res.BestR = best[i]
-				i++
-			} else {
-				res.BestR = rc.Base.R
-			}
-			if len(best) > i+1 {
-				// SearchNelderMead registered P and T after the tree
-				// parameters (the exhaustive grid does not).
-				res.BestP, res.BestT = best[i], best[i+1]
+		if best, ok := tuner.BestByName(); ok {
+			for k, v := range best {
+				tp[k] = v
 			}
 		}
-	} else {
-		res.BestCI, res.BestCB, res.BestS, res.BestR = ci, cb, s, r
 	}
+	res.TunedParams = tp
+	res.BestCI, res.BestCB, res.BestS = tp["CI"], tp["CB"], tp["S"]
+	res.BestR = rc.Base.R
+	if rc.Algorithm.HasR() {
+		res.BestR = tp["R"]
+	}
+	res.BestP, res.BestT = tp["P"], tp["T"]
 	res.BestTotal = res.SteadyStateTime()
 	return res
 }
@@ -438,9 +546,10 @@ func frameSequence(rc RunConfig) func(iter int) int {
 }
 
 // BestConfig assembles the run's best-found parameters into a build
-// configuration.
+// configuration, including the tuned substrate fields (bins, grains, split
+// bias) when the run carried them.
 func (r *RunResult) BestConfig() kdtree.Config {
-	return kdtree.Config{
+	cfg := kdtree.Config{
 		Algorithm: r.Config.Algorithm,
 		CI:        float64(r.BestCI),
 		CB:        float64(r.BestCB),
@@ -448,6 +557,13 @@ func (r *RunResult) BestConfig() kdtree.Config {
 		R:         r.BestR,
 		Workers:   r.Config.Workers,
 	}
+	if r.TunedParams != nil {
+		cfg.Bins = r.TunedParams["B"]
+		cfg.ScatterGrain = r.TunedParams["G"]
+		cfg.BinGrain = r.TunedParams["GB"]
+		cfg.SplitBias = r.TunedParams["SB"]
+	}
+	return cfg
 }
 
 // SteadyStateTime returns the median frame time of the run's last third —

@@ -57,9 +57,10 @@ type bfScratch struct {
 	subs     []*arena
 }
 
-// scatterGrain is the minimum number of (triangle, node) pairs classified or
-// scattered per chunk during a breadth-first level step.
-const scatterGrain = 4096
+// The minimum number of (triangle, node) pairs classified or scattered per
+// chunk during a breadth-first level step is cfg.ScatterGrain (tunable "G",
+// default kdtree.DefaultScatterGrain); both passes of scatterLevel read it
+// from the build config so the tuner can search it per build.
 
 // buildBreadthFirst implements the in-place parallel algorithm of §IV-C and
 // its lazy variant of §IV-D. The tree is built one level at a time:
@@ -220,7 +221,7 @@ func (c *buildCtx) decideSplitLevel(a *arena, sub []item, bounds vecmath.AABB, d
 	if depth >= c.cfg.MaxDepth {
 		return sah.Split{}, false
 	}
-	split, ok := sah.FindBestSplitBinnedChunksCancel(c.canceler(), c.params, bounds, len(sub), c.cfg.Bins, workers,
+	split, ok := sah.FindBestSplitBinnedChunksCancel(c.canceler(), c.params, bounds, len(sub), c.cfg.Bins, workers, c.cfg.BinGrain,
 		func(bs *sah.BinSet, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				bs.Add(sub[i].bounds)
@@ -292,7 +293,7 @@ type childPlan struct {
 func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) []levelNode {
 	bf := &c.b.bf
 	items := bf.items[cur]
-	outerW, innerW := parallel.SplitBudget(c.cfg.Workers, len(frontier))
+	outerW, innerW := parallel.SplitBudgetBias(c.cfg.Workers, len(frontier), c.cfg.SplitBias)
 	cc := c.canceler()
 
 	// Phase 1: best split per node. Parallel across nodes; within a node
@@ -339,7 +340,7 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 		if !decisions[ni].doit {
 			continue
 		}
-		total += parallel.ChunkCount(frontier[ni].end-frontier[ni].start, innerW, scatterGrain)
+		total += parallel.ChunkCount(frontier[ni].end-frontier[ni].start, innerW, c.cfg.ScatterGrain)
 	}
 	bf.chunkOff = ensureLen(bf.chunkOff, total)
 	off := 0
@@ -347,7 +348,7 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 		if !decisions[ni].doit {
 			continue
 		}
-		cc := parallel.ChunkCount(frontier[ni].end-frontier[ni].start, innerW, scatterGrain)
+		cc := parallel.ChunkCount(frontier[ni].end-frontier[ni].start, innerW, c.cfg.ScatterGrain)
 		plans[ni].chunkOff = bf.chunkOff[off : off+cc : off+cc]
 		off += cc
 	}
@@ -361,7 +362,7 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 			lb, rb := ln.bounds.Split(split.Axis, split.Pos)
 			sub := items[ln.start:ln.end]
 			counts := plans[ni].chunkOff
-			parallel.ForChunksCancel(cc, len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
+			parallel.ForChunksCancel(cc, len(sub), innerW, c.cfg.ScatterGrain, func(chunk, lo, hi int) {
 				var nl, nr int
 				for i := lo; i < hi; i++ {
 					gl, gr := c.classify(sub[i], split, lb, rb)
@@ -418,7 +419,7 @@ func (c *buildCtx) processLevel(frontier, dst []levelNode, cur int, lazy bool) [
 			lb, rb := ln.bounds.Split(split.Axis, split.Pos)
 			sub := items[ln.start:ln.end]
 			plan := plans[ni]
-			parallel.ForChunksCancel(cc, len(sub), innerW, scatterGrain, func(chunk, lo, hi int) {
+			parallel.ForChunksCancel(cc, len(sub), innerW, c.cfg.ScatterGrain, func(chunk, lo, hi int) {
 				l := plan.leftStart + plan.chunkOff[chunk][0]
 				r := plan.rightStart + plan.chunkOff[chunk][1]
 				for i := lo; i < hi; i++ {

@@ -101,7 +101,7 @@ func (c *buildCtx) recurseNested(a *arena, items []item, bounds vecmath.AABB, de
 // package, so no arithmetic here can drift out of sync with the scheduler;
 // worker counts <= 0 are normalised inside.
 func (c *buildCtx) parallelBestSplit(items []item, bounds vecmath.AABB) (sah.Split, bool) {
-	return sah.FindBestSplitBinnedChunksCancel(c.canceler(), c.params, bounds, len(items), c.cfg.Bins, c.cfg.Workers,
+	return sah.FindBestSplitBinnedChunksCancel(c.canceler(), c.params, bounds, len(items), c.cfg.Bins, c.cfg.Workers, c.cfg.BinGrain,
 		func(bs *sah.BinSet, lo, hi int) {
 			for i := lo; i < hi; i++ {
 				bs.Add(items[i].bounds)

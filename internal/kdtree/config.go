@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"kdtune/internal/parallel"
+	"kdtune/internal/sah"
 )
 
 // Algorithm selects one of the paper's four parallel construction variants.
@@ -69,6 +70,29 @@ type Config struct {
 	// the nested, in-place and lazy variants; <2 selects sah.DefaultBins.
 	Bins int
 
+	// ScatterGrain is the minimum number of (triangle, node) pairs each
+	// chunk of the in-place builder's classify and scatter passes handles;
+	// <=0 selects DefaultScatterGrain. Tuned online (tunable "G"): the
+	// break-even between fork-join overhead and chunk work is a property of
+	// the machine, not of the algorithm. Any value yields the same tree —
+	// scatter destinations come from per-chunk exclusive prefix offsets, so
+	// item order is the sequential partition order for every chunk geometry.
+	ScatterGrain int
+
+	// BinGrain is the minimum number of primitives histogrammed per chunk
+	// in the parallel binned split search; <=0 selects sah.DefaultBinGrain.
+	// Tuned online (tunable "GB"); deterministic for the same reason the
+	// worker count is — the histogram merge runs in ascending chunk order.
+	BinGrain int
+
+	// SplitBias biases parallel.SplitBudgetBias toward within-node
+	// parallelism in the in-place builder's frontier loops: each +1 halves
+	// the outer (across-nodes) width and hands the freed budget to the
+	// inner (within-node) loops. 0 is the neutral SplitBudget policy; the
+	// registered tunable range is [0, 3]. Scheduling only — never affects
+	// the tree.
+	SplitBias int
+
 	// MaxDepth caps recursion; <=0 selects the usual 8 + 1.3*log2(N).
 	MaxDepth int
 
@@ -106,7 +130,13 @@ const (
 	// but nothing sensible lives beyond 128 levels — only runaway splits.
 	maxConfigDepth = 128
 	maxConfigBins  = 1 << 16
+	maxConfigGrain = 1 << 24
+	maxConfigBias  = 8
 )
+
+// DefaultScatterGrain is the default minimum chunk size of the in-place
+// builder's classify/scatter passes, applied when Config.ScatterGrain <= 0.
+const DefaultScatterGrain = 4096
 
 // Validate reports every way the config is out of range. A nil error means
 // the builders can run it as-is (after default filling). NaN and ±Inf cost
@@ -129,6 +159,9 @@ func (c Config) Validate() error {
 	check(c.Workers >= 0 && c.Workers <= maxConfigWorkers, "Workers %d outside [0, %d]", c.Workers, maxConfigWorkers)
 	check(c.MaxDepth >= 0 && c.MaxDepth <= maxConfigDepth, "MaxDepth %d outside [0, %d]", c.MaxDepth, maxConfigDepth)
 	check(c.Bins >= 0 && c.Bins <= maxConfigBins, "Bins %d outside [0, %d]", c.Bins, maxConfigBins)
+	check(c.ScatterGrain >= 0 && c.ScatterGrain <= maxConfigGrain, "ScatterGrain %d outside [0, %d]", c.ScatterGrain, maxConfigGrain)
+	check(c.BinGrain >= 0 && c.BinGrain <= maxConfigGrain, "BinGrain %d outside [0, %d]", c.BinGrain, maxConfigGrain)
+	check(c.SplitBias >= 0 && c.SplitBias <= maxConfigBias, "SplitBias %d outside [0, %d]", c.SplitBias, maxConfigBias)
 	if len(errs) == 0 {
 		return nil
 	}
@@ -147,6 +180,9 @@ func (c Config) Clamped() Config {
 	c.Workers = clampInt(c.Workers, 0, maxConfigWorkers)
 	c.MaxDepth = clampInt(c.MaxDepth, 0, maxConfigDepth)
 	c.Bins = clampInt(c.Bins, 0, maxConfigBins)
+	c.ScatterGrain = clampInt(c.ScatterGrain, 0, maxConfigGrain)
+	c.BinGrain = clampInt(c.BinGrain, 0, maxConfigGrain)
+	c.SplitBias = clampInt(c.SplitBias, 0, maxConfigBias)
 	return c
 }
 
@@ -188,6 +224,15 @@ func (c Config) normalized(numTris int) Config {
 	}
 	if c.R < 1 {
 		c.R = 1 << 12
+	}
+	if c.ScatterGrain <= 0 {
+		c.ScatterGrain = DefaultScatterGrain
+	}
+	if c.BinGrain <= 0 {
+		c.BinGrain = sah.DefaultBinGrain
+	}
+	if c.SplitBias < 0 {
+		c.SplitBias = 0
 	}
 	if c.MaxDepth <= 0 {
 		c.MaxDepth = 8 + int(1.3*math.Log2(float64(numTris)+1))

@@ -1,0 +1,34 @@
+package kdtree
+
+import "kdtune/internal/autotune"
+
+// RegisterBuildTunables registers the build-side concurrency tunables with
+// the registry, giving them their canonical names, ranges and scale hints in
+// one place. The targets are plain ints the caller threads into
+// Config.Bins/ScatterGrain/BinGrain/SplitBias per build; the registry makes
+// them searchable alongside the paper's CI/CB/S/R cost-model parameters.
+//
+// These are exactly the parameters the seed froze as constants: hand-derived
+// chunk grains and bin counts are hardware guesses, and the thesis of the
+// paper (and of Karcher & Guckes for this parameter class) is that such
+// guesses must be searched online. All three grains/bias are
+// scheduling-only — any fixed vector yields a bitwise-identical tree for
+// every worker count; Bins changes the split candidates and therefore the
+// tree, which is fine because a comparison always pins the full vector.
+func RegisterBuildTunables(reg *autotune.Registry, bins, scatterGrain, binGrain, splitBias *int) error {
+	for _, tn := range []autotune.Tunable{
+		{Name: "B", Target: bins, Min: 8, Max: 128, Scale: autotune.ScalePow2,
+			Desc: "SAH bins per axis in the binned split search"},
+		{Name: "G", Target: scatterGrain, Min: 256, Max: 65536, Scale: autotune.ScalePow2,
+			Desc: "min (triangle,node) pairs per classify/scatter chunk (in-place builder)"},
+		{Name: "GB", Target: binGrain, Min: 512, Max: 32768, Scale: autotune.ScalePow2,
+			Desc: "min primitives per chunk of the parallel binned split search"},
+		{Name: "SB", Target: splitBias, Min: 0, Max: 3, Step: 1, Scale: autotune.ScaleLinear,
+			Desc: "worker-budget bias toward within-node parallelism (each +1 halves the across-nodes width)"},
+	} {
+		if err := reg.Register(tn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -108,6 +108,16 @@ type Config struct {
 	// surface.
 	ArenaTypes []string
 
+	// SAHPackage hosts the binned SAH split search whose bins and grain
+	// arguments the tunable rule audits.
+	SAHPackage string
+
+	// TunablePackages are the packages whose parallel-dispatch grains and
+	// SAH bin counts must flow from the tunable registry (or its named
+	// defaults) rather than inline literals; tunable.* rules apply inside
+	// them. The parallel substrate itself is exempt.
+	TunablePackages []string
+
 	// IncludeTests selects whether _test.go files are loaded and linted.
 	IncludeTests bool
 }
@@ -131,6 +141,11 @@ func DefaultConfig() *Config {
 		GoroutineAllowlist: []string{"kdtune/internal/parallel"},
 		ArenaPackages:      []string{"kdtune/internal/kdtree"},
 		ArenaTypes:         []string{"arena"},
+		SAHPackage:         "kdtune/internal/sah",
+		TunablePackages: []string{
+			"kdtune/internal/kdtree",
+			"kdtune/internal/sah",
+		},
 	}
 }
 
@@ -154,6 +169,12 @@ func (p *Pass) InDeterminismScope() bool {
 // rules.
 func (p *Pass) InArenaScope() bool {
 	return inList(p.Pkg.PkgPath(), p.Cfg.ArenaPackages)
+}
+
+// InTunableScope reports whether the pass's package is subject to
+// tunable.* rules.
+func (p *Pass) InTunableScope() bool {
+	return inList(p.Pkg.PkgPath(), p.Cfg.TunablePackages)
 }
 
 // GoroutinesAllowed reports whether raw go statements are allowlisted in

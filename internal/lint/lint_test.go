@@ -12,13 +12,14 @@ import (
 	"kdtune/internal/lint/guard"
 	"kdtune/internal/lint/hotpath"
 	"kdtune/internal/lint/linttest"
+	"kdtune/internal/lint/tunable"
 )
 
 const fixtureRoot = "kdtune/internal/lint/testdata/src/"
 
 // AllRules assembles the production rule set, mirroring cmd/kdlint.
 func allRules() []lint.Rule {
-	return []lint.Rule{determinism.Rule(), guard.Rule(), arena.Rule(), hotpath.Rule()}
+	return []lint.Rule{determinism.Rule(), guard.Rule(), arena.Rule(), hotpath.Rule(), tunable.Rule()}
 }
 
 func TestDeterminismRule(t *testing.T) {
@@ -44,6 +45,28 @@ func TestArenaRule(t *testing.T) {
 // package scoping, so the default config applies.
 func TestHotpathRule(t *testing.T) {
 	linttest.Run(t, fixtureRoot+"hotfx", lint.DefaultConfig(), []lint.Rule{hotpath.Rule()})
+}
+
+// TestTunableRule rescopes TunablePackages onto the fixture; the dispatch
+// and SAH argument-position tables are checked against the real signatures
+// the fixture imports.
+func TestTunableRule(t *testing.T) {
+	cfg := lint.DefaultConfig()
+	cfg.TunablePackages = []string{fixtureRoot + "tunablefx"}
+	linttest.Run(t, fixtureRoot+"tunablefx", cfg, []lint.Rule{tunable.Rule()})
+}
+
+// TestTunableRuleOutOfScope pins the scoping: the same fixture is silent
+// when not listed in TunablePackages.
+func TestTunableRuleOutOfScope(t *testing.T) {
+	pkgs, err := lint.Load("", []string{fixtureRoot + "tunablefx"}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := lint.DefaultConfig() // scopes point at the real repo packages
+	for _, d := range lint.Run(pkgs, cfg, []lint.Rule{tunable.Rule()}) {
+		t.Errorf("out-of-scope finding: %s", d)
+	}
 }
 
 // TestPragmaEngine checks that malformed pragmas are diagnosed, reasonless

@@ -167,6 +167,20 @@ func ForEach(n, workers int, body func(i int)) {
 // workers always holds). Once the outer loop alone saturates the budget the
 // inner loops run sequentially. workers <= 0 selects DefaultWorkers().
 func SplitBudget(workers, outerN int) (outer, inner int) {
+	return SplitBudgetBias(workers, outerN, 0)
+}
+
+// SplitBudgetBias is SplitBudget with a discrete inner-parallelism bias:
+// each +1 of bias halves the outer width (rounding up, floor 1) and hands
+// the freed budget to the inner loops. bias 0 is SplitBudget exactly; the
+// useful range is small (0..3 in the builders' registered tunable). The
+// bias exists because the neutral split — outer first, leftovers inner — is
+// a heuristic, not an optimum: frontiers of few huge nodes profit from
+// deeper within-node parallelism than the neutral split grants, and where
+// that trade-off lies is a property of the machine, so it is searched
+// online instead of hard-coded. The oversubscription invariant
+// outer·inner <= workers holds for every bias.
+func SplitBudgetBias(workers, outerN, bias int) (outer, inner int) {
 	workers = normWorkers(workers)
 	if outerN < 1 {
 		outerN = 1
@@ -174,6 +188,9 @@ func SplitBudget(workers, outerN int) (outer, inner int) {
 	outer = workers
 	if outer > outerN {
 		outer = outerN
+	}
+	for ; bias > 0 && outer > 1; bias-- {
+		outer = (outer + 1) / 2
 	}
 	inner = workers / outer
 	if inner < 1 {

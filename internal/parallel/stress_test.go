@@ -115,6 +115,43 @@ func TestSplitBudget(t *testing.T) {
 	}
 }
 
+func TestSplitBudgetBias(t *testing.T) {
+	for _, tc := range []struct {
+		workers, outerN, bias, wantOuter, wantInner int
+	}{
+		{8, 8, 0, 8, 1}, // bias 0 == SplitBudget
+		{8, 8, 1, 4, 2},
+		{8, 8, 2, 2, 4},
+		{8, 8, 3, 1, 8},
+		{8, 8, 9, 1, 8}, // bias beyond the floor saturates at outer=1
+		{8, 3, 1, 2, 4}, // halving rounds up: 3 -> 2
+		{8, 3, 2, 1, 8},
+		{1, 10, 3, 1, 1},
+		{6, 5, 1, 3, 2},
+	} {
+		outer, inner := SplitBudgetBias(tc.workers, tc.outerN, tc.bias)
+		if outer != tc.wantOuter || inner != tc.wantInner {
+			t.Fatalf("SplitBudgetBias(%d,%d,%d) = (%d,%d), want (%d,%d)",
+				tc.workers, tc.outerN, tc.bias, outer, inner, tc.wantOuter, tc.wantInner)
+		}
+		if outer < 1 || inner < 1 || outer*inner > normWorkers(tc.workers) {
+			t.Fatalf("SplitBudgetBias(%d,%d,%d) = (%d,%d) oversubscribes budget",
+				tc.workers, tc.outerN, tc.bias, outer, inner)
+		}
+	}
+	// Neutral bias must agree with SplitBudget over a sweep.
+	for workers := 1; workers <= 16; workers++ {
+		for outerN := 1; outerN <= 20; outerN++ {
+			o1, i1 := SplitBudget(workers, outerN)
+			o2, i2 := SplitBudgetBias(workers, outerN, 0)
+			if o1 != o2 || i1 != i2 {
+				t.Fatalf("bias 0 diverges at (%d,%d): (%d,%d) vs (%d,%d)",
+					workers, outerN, o1, i1, o2, i2)
+			}
+		}
+	}
+}
+
 // TestStressScanReducePool hammers the primitives with randomized shapes
 // and concurrent outer callers; run under -race (CI does) to surface
 // scheduling-coupling bugs.

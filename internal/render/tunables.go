@@ -1,0 +1,27 @@
+package render
+
+import (
+	"kdtune/internal/autotune"
+	"kdtune/internal/kdtree"
+)
+
+// RegisterTunables registers the render-side tunables — packet width P and
+// tile size T — with the registry, so the traversal knobs introduced with
+// packet rendering go through the same registration mechanism as the
+// build-side parameters. The targets are the caller's ints threaded into
+// Options.PacketWidth/TileSize per frame. P=1 disables packets entirely
+// (the scalar path), which keeps "no packets" inside the search space.
+func RegisterTunables(reg *autotune.Registry, packetWidth, tileSize *int) error {
+	if err := reg.Register(autotune.Tunable{
+		Name: "P", Target: packetWidth, Min: 1, Max: kdtree.MaxPacketWidth,
+		Scale: autotune.ScalePow2,
+		Desc:  "coherent rays per traversal packet (1 = scalar path)",
+	}); err != nil {
+		return err
+	}
+	return reg.Register(autotune.Tunable{
+		Name: "T", Target: tileSize, Min: 8, Max: 64,
+		Scale: autotune.ScalePow2,
+		Desc:  "square tile edge of the packet renderer's image decomposition",
+	})
+}

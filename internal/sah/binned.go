@@ -169,24 +169,30 @@ func FindBestSplitBinned(p Params, node vecmath.AABB, prims []vecmath.AABB, bins
 	return bs.BestSplit(p)
 }
 
-// binnedParallelGrain is the minimum number of primitives binned per chunk;
-// below it the fork-join overhead exceeds the histogramming work and the
-// search runs inline on the caller.
-const binnedParallelGrain = 2048
+// DefaultBinGrain is the default minimum number of primitives binned per
+// chunk; below it the fork-join overhead exceeds the histogramming work and
+// the search runs inline on the caller. It is a registered tunable
+// (kdtree.Config.BinGrain), not a constant of the algorithm: the break-even
+// point depends on core count and memory system, exactly the class of
+// hand-derived concurrency parameters Karcher & Guckes argue must be
+// searched online.
+const DefaultBinGrain = 2048
 
 // FindBestSplitBinnedChunks is the parallel histogram + reduction form of
 // the binned search (Choi et al.): per-chunk private BinSets are filled
 // concurrently and merged in ascending chunk order. fill must call
 // bs.Add for every primitive in [lo, hi) — the caller keeps the tight loop
 // so primitive storage stays behind one indirection per chunk, not per
-// item.
+// item. grain is the minimum primitives histogrammed per chunk; grain <= 0
+// selects DefaultBinGrain.
 //
-// The result is identical to the sequential search for every worker count —
-// bin counts are integers, bin bounds come from min/max, and the merge
-// order is fixed by the explicit chunk index — which is what lets the
-// builders guarantee worker-count-independent trees.
-func FindBestSplitBinnedChunks(p Params, node vecmath.AABB, n, bins, workers int, fill func(bs *BinSet, lo, hi int)) (Split, bool) {
-	return FindBestSplitBinnedChunksCancel(nil, p, node, n, bins, workers, fill)
+// The result is identical to the sequential search for every worker count
+// and every grain — bin counts are integers, bin bounds come from min/max,
+// and the merge order is fixed by the explicit chunk index — which is what
+// lets the builders guarantee worker-count-independent trees even with the
+// grain tuned per build.
+func FindBestSplitBinnedChunks(p Params, node vecmath.AABB, n, bins, workers, grain int, fill func(bs *BinSet, lo, hi int)) (Split, bool) {
+	return FindBestSplitBinnedChunksCancel(nil, p, node, n, bins, workers, grain, fill)
 }
 
 // FindBestSplitBinnedChunksCancel is FindBestSplitBinnedChunks with
@@ -195,8 +201,11 @@ func FindBestSplitBinnedChunks(p Params, node vecmath.AABB, n, bins, workers int
 // abort propagates through the split search at chunk granularity. A canceled
 // search returns (Split{}, false); callers must check cc before trusting
 // even that. A nil cc disables cancellation.
-func FindBestSplitBinnedChunksCancel(cc *parallel.Canceler, p Params, node vecmath.AABB, n, bins, workers int, fill func(bs *BinSet, lo, hi int)) (Split, bool) {
-	nChunks := parallel.ChunkCount(n, workers, binnedParallelGrain)
+func FindBestSplitBinnedChunksCancel(cc *parallel.Canceler, p Params, node vecmath.AABB, n, bins, workers, grain int, fill func(bs *BinSet, lo, hi int)) (Split, bool) {
+	if grain <= 0 {
+		grain = DefaultBinGrain
+	}
+	nChunks := parallel.ChunkCount(n, workers, grain)
 	if nChunks == 0 || cc.Canceled() { // n <= 0: no primitives, no candidate planes
 		return Split{Cost: math.Inf(1)}, false
 	}
@@ -208,7 +217,7 @@ func FindBestSplitBinnedChunksCancel(cc *parallel.Canceler, p Params, node vecma
 		sets = sets[:nChunks]
 		clear(sets)
 	}
-	parallel.ForChunksCancel(cc, n, workers, binnedParallelGrain, func(chunk, lo, hi int) {
+	parallel.ForChunksCancel(cc, n, workers, grain, func(chunk, lo, hi int) {
 		bs := getBinSet(node, bins)
 		fill(bs, lo, hi)
 		sets[chunk] = bs

@@ -14,15 +14,21 @@
 //	tree := kdtune.Build(sc.Triangles(0), cfg)
 //	hit, ok := kdtune.IntersectClosest(tree, ray)
 //
-// and the online tuning loop of the paper's Figure 1:
+// and the online tuning loop of the paper's Figure 1, with subsystems
+// contributing their tunables through a shared registry:
 //
+//	reg := kdtune.NewTunableRegistry()
+//	reg.Register(kdtune.Tunable{Name: "CI", Target: &ci, Min: 3, Max: 101, Step: 1})
 //	tuner := kdtune.NewTuner(kdtune.TunerOptions{})
-//	tuner.RegisterNamedParameter("CI", &ci, 3, 101, 1)
+//	tuner.RegisterAll(reg)
 //	for running {
 //		tuner.Start()
 //		doTunedWork(ci)
 //		tuner.Stop()
 //	}
+//
+// (The paper's original RegisterParameter(&v, min, max, step) methods remain
+// available on Tuner for clients that do not need named registration.)
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for measured
 // paper-vs-reproduction results.
@@ -181,10 +187,28 @@ type (
 	TunerOptions = autotune.Options
 	// TuneSample records one measurement cycle.
 	TuneSample = autotune.Sample
+	// TunableRegistry collects named tunables from any number of
+	// subsystems; feed it to a Tuner with RegisterAll.
+	TunableRegistry = autotune.Registry
+	// Tunable is one named tuning parameter: target variable, range, and
+	// scale hint.
+	Tunable = autotune.Tunable
+	// TunableScale is the search-space shaping hint of a Tunable.
+	TunableScale = autotune.Scale
+)
+
+// The tunable scale hints: a plain integer interval, or the powers of two in
+// the range (grains, bin counts, resolutions).
+const (
+	ScaleLinear = autotune.ScaleLinear
+	ScalePow2   = autotune.ScalePow2
 )
 
 // NewTuner creates an online autotuner.
 func NewTuner(opts TunerOptions) *Tuner { return autotune.New(opts) }
+
+// NewTunableRegistry creates an empty tunable registry.
+func NewTunableRegistry() *TunableRegistry { return autotune.NewRegistry() }
 
 // Scenes.
 type (
