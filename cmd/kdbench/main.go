@@ -51,6 +51,7 @@ func main() {
 		benchTag    = flag.String("bench-tag", "", "free-form label stored in the -bench-json report")
 		benchScenes = flag.String("bench-scenes", "", "comma-separated scene names for -bench-json (default: all)")
 		benchFrames = flag.Int("bench-frames", 9, "measured frames per cell for -bench-json (after warmup)")
+		benchDF     = flag.Int("deadline-factor", 0, "build watchdog multiple for -bench-json: abort builds slower than this many times the incumbent frame (0 = default 10)")
 		compare     = flag.Bool("compare", false, "compare two bench reports: kdbench -compare old.json new.json")
 		threshold   = flag.Float64("threshold", 10, "regression threshold in percent for -compare")
 	)
@@ -77,7 +78,8 @@ func main() {
 		err := runBenchJSON(benchConfig{
 			path: *benchJSON, tag: *benchTag, sceneList: *benchScenes,
 			frames: *benchFrames, iters: *iters, width: *width,
-			workers: *workers, seed: *seed, progress: progress,
+			workers: *workers, seed: *seed, deadlineFactor: *benchDF,
+			progress: progress,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "kdbench: %v\n", err)
@@ -224,6 +226,7 @@ type benchConfig struct {
 	path, tag, sceneList string
 	frames, iters, width int
 	workers              int
+	deadlineFactor       int
 	seed                 int64
 	progress             io.Writer
 }
@@ -246,6 +249,7 @@ func runBenchJSON(bc benchConfig) error {
 		Settings: harness.BenchSettings{
 			Width: bc.width, Workers: bc.workers,
 			MaxIterations: bc.iters, MeasureFrames: bc.frames, Seed: bc.seed,
+			DeadlineFactor: bc.deadlineFactor,
 		},
 		Progress: bc.progress,
 	})

@@ -1,0 +1,98 @@
+// Command kdserve runs the multi-tenant render/query service over the
+// kD-tree substrate (internal/serve): guarded builds behind a generation-
+// aware tree cache, end-to-end request deadlines, per-tenant admission
+// control and circuit breaking, and a degradation ladder that turns every
+// overload into an explicit cheaper answer instead of a hang.
+//
+//	kdserve -addr :7474
+//	kdserve -addr :7474 -faults drill      # with the standing fault drill
+//
+//	curl 'localhost:7474/build?scene=Bunny'
+//	curl -H 'X-Deadline-Ms: 250' 'localhost:7474/render?scene=Bunny&width=160'
+//	curl 'localhost:7474/metrics'
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"kdtune/internal/faultinject"
+	"kdtune/internal/kdtree"
+	"kdtune/internal/serve"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":7474", "listen address")
+		workers  = flag.Int("workers", 0, "build/render parallelism per request; 0 = all cores")
+		slots    = flag.Int("slots", 4, "global concurrent work slots")
+		maxQueue = flag.Int("max-queue", 8, "per-tenant pending ceiling before 429 shedding")
+		trip     = flag.Int("breaker-trip", 5, "consecutive failures that open a tenant's breaker")
+		cooldown = flag.Int("breaker-cooldown", 10, "sheds while open before the half-open probe")
+		deadline = flag.Duration("default-deadline", 2*time.Second, "deadline for requests that carry none")
+		maxDL    = flag.Duration("max-deadline", 30*time.Second, "ceiling on requested deadlines")
+		maxDepth = flag.Int("guard-depth", 0, "build guard: abort past this recursion depth (0 = off)")
+		maxArena = flag.Int64("guard-arena-mb", 0, "build guard: abort past this many MiB of live arena (0 = off)")
+		logSize  = flag.Int("log-size", 512, "request ring-log capacity")
+		faults   = flag.String("faults", "", "fault plan: empty or 'drill' (the standing server-side drill)")
+	)
+	flag.Parse()
+
+	switch *faults {
+	case "":
+	case "drill":
+		faultinject.Activate(serve.DrillPlan()...)
+		fmt.Fprintln(os.Stderr, "kdserve: drill fault plan active")
+	default:
+		fmt.Fprintf(os.Stderr, "kdserve: unknown -faults %q (want empty or 'drill')\n", *faults)
+		os.Exit(2)
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:         *workers,
+		Slots:           *slots,
+		MaxQueue:        *maxQueue,
+		BreakerTrip:     *trip,
+		BreakerCooldown: *cooldown,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDL,
+		Guard: kdtree.Guard{
+			MaxDepth:      *maxDepth,
+			MaxArenaBytes: *maxArena << 20,
+		},
+		LogSize: *logSize,
+	})
+
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	// Graceful shutdown: stop accepting, let in-flight requests finish
+	// inside their own deadlines, then exit.
+	done := make(chan struct{})
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "kdserve: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		hs.Shutdown(ctx)
+		close(done)
+	}()
+
+	fmt.Fprintf(os.Stderr, "kdserve: listening on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		fmt.Fprintln(os.Stderr, "kdserve:", err)
+		os.Exit(1)
+	}
+	<-done
+}

@@ -1,0 +1,104 @@
+// Command kdsoak soaks a running kdserve with a mixed-tenant, mixed-endpoint
+// workload and asserts the service's robustness contract: zero hung
+// requests, a p99 under the given bound, and (when a fault drill is active
+// server-side) a nonzero degraded count proving the ladder actually ran.
+// Exit status is nonzero when any assertion fails, so CI can gate on it.
+//
+//	kdserve -addr :7474 -faults drill &
+//	kdsoak -addr http://127.0.0.1:7474 -requests 300 -expect-degraded
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"kdtune/internal/serve"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "http://127.0.0.1:7474", "kdserve base URL")
+		requests    = flag.Int("requests", 200, "total requests across all workers")
+		concurrency = flag.Int("concurrency", 8, "parallel client workers")
+		tenants     = flag.String("tenants", "alpha,beta,gamma", "comma-separated tenant mix")
+		scenes      = flag.String("scenes", "Bunny", "comma-separated scene mix")
+		deadlineMS  = flag.Int("deadline-ms", 500, "per-request server deadline")
+		grace       = flag.Duration("grace", 10*time.Second, "client slack past the deadline before a request counts as hung")
+		attempts    = flag.Int("max-attempts", 4, "attempts per request when shed")
+		seed        = flag.Int64("seed", 1, "workload RNG seed")
+		width       = flag.Int("width", 96, "render width")
+		packet      = flag.Int("packet", 4, "render packet width")
+		p99ms       = flag.Int("p99-ms", 0, "fail if served p99 exceeds this many ms (0 = no bound)")
+		expectDeg   = flag.Bool("expect-degraded", false, "fail unless at least one request was served degraded")
+		waitReady   = flag.Duration("wait-ready", 15*time.Second, "how long to poll /healthz before starting")
+		timeout     = flag.Duration("timeout", 10*time.Minute, "overall run budget")
+	)
+	flag.Parse()
+
+	if err := serve.WaitReady(*addr, *waitReady); err != nil {
+		fail(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
+	defer cancel()
+
+	rep, err := serve.RunSoak(ctx, serve.SoakOptions{
+		BaseURL:     *addr,
+		Scenes:      splitList(*scenes),
+		Tenants:     splitList(*tenants),
+		Requests:    *requests,
+		Concurrency: *concurrency,
+		DeadlineMS:  *deadlineMS,
+		Grace:       *grace,
+		MaxAttempts: *attempts,
+		Seed:        *seed,
+		Width:       *width,
+		Height:      *width * 3 / 4,
+		Packet:      *packet,
+	})
+	if rep != nil {
+		fmt.Println(rep)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	bad := false
+	if rep.Hung > 0 {
+		fmt.Fprintf(os.Stderr, "FAIL: %d hung requests (contract requires zero)\n", rep.Hung)
+		bad = true
+	}
+	if rep.Served+rep.Degraded == 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: no request was served at all")
+		bad = true
+	}
+	if *p99ms > 0 && rep.P99 > time.Duration(*p99ms)*time.Millisecond {
+		fmt.Fprintf(os.Stderr, "FAIL: served p99 %v exceeds bound %dms\n", rep.P99, *p99ms)
+		bad = true
+	}
+	if *expectDeg && rep.Degraded == 0 {
+		fmt.Fprintln(os.Stderr, "FAIL: -expect-degraded set but no degraded responses observed")
+		bad = true
+	}
+	if bad {
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "kdsoak:", err)
+	os.Exit(1)
+}

@@ -35,6 +35,24 @@ const (
 	// SiteArena is consulted by the guarded memory accounting: KindInflate
 	// faults at this site add phantom bytes to the live-arena figure.
 	SiteArena
+	// SiteRenderTile fires in the render workers before each unit of image
+	// work — one probe per tile on the packet path, one per pixel row on
+	// the scalar path; the probe index is the tile (or row) index.
+	SiteRenderTile
+	// SitePacketDemote fires when packet traversal demotes a lane to the
+	// scalar continuation; the probe index is the demoted lane.
+	SitePacketDemote
+	// SiteServeHandler fires at the top of every kdserve request handler;
+	// the probe index is the server-lifetime request ordinal.
+	SiteServeHandler
+	// SiteServeQueue fires when an admitted request starts waiting for a
+	// work slot; the probe index is the admission ordinal. Delays here
+	// hold queue occupancy open and drive queue-full shedding.
+	SiteServeQueue
+	// SiteServeCache fires inside the tree cache on every fill or
+	// generation check; the probe index is the fill ordinal. Delays here
+	// widen the build/invalidate race window.
+	SiteServeCache
 	numSites
 )
 
@@ -50,6 +68,16 @@ func (s Site) String() string {
 		return "build-leaf"
 	case SiteArena:
 		return "arena"
+	case SiteRenderTile:
+		return "render-tile"
+	case SitePacketDemote:
+		return "packet-demote"
+	case SiteServeHandler:
+		return "serve-handler"
+	case SiteServeQueue:
+		return "serve-queue"
+	case SiteServeCache:
+		return "serve-cache"
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
 }
@@ -74,6 +102,12 @@ type Fault struct {
 	Delay time.Duration // KindDelay: how long to stall
 	Bytes int64         // KindInflate: phantom bytes to add
 	Count int           // max times to trigger; 0 means unlimited
+
+	// Every, when positive, switches Index from exact matching to periodic
+	// matching: the fault fires at probe indices congruent to Index modulo
+	// Every. Soak drills use it to fault "every Nth request" instead of a
+	// single ordinal; Count still bounds the total damage.
+	Every int
 }
 
 // Injected is the panic value of a KindPanic fault. It satisfies error so
@@ -131,7 +165,14 @@ func (in *Injector) TotalHits() int64 {
 // trigger budget, consumes one unit of it.
 func (in *Injector) match(i int, site Site, idx int) bool {
 	f := &in.faults[i]
-	if f.Site != site || (f.Index >= 0 && f.Index != idx) {
+	if f.Site != site {
+		return false
+	}
+	if f.Every > 0 {
+		if idx < 0 || idx%f.Every != ((f.Index%f.Every)+f.Every)%f.Every {
+			return false
+		}
+	} else if f.Index >= 0 && f.Index != idx {
 		return false
 	}
 	n := in.hits[i].Add(1)

@@ -1,0 +1,166 @@
+package faultinject_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"kdtune/internal/faultinject"
+	"kdtune/internal/kdtree"
+	"kdtune/internal/parallel"
+	"kdtune/internal/render"
+	"kdtune/internal/scene"
+	"kdtune/internal/vecmath"
+)
+
+// renderDrillScene builds a small static scene plus its tree for the
+// render-path drills.
+func renderDrillScene(t *testing.T) (*scene.Scene, *kdtree.Tree) {
+	t.Helper()
+	tris := e2eTriangles(3000)
+	sc := scene.NewStatic("drill", tris,
+		scene.View{Eye: vecmath.V(5, 5, 30), LookAt: vecmath.V(5, 5, 5), Up: vecmath.V(0, 1, 0), FOV: 45},
+		[]vecmath.Vec3{vecmath.V(20, 30, 25)})
+	cfg := e2eConfig(kdtree.AlgoInPlace)
+	tree, err := kdtree.NewBuilder().BuildGuarded(tris, cfg, kdtree.Guard{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return sc, tree
+}
+
+// TestRenderTilePanicContained injects a panic into a render worker's tile
+// loop and asserts it surfaces on the calling goroutine as a typed
+// *parallel.WorkerPanic carrying the injected sentinel — the contract the
+// server's recover middleware converts into a 500 instead of a dead process.
+func TestRenderTilePanicContained(t *testing.T) {
+	sc, tree := renderDrillScene(t)
+	for _, packet := range []int{1, 8} {
+		in := faultinject.Activate(faultinject.Fault{
+			Site: faultinject.SiteRenderTile, Index: -1, Kind: faultinject.KindPanic, Count: 1,
+		})
+		im := render.NewImage(64, 48)
+		err := func() (err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					wp, ok := r.(*parallel.WorkerPanic)
+					if !ok {
+						t.Fatalf("packet=%d: recovered %T, want *parallel.WorkerPanic", packet, r)
+					}
+					err = wp
+				}
+			}()
+			render.RenderInto(im, tree, sc.View, sc.Lights, render.Options{
+				Width: 64, Height: 48, Workers: 4, PacketWidth: packet,
+			})
+			return nil
+		}()
+		in.Deactivate()
+		if err == nil {
+			t.Fatalf("packet=%d: injected render panic did not surface", packet)
+		}
+		var inj *faultinject.Injected
+		if !errors.As(err, &inj) {
+			t.Fatalf("packet=%d: panic %v does not unwrap to *Injected", packet, err)
+		}
+	}
+}
+
+// TestRenderDelayCanceledByContext stalls every tile/row and asserts a
+// deadline context linked to Options.Cancel drains the render early with
+// Canceled set — the end-to-end deadline path of the serve layer.
+func TestRenderDelayCanceledByContext(t *testing.T) {
+	sc, tree := renderDrillScene(t)
+	for _, packet := range []int{1, 8} {
+		in := faultinject.Activate(faultinject.Fault{
+			Site: faultinject.SiteRenderTile, Index: -1, Kind: faultinject.KindDelay, Delay: 10 * time.Millisecond,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+		var cc parallel.Canceler
+		stop := parallel.LinkContext(ctx, &cc)
+		im := render.NewImage(96, 72)
+		st := render.RenderInto(im, tree, sc.View, sc.Lights, render.Options{
+			Width: 96, Height: 72, Workers: 2, PacketWidth: packet, Cancel: &cc,
+		})
+		stop()
+		cancel()
+		in.Deactivate()
+		if !st.Canceled {
+			t.Fatalf("packet=%d: delayed render was not canceled by the linked context", packet)
+		}
+		if !cc.Canceled() || !errors.Is(cc.Err(), context.DeadlineExceeded) {
+			t.Fatalf("packet=%d: canceler state %v/%v, want deadline-exceeded", packet, cc.Canceled(), cc.Err())
+		}
+	}
+}
+
+// TestPacketDemoteSite drives a deliberately divergent packet (opposing
+// direction signs demote at the first split) through both traversal kernels
+// and asserts the demotion probe fires, both as a delay and as a contained
+// panic.
+func TestPacketDemoteSite(t *testing.T) {
+	tris := e2eTriangles(2000)
+	cfg := e2eConfig(kdtree.AlgoInPlace)
+	tree, err := kdtree.NewBuilder().BuildGuarded(tris, cfg, kdtree.Guard{})
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	// Two rays crossing the scene in opposite x-directions: no shared
+	// near/far order exists at any x-split, so the packet demotes.
+	rays := []vecmath.Ray{
+		vecmath.Towards(vecmath.V(-5, 5, 5), vecmath.V(15, 5, 5)),
+		vecmath.Towards(vecmath.V(15, 5.1, 5.1), vecmath.V(-5, 5.1, 5.1)),
+	}
+	var ps kdtree.PacketScratch
+
+	in := faultinject.Activate(faultinject.Fault{
+		Site: faultinject.SitePacketDemote, Index: -1, Kind: faultinject.KindDelay, Delay: time.Microsecond,
+	})
+	demoted := tree.IntersectPacket(&ps, rays, 1e-9, math.Inf(1))
+	occDemoted := tree.OccludedPacket(&ps, rays, 1e-9, math.Inf(1))
+	hits := in.TotalHits()
+	in.Deactivate()
+	if demoted == 0 && occDemoted == 0 {
+		t.Fatal("divergent packet did not demote; drill rays need adjusting")
+	}
+	if hits == 0 {
+		t.Fatal("demotion probe never fired despite demotions")
+	}
+
+	in = faultinject.Activate(faultinject.Fault{
+		Site: faultinject.SitePacketDemote, Index: -1, Kind: faultinject.KindPanic, Count: 1,
+	})
+	err = func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = parallel.AsWorkerPanic(-1, r)
+			}
+		}()
+		tree.IntersectPacket(&ps, rays, 1e-9, math.Inf(1))
+		return nil
+	}()
+	in.Deactivate()
+	var inj *faultinject.Injected
+	if err == nil || !errors.As(err, &inj) {
+		t.Fatalf("demote panic: got %v, want *Injected", err)
+	}
+}
+
+// TestFaultEveryPeriodicMatch pins the Every-period matching added for the
+// soak drills: a fault with Every=3, Index=1 fires exactly on probe indices
+// congruent to 1 mod 3, and Count still bounds the total.
+func TestFaultEveryPeriodicMatch(t *testing.T) {
+	in := faultinject.Activate(faultinject.Fault{
+		Site: faultinject.SiteServeHandler, Index: 1, Every: 3, Kind: faultinject.KindDelay, Delay: 0,
+	})
+	defer in.Deactivate()
+	for idx := 0; idx < 9; idx++ {
+		faultinject.Check(faultinject.SiteServeHandler, idx)
+	}
+	// Indices 1, 4, 7 → 3 hits. (Non-matching probes do not consume hits.)
+	if got := in.TotalHits(); got != 3 {
+		t.Fatalf("periodic fault hits = %d, want 3", got)
+	}
+}

@@ -89,6 +89,14 @@ type BenchSettings struct {
 	MeasureFrames int   `json:"measure_frames"`
 	WarmupFrames  int   `json:"warmup_frames"`
 	Seed          int64 `json:"seed"`
+
+	// DeadlineFactor is the watchdog multiple armed on every run: builds
+	// slower than this many times the incumbent frame total abort and are
+	// served from the median fallback. Zero selects the default (10 —
+	// generous enough that honest probes never trip it); it is recorded in
+	// the report because two runs with different watchdogs measured
+	// different protocols.
+	DeadlineFactor int `json:"deadline_factor,omitempty"`
 }
 
 // BenchResult is one scene x algorithm cell: frame-time statistics under the
@@ -194,6 +202,9 @@ func (o BenchOptions) normalized() BenchOptions {
 	if s.Seed == 0 {
 		s.Seed = 1
 	}
+	if s.DeadlineFactor <= 0 {
+		s.DeadlineFactor = defaultBenchDeadlineFactor
+	}
 	return o
 }
 
@@ -221,9 +232,10 @@ func measureStats(rc RunConfig, s BenchSettings) (frame, build, rend BenchStat, 
 // averages over.
 const allocMeasureBuilds = 5
 
-// benchDeadlineFactor is the watchdog multiple RunBench arms on every run:
-// builds slower than this many times the incumbent frame total abort.
-const benchDeadlineFactor = 10
+// defaultBenchDeadlineFactor is the watchdog multiple RunBench arms when
+// BenchSettings.DeadlineFactor is zero: builds slower than this many times
+// the incumbent frame total abort.
+const defaultBenchDeadlineFactor = 10
 
 // measureBuildAllocs profiles the steady-state allocation behaviour of one
 // rebuild under cfg: a fresh Builder is warmed with two builds (first-touch
@@ -269,10 +281,11 @@ func RunBench(o BenchOptions) *BenchReport {
 			rc := RunConfig{
 				Scene: sc, Algorithm: algo, Workers: s.Workers,
 				Width: s.Width, Height: s.Height, Seed: s.Seed,
-				// Watchdog: abort any build slower than 10× the fastest
-				// frame seen, render the fallback, penalize the sample.
-				// Generous enough that honest probes never trip it.
-				DeadlineFactor: benchDeadlineFactor,
+				// Watchdog: abort any build slower than DeadlineFactor times
+				// the fastest frame seen, render the fallback, penalize the
+				// sample. The default is generous enough that honest probes
+				// never trip it; kdbench -deadline-factor tightens it.
+				DeadlineFactor: float64(s.DeadlineFactor),
 			}
 			baseFrame, _, _, baseRes := measureStats(rc, s)
 

@@ -238,4 +238,23 @@ func TestRunBenchSmall(t *testing.T) {
 		t.Errorf("steady-state build allocates %.0f objects for %d triangles — arenas not reused?",
 			r.AllocsPerBuild, r.Triangles)
 	}
+	// A zero DeadlineFactor is normalized to the default and recorded in the
+	// report, so -compare can see which watchdog protocol was measured.
+	if rep.Settings.DeadlineFactor != defaultBenchDeadlineFactor {
+		t.Errorf("Settings.DeadlineFactor = %d, want default %d",
+			rep.Settings.DeadlineFactor, defaultBenchDeadlineFactor)
+	}
+}
+
+// TestBenchSettingsDeadlineFactorPassthrough pins that an explicit watchdog
+// multiple survives normalization and lands in the report verbatim.
+func TestBenchSettingsDeadlineFactorPassthrough(t *testing.T) {
+	o := BenchOptions{Settings: BenchSettings{DeadlineFactor: 25}}.normalized()
+	if o.Settings.DeadlineFactor != 25 {
+		t.Fatalf("DeadlineFactor = %d, want 25", o.Settings.DeadlineFactor)
+	}
+	o = BenchOptions{}.normalized()
+	if o.Settings.DeadlineFactor != defaultBenchDeadlineFactor {
+		t.Fatalf("default DeadlineFactor = %d, want %d", o.Settings.DeadlineFactor, defaultBenchDeadlineFactor)
+	}
 }

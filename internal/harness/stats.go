@@ -26,25 +26,55 @@ func Summarize(xs []float64) Summary {
 		return Summary{}
 	}
 	sort.Float64s(xs)
-	q := func(p float64) float64 {
-		if len(xs) == 1 {
-			return xs[0]
-		}
-		pos := p * float64(len(xs)-1)
-		lo := int(math.Floor(pos))
-		hi := int(math.Ceil(pos))
-		frac := pos - float64(lo)
-		return xs[lo]*(1-frac) + xs[hi]*frac
-	}
 	mean := 0.0
 	for _, x := range xs {
 		mean += x
 	}
 	mean /= float64(len(xs))
 	return Summary{
-		Min: xs[0], Q1: q(0.25), Median: q(0.5), Q3: q(0.75), Max: xs[len(xs)-1],
+		Min: xs[0], Q1: Percentile(xs, 0.25), Median: Percentile(xs, 0.5),
+		Q3: Percentile(xs, 0.75), Max: xs[len(xs)-1],
 		Mean: mean, N: len(xs),
 	}
+}
+
+// Percentile returns the p-quantile (p in [0, 1]) of an ascending-sorted
+// sample using linear interpolation between order statistics — the same
+// estimator Summarize's quartiles use. It is the one percentile definition
+// shared by the bench statistics, the serve-layer latency metrics, and the
+// soak driver's assertions, so "p99" means the same number everywhere.
+func Percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// PercentileDuration returns the p-quantile of a duration sample (sorting a
+// copy; the input is untouched).
+func PercentileDuration(ds []time.Duration, p float64) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	xs := make([]float64, len(ds))
+	for i, d := range ds {
+		xs[i] = float64(d)
+	}
+	sort.Float64s(xs)
+	return time.Duration(Percentile(xs, p))
 }
 
 // String renders the summary as "min/q1/med/q3/max".

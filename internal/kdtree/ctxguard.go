@@ -1,0 +1,35 @@
+package kdtree
+
+import (
+	"context"
+	"time"
+)
+
+// GuardFromContext derives the Guard for one build from a request context
+// merged with a static base Guard: the context's deadline (when it has one)
+// is converted to a build budget and the tighter of it and base.Deadline
+// wins; the depth and memory ceilings always come from base. This makes
+// end-to-end deadline plumbing one call at every entry point — an HTTP
+// handler passes its request context and the server's static limits, and
+// the resulting Guard aborts the build when either boundary is crossed.
+//
+// A context whose deadline has already passed yields a one-nanosecond
+// budget rather than zero: zero would read as "no deadline" and let an
+// already-expired request start an unbounded build.
+func GuardFromContext(ctx context.Context, base Guard) Guard {
+	if ctx == nil {
+		return base
+	}
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return base
+	}
+	d := time.Until(dl) //kdlint:allow determinism.time the request deadline is a wall-clock boundary by definition; it bounds when a build stops, never what it builds
+	if d <= 0 {
+		d = time.Nanosecond
+	}
+	if base.Deadline <= 0 || d < base.Deadline {
+		base.Deadline = d
+	}
+	return base
+}

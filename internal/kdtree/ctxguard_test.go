@@ -1,0 +1,84 @@
+package kdtree
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestGuardFromContextNoDeadline(t *testing.T) {
+	base := Guard{Deadline: time.Second, MaxDepth: 7, MaxArenaBytes: 1 << 20}
+	got := GuardFromContext(context.Background(), base)
+	if got != base {
+		t.Fatalf("background ctx changed the guard: %+v != %+v", got, base)
+	}
+	if got := GuardFromContext(nil, base); got != base { //nolint — nil ctx must be tolerated
+		t.Fatalf("nil ctx changed the guard: %+v != %+v", got, base)
+	}
+}
+
+func TestGuardFromContextTighterWins(t *testing.T) {
+	base := Guard{Deadline: time.Hour, MaxDepth: 9, MaxArenaBytes: 512}
+
+	// Context deadline tighter than the static guard: the context wins,
+	// the non-deadline limits survive untouched.
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	got := GuardFromContext(ctx, base)
+	if got.Deadline <= 0 || got.Deadline > 50*time.Millisecond {
+		t.Fatalf("merged deadline %v, want (0, 50ms]", got.Deadline)
+	}
+	if got.MaxDepth != base.MaxDepth || got.MaxArenaBytes != base.MaxArenaBytes {
+		t.Fatalf("non-deadline limits changed: %+v", got)
+	}
+
+	// Static guard tighter than the context: the static guard wins.
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Hour)
+	defer cancel2()
+	base2 := Guard{Deadline: time.Millisecond}
+	if got := GuardFromContext(ctx2, base2); got.Deadline != time.Millisecond {
+		t.Fatalf("merged deadline %v, want the static 1ms", got.Deadline)
+	}
+
+	// No static deadline at all: the context supplies one.
+	ctx3, cancel3 := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel3()
+	if got := GuardFromContext(ctx3, Guard{}); got.Deadline <= 0 || got.Deadline > 20*time.Millisecond {
+		t.Fatalf("deadline %v, want (0, 20ms]", got.Deadline)
+	}
+}
+
+func TestGuardFromContextExpiredClampsToArmed(t *testing.T) {
+	// An already-expired context must yield a positive (immediately firing)
+	// deadline, never zero — zero reads as "unguarded".
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	got := GuardFromContext(ctx, Guard{Deadline: time.Hour})
+	if got.Deadline <= 0 || got.Deadline > time.Millisecond {
+		t.Fatalf("expired ctx deadline %v, want tiny positive", got.Deadline)
+	}
+}
+
+func TestGuardFromContextAbortsBuild(t *testing.T) {
+	// End-to-end: a build entered with an expired request context aborts
+	// with AbortDeadline instead of running to completion.
+	tris := randomTriangles(rand.New(rand.NewSource(99)), 4000, 10, 0.2)
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
+	defer cancel()
+
+	b := NewBuilder()
+	cfg := BaseConfig(AlgoInPlace)
+	cfg.Workers = 2
+	_, err := b.BuildGuarded(tris, cfg, GuardFromContext(ctx, Guard{}))
+	var ba *BuildAborted
+	if !errors.As(err, &ba) || ba.Cause != AbortDeadline {
+		t.Fatalf("err = %v, want *BuildAborted{AbortDeadline}", err)
+	}
+	// The same Builder still produces a healthy tree afterwards.
+	tree, err := b.BuildGuarded(tris, cfg, Guard{})
+	if err != nil || tree == nil {
+		t.Fatalf("rebuild after ctx abort failed: %v", err)
+	}
+}

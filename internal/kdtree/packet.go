@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/bits"
 
+	"kdtune/internal/faultinject"
 	"kdtune/internal/vecmath"
 )
 
@@ -172,6 +173,9 @@ func (t *Tree) IntersectPacket(ps *PacketScratch, rays []vecmath.Ray, tMin, tMax
 				// subtree through the scalar core with its live state.
 				for m := active; m != 0; m &= m - 1 {
 					l := bits.TrailingZeros32(m)
+					if faultinject.Active() {
+						faultinject.Check(faultinject.SitePacketDemote, l)
+					}
 					ps.Hits[l], ps.Ok[l] = t.intersectFrom(rays[l], ps.inv[l], node, ps.cur0[l], ps.cur1[l], tMin, tMax, ps.Hits[l], ps.Ok[l])
 					demoted++
 				}
@@ -330,6 +334,9 @@ func (t *Tree) OccludedPacket(ps *PacketScratch, rays []vecmath.Ray, tMin, tMax 
 			if !agree {
 				for m := active; m != 0; m &= m - 1 {
 					l := bits.TrailingZeros32(m)
+					if faultinject.Active() {
+						faultinject.Check(faultinject.SitePacketDemote, l)
+					}
 					if t.occludedFrom(rays[l], ps.inv[l], node, ps.cur0[l], ps.cur1[l], tMin, tMax) {
 						ps.Occ[l] = true
 						undecided &^= 1 << uint(l)

@@ -1,0 +1,42 @@
+package parallel
+
+import (
+	"context"
+	"sync"
+)
+
+// LinkContext ties a Canceler to a context: when ctx is canceled or its
+// deadline passes, cc.Cancel(ctx.Err()) fires, so every parallel primitive
+// threading cc drains at its next chunk boundary. This is the bridge a
+// request-scoped caller (an HTTP handler carrying an end-to-end deadline)
+// uses to push context cancellation into the fork-join substrate without
+// the substrate importing context itself.
+//
+// The returned stop function releases the watcher goroutine; it must be
+// called exactly once, after the parallel region the Canceler covers has
+// joined. Stopping does not un-cancel cc. A ctx that can never be canceled
+// (nil Done channel) installs no watcher and stop is a no-op.
+func LinkContext(ctx context.Context, cc *Canceler) (stop func()) {
+	if ctx == nil || cc == nil {
+		return func() {}
+	}
+	done := ctx.Done()
+	if done == nil {
+		return func() {}
+	}
+	quit := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		select {
+		case <-done:
+			cc.Cancel(ctx.Err())
+		case <-quit:
+		}
+	}()
+	return func() {
+		close(quit)
+		wg.Wait()
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"kdtune/internal/faultinject"
 	"kdtune/internal/kdtree"
 	"kdtune/internal/parallel"
 	"kdtune/internal/vecmath"
@@ -53,11 +54,17 @@ func renderPackets(im *Image, tree *kdtree.Tree, cam Camera, lights []vecmath.Ve
 
 	// Parallelise across tiles: like the scalar path's rows, tiles are a
 	// disjoint partition of the image, so worker count cannot change pixels.
-	//kdlint:nocancel frame rendering runs outside any guarded build; a frame either completes or the process exits
-	parallel.For(tilesX*tilesY, opt.Workers, func(lo, hi int) {
+	// A nil opt.Cancel never cancels; a linked one drains at the next tile.
+	parallel.ForCancel(opt.Cancel, tilesX*tilesY, opt.Workers, func(lo, hi int) {
 		ctx := packetCtxPool.Get().(*packetCtx)
 		local := RenderStats{}
 		for ti := lo; ti < hi; ti++ {
+			if opt.Cancel.Canceled() {
+				break
+			}
+			if faultinject.Active() {
+				faultinject.Check(faultinject.SiteRenderTile, ti)
+			}
 			x0 := (ti % tilesX) * tile
 			y0 := (ti / tilesX) * tile
 			x1 := min(x0+tile, opt.Width)
@@ -79,6 +86,7 @@ func renderPackets(im *Image, tree *kdtree.Tree, cam Camera, lights []vecmath.Ve
 		Packets:     int(packets.Load()),
 		Demotions:   int(demotions.Load()),
 		PacketRays:  int(packetRays.Load()),
+		Canceled:    opt.Cancel.Canceled(),
 	}
 }
 

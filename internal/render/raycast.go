@@ -6,6 +6,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"kdtune/internal/faultinject"
 	"kdtune/internal/kdtree"
 	"kdtune/internal/parallel"
 	"kdtune/internal/scene"
@@ -106,6 +107,17 @@ type Options struct {
 	// tile, so the tile shape controls packet coherence; it is the second
 	// render-side tunable.
 	TileSize int
+
+	// Cancel, when non-nil, makes the render cooperatively cancelable: the
+	// workers check it at every pixel row (scalar path) or tile (packet
+	// path) and drain early once it fires. A canceled render leaves the
+	// framebuffer partially written — callers that care must check
+	// Cancel.Canceled() (or RenderStats.Canceled) before using the pixels.
+	// This is how a request deadline propagates into the traversal
+	// kernels: link the Canceler to the request context with
+	// parallel.LinkContext. nil keeps the previous run-to-completion
+	// behaviour.
+	Cancel *parallel.Canceler
 }
 
 // RenderStats reports what the ray caster did — used by tests and by the
@@ -122,6 +134,10 @@ type RenderStats struct {
 	Packets    int
 	Demotions  int
 	PacketRays int // rays traced through packets (primary + shadow)
+
+	// Canceled reports that Options.Cancel fired while the frame was in
+	// flight: some rows/tiles were skipped and the framebuffer is partial.
+	Canceled bool
 }
 
 // Render ray-casts the scene geometry through tree from the given view and
@@ -189,9 +205,9 @@ func renderCore(im *Image, tree *kdtree.Tree, view scene.View, lights []vecmath.
 
 	// Parallelise across rows of pixels — "as the tree can be traversed
 	// independently for every ray, we parallelize intersection testing
-	// across different rays".
-	//kdlint:nocancel frame rendering runs outside any guarded build; a frame either completes or the process exits
-	parallel.For(opt.Height, opt.Workers, func(yLo, yHi int) {
+	// across different rays". A nil opt.Cancel is never canceled, so the
+	// unguarded frame loop pays one atomic load per row.
+	parallel.ForCancel(opt.Cancel, opt.Height, opt.Workers, func(yLo, yHi int) {
 		local := RenderStats{}
 		samples := opt.Samples
 		inv := 1.0 / float64(samples*samples)
@@ -200,6 +216,12 @@ func renderCore(im *Image, tree *kdtree.Tree, view scene.View, lights []vecmath.
 		// (row, sub-row) instead of per sample).
 		rowBases := make([]vecmath.Vec3, samples)
 		for y := yLo; y < yHi; y++ {
+			if opt.Cancel.Canceled() {
+				break
+			}
+			if faultinject.Active() {
+				faultinject.Check(faultinject.SiteRenderTile, y)
+			}
 			for sy := 0; sy < samples; sy++ {
 				t := (float64(y) + (float64(sy)+0.5)/float64(samples)) / float64(opt.Height)
 				rowBases[sy] = cam.RowBase(t)
@@ -261,6 +283,7 @@ func renderCore(im *Image, tree *kdtree.Tree, view scene.View, lights []vecmath.
 		PrimaryRays: int(primary.Load()),
 		ShadowRays:  int(shadow.Load()),
 		Hits:        int(hits.Load()),
+		Canceled:    opt.Cancel.Canceled(),
 	}
 }
 

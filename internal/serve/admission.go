@@ -1,0 +1,136 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"kdtune/internal/faultinject"
+)
+
+// admission is the front door: a per-tenant pending bound (cheap, lock-free,
+// sheds with 429 before any queueing happens) in front of a global slot
+// semaphore (bounds concurrent tree/render work at the machine's capacity).
+// The wait for a slot is context-aware — a request whose deadline expires in
+// the queue leaves with a typed 504 instead of occupying a worker later for
+// an answer nobody is waiting for.
+type admission struct {
+	slots    chan struct{}
+	maxQueue int // per-tenant pending ceiling (queued + executing)
+
+	trip, cooldown int // breaker parameters for newly seen tenants
+
+	queueSeq atomic.Int64 // faultinject ordinal for SiteServeQueue
+
+	mu      sync.Mutex
+	tenants map[string]*tenantState
+}
+
+// tenantState is everything the server tracks per tenant: the pending gauge
+// the queue bound reads and the circuit breaker.
+type tenantState struct {
+	name    string
+	pending atomic.Int64
+	breaker *Breaker
+}
+
+func newAdmission(slots, maxQueue, trip, cooldown int) *admission {
+	if slots < 1 {
+		slots = 4
+	}
+	if maxQueue < 1 {
+		maxQueue = 8
+	}
+	return &admission{
+		slots:    make(chan struct{}, slots),
+		maxQueue: maxQueue,
+		trip:     trip,
+		cooldown: cooldown,
+		tenants:  make(map[string]*tenantState),
+	}
+}
+
+func (a *admission) tenant(name string) *tenantState {
+	a.mu.Lock()
+	t := a.tenants[name]
+	if t == nil {
+		t = &tenantState{name: name, breaker: NewBreaker(a.trip, a.cooldown)}
+		a.tenants[name] = t
+	}
+	a.mu.Unlock()
+	return t
+}
+
+// ticket is a successful admission; close() releases the slot and the
+// pending count exactly once.
+type ticket struct {
+	adm   *admission
+	ten   *tenantState
+	probe bool // this request is the breaker's half-open canary
+	done  atomic.Bool
+}
+
+func (tk *ticket) close() {
+	if !tk.done.CompareAndSwap(false, true) {
+		return
+	}
+	<-tk.adm.slots
+	tk.ten.pending.Add(-1)
+}
+
+// admit runs the full front door for one request. On rejection the returned
+// *Error carries the status (429 queue-full, 503 breaker-open, 504 deadline)
+// and a retry hint scaled by the tenant's queue depth.
+func (a *admission) admit(ctx context.Context, ten *tenantState) (*ticket, *Error) {
+	admitOK, probe := ten.breaker.Allow()
+	if !admitOK {
+		return nil, &Error{Status: 503, Code: "breaker-open",
+			Msg: "tenant circuit breaker is open", RetryAfterMS: a.retryHintMS(ten)}
+	}
+
+	pending := ten.pending.Add(1)
+	if int(pending) > a.maxQueue {
+		ten.pending.Add(-1)
+		// The shed is not an outcome of admitted work; the breaker only
+		// hears about executed requests, so shedding cannot trip it.
+		return nil, &Error{Status: 429, Code: "queue-full",
+			Msg: "tenant queue is full", RetryAfterMS: a.retryHintMS(ten)}
+	}
+
+	if faultinject.Active() {
+		// A delay here models a stalled dispatcher: pending stays elevated,
+		// which is exactly what drives queue-full shedding in the drills.
+		faultinject.Check(faultinject.SiteServeQueue, int(a.queueSeq.Add(1))-1)
+	}
+
+	select {
+	case a.slots <- struct{}{}:
+	case <-ctx.Done():
+		ten.pending.Add(-1)
+		return nil, &Error{Status: 504, Code: "deadline",
+			Msg: "deadline expired waiting for a work slot"}
+	}
+	return &ticket{adm: a, ten: ten, probe: probe}, nil
+}
+
+// retryHintMS scales the backoff hint with the tenant's queue depth: an idle
+// tenant may retry almost immediately, a saturated one is pushed out far
+// enough for the queue to drain.
+func (a *admission) retryHintMS(ten *tenantState) int64 {
+	ms := 5 * (ten.pending.Load() + 1)
+	if ms > 1000 {
+		ms = 1000
+	}
+	return ms
+}
+
+// breakerStates snapshots every tenant's breaker position for /metrics.
+func (a *admission) breakerStates() map[string]string {
+	out := map[string]string{}
+	a.mu.Lock()
+	for name, t := range a.tenants {
+		out[name] = t.breaker.State().String()
+	}
+	a.mu.Unlock()
+	return out
+}

@@ -1,0 +1,123 @@
+package serve
+
+import "sync"
+
+// BreakerState is the circuit breaker's position.
+type BreakerState uint8
+
+const (
+	// BreakerClosed admits everything; consecutive failures are counted.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen sheds everything until the cooldown budget of rejected
+	// requests is spent, then transitions to half-open.
+	BreakerOpen
+	// BreakerHalfOpen has released exactly one probe request and sheds the
+	// rest until the probe reports back.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	}
+	return "breaker(?)"
+}
+
+// Breaker is a per-tenant circuit breaker. It is deliberately count-based —
+// the open state cools down by shedding a fixed number of requests rather
+// than by waiting wall-clock time — so its whole state machine is a pure
+// function of the request/outcome sequence. Under a fixed fault plan the trip,
+// half-open and close transitions land on exactly the same request ordinals
+// every run, which is what lets the drill tests assert the ladder
+// deterministically.
+type Breaker struct {
+	trip     int // consecutive failures that open the breaker
+	cooldown int // rejected requests while open before a probe is released
+
+	mu       sync.Mutex
+	state    BreakerState
+	failures int  // consecutive failures while closed
+	rejects  int  // requests shed while open
+	probing  bool // a half-open probe is in flight
+}
+
+// NewBreaker returns a closed breaker that opens after trip consecutive
+// failures and releases a probe after cooldown sheds. Non-positive arguments
+// select 5 and 10.
+func NewBreaker(trip, cooldown int) *Breaker {
+	if trip <= 0 {
+		trip = 5
+	}
+	if cooldown <= 0 {
+		cooldown = 10
+	}
+	return &Breaker{trip: trip, cooldown: cooldown}
+}
+
+// Allow decides whether a request may proceed. probe marks the single
+// half-open canary; its outcome (via Record) decides whether the breaker
+// closes again or re-opens. A shed request must NOT call Record.
+func (b *Breaker) Allow() (admit, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true, false
+	case BreakerOpen:
+		b.rejects++
+		if b.rejects >= b.cooldown {
+			b.state = BreakerHalfOpen
+			b.probing = true
+			return true, true
+		}
+		return false, false
+	default: // BreakerHalfOpen: the probe is out; shed everyone else.
+		return false, false
+	}
+}
+
+// Record reports the outcome of an admitted request. Degraded-but-served
+// responses count as success — the breaker protects against aborts and
+// panics, not against the ladder doing its job.
+func (b *Breaker) Record(success, probe bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if probe {
+		b.probing = false
+		if success {
+			b.state = BreakerClosed
+			b.failures = 0
+			b.rejects = 0
+		} else {
+			b.state = BreakerOpen
+			b.rejects = 0
+		}
+		return
+	}
+	if b.state != BreakerClosed {
+		// A non-probe admitted before the trip whose outcome arrives after
+		// it: ignore — the probe alone decides the half-open verdict.
+		return
+	}
+	if success {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.trip {
+		b.state = BreakerOpen
+		b.rejects = 0
+	}
+}
+
+// State returns the current position (for /metrics and tests).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}

@@ -1,0 +1,109 @@
+package serve
+
+import "testing"
+
+// TestBreakerDeterministicSequence pins the whole state machine as a pure
+// function of the request/outcome sequence — the property that makes
+// breaker behaviour reproducible under fixed fault plans.
+func TestBreakerDeterministicSequence(t *testing.T) {
+	b := NewBreaker(2, 2)
+
+	// Closed: successes keep it closed, a lone failure does not trip.
+	for i := 0; i < 3; i++ {
+		admit, probe := b.Allow()
+		if !admit || probe {
+			t.Fatalf("closed Allow #%d = %v,%v", i, admit, probe)
+		}
+		b.Record(true, probe)
+	}
+	if admit, probe := b.Allow(); !admit || probe {
+		t.Fatal("closed breaker must admit")
+	} else {
+		b.Record(false, probe)
+	}
+	if b.State() != BreakerClosed {
+		t.Fatalf("one failure tripped a trip=2 breaker: %v", b.State())
+	}
+
+	// An interleaved success resets the consecutive count.
+	admit, probe := b.Allow()
+	b.Record(true, probe)
+	admit, probe = b.Allow()
+	b.Record(false, probe)
+	if b.State() != BreakerClosed {
+		t.Fatal("success did not reset the consecutive-failure count")
+	}
+
+	// Two consecutive failures open it. (A success first clears the single
+	// failure left by the block above.)
+	admit, probe = b.Allow()
+	b.Record(true, probe)
+	admit, probe = b.Allow()
+	b.Record(false, probe)
+	admit, probe = b.Allow()
+	b.Record(false, probe)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after trip = %v, want open", b.State())
+	}
+
+	// Open: exactly cooldown-1 sheds, then the probe is released.
+	if admit, _ = b.Allow(); admit {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	admit, probe = b.Allow()
+	if !admit || !probe {
+		t.Fatalf("cooldown-th Allow = %v,%v, want probe admission", admit, probe)
+	}
+	if b.State() != BreakerHalfOpen {
+		t.Fatalf("state during probe = %v", b.State())
+	}
+
+	// Half-open sheds everyone but the probe.
+	if admit, _ = b.Allow(); admit {
+		t.Fatal("half-open breaker admitted a second request")
+	}
+
+	// Probe failure re-opens with a fresh cooldown.
+	b.Record(false, true)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if admit, _ = b.Allow(); admit {
+		t.Fatal("re-opened breaker admitted before second cooldown")
+	}
+	admit, probe = b.Allow()
+	if !admit || !probe {
+		t.Fatal("second cooldown did not release a probe")
+	}
+
+	// Probe success closes and fully resets.
+	b.Record(true, true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+	admit, probe = b.Allow()
+	if !admit || probe {
+		t.Fatal("closed-again breaker must admit normally")
+	}
+	b.Record(true, probe)
+}
+
+// TestBreakerIgnoresLateNonProbeOutcomes pins that an in-flight request
+// finishing after the breaker already tripped cannot flip state — only the
+// half-open probe's outcome decides.
+func TestBreakerIgnoresLateNonProbeOutcomes(t *testing.T) {
+	b := NewBreaker(1, 5)
+	admit, probe := b.Allow()
+	if !admit {
+		t.Fatal("closed breaker must admit")
+	}
+	b.Record(false, probe) // trips (trip=1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	// A request admitted before the trip reports success afterwards.
+	b.Record(true, false)
+	if b.State() != BreakerOpen {
+		t.Fatalf("late non-probe success closed the breaker: %v", b.State())
+	}
+}

@@ -1,0 +1,38 @@
+package serve
+
+import (
+	"time"
+
+	"kdtune/internal/faultinject"
+)
+
+// DrillPlan is the standing fault plan behind `kdserve -faults drill` and
+// the soak e2e test: a periodic sampling of every server-side failure mode,
+// none of which may ever turn into a hung request. The Every-period matching
+// keeps the damage recurring (a soak outlasts any fixed Count) while leaving
+// the majority of requests clean, so the run exercises the ladder AND still
+// proves healthy requests flow.
+func DrillPlan() []faultinject.Fault {
+	return []faultinject.Fault{
+		// Every 11th build-node probe ordinal stalls briefly: builds near a
+		// tight deadline abort, driving the stale/fallback rungs.
+		{Site: faultinject.SiteBuildNode, Index: 5, Every: 11, Kind: faultinject.KindDelay, Delay: 2 * time.Millisecond},
+		// Every 13th render row/tile stalls: renders near the deadline get
+		// canceled mid-frame (typed 504) or pushed to the lowres rung.
+		{Site: faultinject.SiteRenderTile, Index: 3, Every: 13, Kind: faultinject.KindDelay, Delay: 2 * time.Millisecond},
+		// Every 29th render unit panics: the parallel substrate contains it,
+		// the recover middleware types it, the breaker hears it.
+		{Site: faultinject.SiteRenderTile, Index: 17, Every: 29, Kind: faultinject.KindPanic},
+		// Every 7th handler stalls before admission: latency noise.
+		{Site: faultinject.SiteServeHandler, Index: 2, Every: 7, Kind: faultinject.KindDelay, Delay: 5 * time.Millisecond},
+		// Every 5th slot-wait stalls while holding the pending count: queue
+		// pressure, driving 429 shedding under concurrency.
+		{Site: faultinject.SiteServeQueue, Index: 1, Every: 5, Kind: faultinject.KindDelay, Delay: 10 * time.Millisecond},
+		// Every 9th cache fill stalls before building: widens the window in
+		// which an /invalidate races an in-flight build.
+		{Site: faultinject.SiteServeCache, Index: 4, Every: 9, Kind: faultinject.KindDelay, Delay: 5 * time.Millisecond},
+		// Every 31st cache fill panics outright: the fill latch must still be
+		// released (no waiter may hang) and the request gets a typed 500.
+		{Site: faultinject.SiteServeCache, Index: 7, Every: 31, Kind: faultinject.KindPanic},
+	}
+}

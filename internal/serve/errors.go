@@ -1,0 +1,21 @@
+package serve
+
+import "fmt"
+
+// Error is the one error shape the service emits: every admitted request
+// terminates in a 2xx response or in one of these — never in a hang and
+// never in an untyped 500. Code is machine-matchable (the soak driver and
+// the drills classify on it); Msg is for humans.
+type Error struct {
+	Status int    `json:"status"`
+	Code   string `json:"code"`
+	Msg    string `json:"msg"`
+
+	// RetryAfterMS > 0 tells a well-behaved client how long to back off
+	// before retrying (429/503 shedding).
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+func (e *Error) Error() string {
+	return fmt.Sprintf("serve: %d %s: %s", e.Status, e.Code, e.Msg)
+}

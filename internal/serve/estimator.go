@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"math"
+	"sync"
+
+	"kdtune/internal/render"
+)
+
+// costEstimator predicts how long a render will take from what recent
+// renders of the same (scene-key, packet-width) cost per pixel, as an EWMA.
+// The prediction drives the lowest rung of the degradation ladder: when the
+// predicted full-resolution render does not fit into what remains of the
+// request's deadline, the server shrinks the frame until it does instead of
+// starting work it knows it must abandon.
+type costEstimator struct {
+	mu sync.Mutex
+	ns map[string]float64 // key -> EWMA ns per pixel
+}
+
+// estimatorAlpha is the EWMA weight of the newest observation. High enough
+// to track a camera move within a few frames, low enough that one noisy
+// sample does not flip the lowres decision.
+const estimatorAlpha = 0.3
+
+func newCostEstimator() *costEstimator {
+	return &costEstimator{ns: make(map[string]float64)}
+}
+
+// Observe folds one completed render into the estimate.
+func (e *costEstimator) Observe(key string, pixels int, ns int64) {
+	if pixels <= 0 || ns <= 0 {
+		return
+	}
+	perPixel := float64(ns) / float64(pixels)
+	e.mu.Lock()
+	old, ok := e.ns[key]
+	if !ok {
+		e.ns[key] = perPixel
+	} else {
+		e.ns[key] = old + estimatorAlpha*(perPixel-old)
+	}
+	e.mu.Unlock()
+}
+
+// EstimateNS predicts the cost of rendering the given pixel count; ok is
+// false when the key has never been observed (first render of a scene runs
+// at full resolution — there is nothing to predict from).
+func (e *costEstimator) EstimateNS(key string, pixels int) (ns float64, ok bool) {
+	e.mu.Lock()
+	perPixel, ok := e.ns[key]
+	e.mu.Unlock()
+	if !ok {
+		return 0, false
+	}
+	return perPixel * float64(pixels), true
+}
+
+// seed pins the estimate directly — the white-box hook the ladder tests use
+// to make the lowres decision deterministic instead of timing-dependent.
+func (e *costEstimator) seed(key string, nsPerPixel float64) {
+	e.mu.Lock()
+	e.ns[key] = nsPerPixel
+	e.mu.Unlock()
+}
+
+// shrinkToFit halves both frame dimensions until the predicted cost fits the
+// budget or the floor (32×24) is reached. Returns the chosen dimensions and
+// how many halvings were applied.
+func shrinkToFit(w, h int, predictNS float64, budgetNS float64) (int, int, int) {
+	steps := 0
+	for predictNS > budgetNS && (w > 32 || h > 24) {
+		w = max(w/2, 32)
+		h = max(h/2, 24)
+		predictNS /= 4
+		steps++
+	}
+	return w, h, steps
+}
+
+// FrameChecksum digests a framebuffer: FNV-64a over the float64 bit patterns
+// of every channel in index order. Two frames are bitwise-identical exactly
+// when their checksums match, which is how the drills compare a served frame
+// against an offline render without shipping pixels around.
+func FrameChecksum(im *render.Image) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, f := range im.Pix {
+		bits := math.Float64bits(f)
+		for i := 0; i < 8; i++ {
+			h ^= uint64(byte(bits >> (8 * i)))
+			h *= prime64
+		}
+	}
+	return h
+}

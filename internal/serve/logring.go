@@ -1,0 +1,67 @@
+package serve
+
+import "sync/atomic"
+
+// LogRecord is one completed request as the ring log remembers it.
+type LogRecord struct {
+	Seq      int64  `json:"seq"`
+	Tenant   string `json:"tenant"`
+	Path     string `json:"path"`
+	Scene    string `json:"scene,omitempty"`
+	Status   int    `json:"status"`
+	Outcome  string `json:"outcome"`            // ok | degraded | shed | timeout | error
+	Degraded string `json:"degraded,omitempty"` // rung of the ladder, when Outcome == degraded
+	Err      string `json:"err,omitempty"`
+	NS       int64  `json:"ns"` // wall latency inside the server
+}
+
+// RequestLog is a lock-free ring of the most recent requests. Writers claim a
+// sequence number with one atomic add and publish the record with one atomic
+// pointer store; there is no lock anywhere on the request path, so the log
+// can sit inside the handler without becoming the contention point the
+// metrics are supposed to diagnose. Readers snapshot racily — a record being
+// overwritten mid-snapshot yields either the old or the new pointer, never a
+// torn record, because records are immutable after publication.
+type RequestLog struct {
+	seq   atomic.Int64
+	slots []atomic.Pointer[LogRecord]
+}
+
+// NewRequestLog returns a ring holding the last size records (minimum 16).
+func NewRequestLog(size int) *RequestLog {
+	if size < 16 {
+		size = 16
+	}
+	return &RequestLog{slots: make([]atomic.Pointer[LogRecord], size)}
+}
+
+// Append publishes a record. The record must not be mutated afterwards.
+func (l *RequestLog) Append(r *LogRecord) {
+	r.Seq = l.seq.Add(1) - 1
+	l.slots[r.Seq%int64(len(l.slots))].Store(r)
+}
+
+// Len reports how many records have ever been appended.
+func (l *RequestLog) Len() int64 { return l.seq.Load() }
+
+// Snapshot returns up to n of the most recent records, oldest first. Slots
+// that were claimed but not yet published are skipped.
+func (l *RequestLog) Snapshot(n int) []LogRecord {
+	seq := l.seq.Load()
+	if n <= 0 || int64(n) > int64(len(l.slots)) {
+		n = len(l.slots)
+	}
+	if int64(n) > seq {
+		n = int(seq)
+	}
+	out := make([]LogRecord, 0, n)
+	for s := seq - int64(n); s < seq; s++ {
+		r := l.slots[s%int64(len(l.slots))].Load()
+		// A slot may hold an older (lapped) or newer record than s; keep
+		// whatever is published — the log is best-effort recent history.
+		if r != nil {
+			out = append(out, *r)
+		}
+	}
+	return out
+}

@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kdtune/internal/harness"
+)
+
+// Metrics is the server's counter set. Everything on the request path is a
+// plain atomic; the only lock guards the per-tenant latency windows, taken
+// once per completed request. The /metrics endpoint serialises a Snapshot.
+type Metrics struct {
+	// Admission ladder.
+	Requests    atomic.Int64 // everything that reached a handler
+	Admitted    atomic.Int64 // passed breaker + queue bound + got a slot
+	Shed429     atomic.Int64 // per-tenant queue bound exceeded
+	ShedBreaker atomic.Int64 // breaker open (503)
+	Timeouts    atomic.Int64 // deadline expired before or during work (504)
+	Panics      atomic.Int64 // handler panics recovered into typed 500s
+	Errors      atomic.Int64 // other typed errors (500)
+
+	// Outcome ladder for admitted requests.
+	ServedOK         atomic.Int64
+	DegradedStale    atomic.Int64 // served a previous generation from cache
+	DegradedFallback atomic.Int64 // served a median-built fallback tree
+	DegradedLowres   atomic.Int64 // served a reduced-resolution frame
+
+	// Tree cache.
+	CacheHits     atomic.Int64
+	CacheMisses   atomic.Int64
+	BuildsOK      atomic.Int64
+	BuildsAborted atomic.Int64
+
+	mu  sync.Mutex
+	lat map[string]*latWindow
+}
+
+// latWindowSize bounds the per-tenant latency sample the percentiles are
+// computed over; a ring of the most recent completions.
+const latWindowSize = 1024
+
+type latWindow struct {
+	buf  []time.Duration
+	next int
+	full bool
+}
+
+// NewMetrics returns a zeroed metric set.
+func NewMetrics() *Metrics {
+	return &Metrics{lat: make(map[string]*latWindow)}
+}
+
+// ObserveLatency records one completed request's server-side latency for the
+// tenant's percentile window.
+func (m *Metrics) ObserveLatency(tenant string, d time.Duration) {
+	m.mu.Lock()
+	w := m.lat[tenant]
+	if w == nil {
+		w = &latWindow{buf: make([]time.Duration, latWindowSize)}
+		m.lat[tenant] = w
+	}
+	w.buf[w.next] = d
+	w.next++
+	if w.next == len(w.buf) {
+		w.next = 0
+		w.full = true
+	}
+	m.mu.Unlock()
+}
+
+// TenantLatency summarises one tenant's recent latency distribution.
+type TenantLatency struct {
+	N     int   `json:"n"`
+	P50NS int64 `json:"p50_ns"`
+	P95NS int64 `json:"p95_ns"`
+	P99NS int64 `json:"p99_ns"`
+}
+
+// Snapshot is the JSON shape of /metrics.
+type Snapshot struct {
+	Requests    int64 `json:"requests"`
+	Admitted    int64 `json:"admitted"`
+	Shed429     int64 `json:"shed_429"`
+	ShedBreaker int64 `json:"shed_breaker"`
+	Timeouts    int64 `json:"timeouts"`
+	Panics      int64 `json:"panics"`
+	Errors      int64 `json:"errors"`
+
+	ServedOK         int64 `json:"served_ok"`
+	DegradedStale    int64 `json:"degraded_stale"`
+	DegradedFallback int64 `json:"degraded_fallback"`
+	DegradedLowres   int64 `json:"degraded_lowres"`
+
+	CacheHits     int64 `json:"cache_hits"`
+	CacheMisses   int64 `json:"cache_misses"`
+	BuildsOK      int64 `json:"builds_ok"`
+	BuildsAborted int64 `json:"builds_aborted"`
+
+	Tenants  map[string]TenantLatency `json:"tenants,omitempty"`
+	Breakers map[string]string        `json:"breakers,omitempty"`
+}
+
+// Snap collects the counters and per-tenant percentiles. The percentile
+// definition is harness.Percentile — the same estimator the bench statistics
+// use, so a p99 here and a p99 in a bench report mean the same thing.
+func (m *Metrics) Snap() Snapshot {
+	s := Snapshot{
+		Requests:    m.Requests.Load(),
+		Admitted:    m.Admitted.Load(),
+		Shed429:     m.Shed429.Load(),
+		ShedBreaker: m.ShedBreaker.Load(),
+		Timeouts:    m.Timeouts.Load(),
+		Panics:      m.Panics.Load(),
+		Errors:      m.Errors.Load(),
+
+		ServedOK:         m.ServedOK.Load(),
+		DegradedStale:    m.DegradedStale.Load(),
+		DegradedFallback: m.DegradedFallback.Load(),
+		DegradedLowres:   m.DegradedLowres.Load(),
+
+		CacheHits:     m.CacheHits.Load(),
+		CacheMisses:   m.CacheMisses.Load(),
+		BuildsOK:      m.BuildsOK.Load(),
+		BuildsAborted: m.BuildsAborted.Load(),
+
+		Tenants: map[string]TenantLatency{},
+	}
+	m.mu.Lock()
+	for tenant, w := range m.lat {
+		sample := w.buf[:w.next]
+		if w.full {
+			sample = w.buf
+		}
+		ds := append([]time.Duration(nil), sample...)
+		s.Tenants[tenant] = TenantLatency{
+			N:     len(ds),
+			P50NS: int64(harness.PercentileDuration(ds, 0.50)),
+			P95NS: int64(harness.PercentileDuration(ds, 0.95)),
+			P99NS: int64(harness.PercentileDuration(ds, 0.99)),
+		}
+	}
+	m.mu.Unlock()
+	return s
+}

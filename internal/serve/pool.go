@@ -1,0 +1,79 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"kdtune/internal/kdtree"
+)
+
+// BuilderPool is a sharded free list of warm kdtree.Builders. A Builder's
+// value is its retained scratch (arenas, worker pool, SoA backing): the
+// steady state of a serving process should rebuild trees allocation-free,
+// exactly like the paper's frame loop. Sharding by a cheap counter keeps the
+// lock from serialising concurrent cache fills.
+//
+// The cache's ownership discipline (see treeCache) is what makes pooling
+// safe: a Tree borrows its Builder's storage, so a Builder is returned to
+// the pool only when no cached Tree references it any more — or immediately
+// after an aborted build, whose contract guarantees drained, reusable
+// arenas.
+type BuilderPool struct {
+	shards []poolShard
+	next   atomic.Uint32 // round-robin shard cursor (distribution hint only)
+}
+
+type poolShard struct {
+	mu   sync.Mutex
+	free []*kdtree.Builder
+}
+
+// NewBuilderPool returns a pool with the given shard count (minimum 1).
+func NewBuilderPool(shards int) *BuilderPool {
+	if shards < 1 {
+		shards = 1
+	}
+	return &BuilderPool{shards: make([]poolShard, shards)}
+}
+
+// Get hands out a warm Builder, allocating a fresh one when every shard is
+// empty.
+func (p *BuilderPool) Get() *kdtree.Builder {
+	n := len(p.shards)
+	start := int(p.next.Add(1)-1) % n
+	for i := 0; i < n; i++ {
+		s := &p.shards[(start+i)%n]
+		s.mu.Lock()
+		if k := len(s.free); k > 0 {
+			b := s.free[k-1]
+			s.free = s.free[:k-1]
+			s.mu.Unlock()
+			return b
+		}
+		s.mu.Unlock()
+	}
+	return kdtree.NewBuilder()
+}
+
+// Put returns a Builder whose storage is no longer borrowed by any Tree.
+func (p *BuilderPool) Put(b *kdtree.Builder) {
+	if b == nil {
+		return
+	}
+	s := &p.shards[int(p.next.Load())%len(p.shards)]
+	s.mu.Lock()
+	s.free = append(s.free, b)
+	s.mu.Unlock()
+}
+
+// Size reports how many Builders are currently pooled (for tests).
+func (p *BuilderPool) Size() int {
+	total := 0
+	for i := range p.shards {
+		s := &p.shards[i]
+		s.mu.Lock()
+		total += len(s.free)
+		s.mu.Unlock()
+	}
+	return total
+}

@@ -1,0 +1,326 @@
+// Package serve is the multi-tenant render/query service over the paper's
+// kD-tree substrate (cmd/kdserve is its thin binary wrapper). Every request
+// carries an end-to-end deadline that propagates as context.Context →
+// kdtree.GuardFromContext / parallel.LinkContext into the build and
+// traversal kernels, so a request that runs out of time stops consuming the
+// machine at the next node or tile boundary.
+//
+// The robustness contract, in ladder order (DESIGN.md §14):
+//
+//  1. Admission: a per-tenant circuit breaker (503) in front of a bounded
+//     per-tenant queue (429, with Retry-After hints) in front of a global
+//     work-slot semaphore (context-aware wait, 504 on expiry). Overload
+//     sheds at the door instead of queueing without bound.
+//  2. Execution: builds are guarded (BuildGuarded), renders cancelable; a
+//     worker panic is contained by the parallel substrate and converted to a
+//     typed 500 by the recover middleware.
+//  3. Degradation: when a build aborts, the cache serves the stale previous
+//     generation bitwise-unchanged; failing that, a median-algorithm
+//     fallback build on the warm aborted Builder; renders additionally drop
+//     resolution when the cost estimator predicts the deadline cannot fit a
+//     full frame.
+//
+// Every admitted request therefore terminates in success, an explicitly
+// degraded success, or a typed error — never a hang, which is the invariant
+// cmd/kdsoak drives and asserts.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kdtune/internal/faultinject"
+	"kdtune/internal/kdtree"
+	"kdtune/internal/scene"
+)
+
+// Config sizes the server. Zero values select the defaults noted per field.
+type Config struct {
+	// Scenes is the servable catalog; empty selects scene.All().
+	Scenes []*scene.Scene
+
+	// Algorithm is the default build algorithm for requests that do not name
+	// one. The zero value selects the in-place builder (the paper's
+	// strongest all-round variant); requests wanting node-level pass
+	// algo=node-level explicitly.
+	Algorithm kdtree.Algorithm
+
+	// Workers bounds build/render parallelism per request; <=0 GOMAXPROCS.
+	Workers int
+
+	// Slots is the global concurrent-work bound (default 4).
+	Slots int
+
+	// MaxQueue is the per-tenant pending ceiling, queued + executing
+	// (default 8); beyond it requests shed with 429.
+	MaxQueue int
+
+	// BreakerTrip / BreakerCooldown parameterise the per-tenant circuit
+	// breaker: consecutive failures to open, sheds while open before the
+	// half-open probe (defaults 5 and 10).
+	BreakerTrip, BreakerCooldown int
+
+	// DefaultDeadline applies when a request carries none (default 2s);
+	// MaxDeadline clamps what a request may ask for (default 30s).
+	DefaultDeadline, MaxDeadline time.Duration
+
+	// Guard is the base build guard every request tightens with its own
+	// deadline (depth/memory ceilings; zero = panic containment only).
+	Guard kdtree.Guard
+
+	// LogSize is the request ring-log capacity (default 512).
+	LogSize int
+}
+
+func (c Config) normalized() Config {
+	if len(c.Scenes) == 0 {
+		c.Scenes = scene.All()
+	}
+	if c.Algorithm == kdtree.AlgoNodeLevel {
+		c.Algorithm = kdtree.AlgoInPlace
+	}
+	if c.Slots <= 0 {
+		c.Slots = 4
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 8
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = 2 * time.Second
+	}
+	if c.MaxDeadline <= 0 {
+		c.MaxDeadline = 30 * time.Second
+	}
+	if c.LogSize <= 0 {
+		c.LogSize = 512
+	}
+	return c
+}
+
+// Server is the service state: scene catalog, tree cache, admission front
+// door, metrics, and ring log. Create with New, mount via Handler.
+type Server struct {
+	cfg    Config
+	scenes map[string]*scene.Scene
+	pool   *BuilderPool
+	cache  *treeCache
+	adm    *admission
+	met    *Metrics
+	rlog   *RequestLog
+	est    *costEstimator
+	mux    *http.ServeMux
+
+	reqSeq atomic.Int64 // faultinject ordinal for SiteServeHandler
+
+	keyMu sync.Mutex
+	keys  map[string]string // "scene\x00frame\x00algo" -> geometry key
+}
+
+// New builds a server over cfg.
+func New(cfg Config) *Server {
+	cfg = cfg.normalized()
+	s := &Server{
+		cfg:    cfg,
+		scenes: make(map[string]*scene.Scene, len(cfg.Scenes)),
+		pool:   NewBuilderPool(4),
+		met:    NewMetrics(),
+		rlog:   NewRequestLog(cfg.LogSize),
+		est:    newCostEstimator(),
+		mux:    http.NewServeMux(),
+		keys:   make(map[string]string),
+	}
+	for _, sc := range cfg.Scenes {
+		s.scenes[sc.Name] = sc
+	}
+	s.cache = newTreeCache(s.pool, s.met)
+	s.adm = newAdmission(cfg.Slots, cfg.MaxQueue, cfg.BreakerTrip, cfg.BreakerCooldown)
+
+	s.mux.HandleFunc("/build", s.wrap("/build", s.handleBuild))
+	s.mux.HandleFunc("/render", s.wrap("/render", s.handleRender))
+	s.mux.HandleFunc("/range", s.wrap("/range", s.handleRange))
+	s.mux.HandleFunc("/nn", s.wrap("/nn", s.handleNN))
+	s.mux.HandleFunc("/invalidate", s.wrap("/invalidate", s.handleInvalidate))
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/log", s.handleLog)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	return s
+}
+
+// Handler returns the HTTP entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the counter set (drills assert on it directly).
+func (s *Server) Metrics() *Metrics { return s.met }
+
+// result is what an endpoint implementation returns on success.
+type result struct {
+	body     any
+	scene    string
+	degraded string // "", "stale", "fallback", "lowres"
+}
+
+type handlerFunc func(ctx context.Context, r *http.Request, rec *LogRecord) (*result, error)
+
+// wrap is the request spine shared by every work endpoint: deadline
+// extraction, the fault-injection handler probe, recover middleware,
+// admission (breaker → queue bound → slot), execution, outcome
+// classification, breaker feedback, metrics, ring log.
+func (s *Server) wrap(path string, fn handlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		s.met.Requests.Add(1)
+		tenant := tenantOf(r)
+		rec := &LogRecord{Tenant: tenant, Path: path}
+		wrote := false
+		finish := func(status int, outcome string) {
+			rec.Status, rec.Outcome = status, outcome
+			rec.NS = time.Since(start).Nanoseconds()
+			s.rlog.Append(rec)
+			s.met.ObserveLatency(tenant, time.Since(start))
+		}
+		defer func() {
+			if p := recover(); p != nil {
+				// Outermost containment: nothing below may kill the process.
+				s.met.Panics.Add(1)
+				e := &Error{Status: 500, Code: "panic", Msg: fmt.Sprintf("request panicked: %v", p)}
+				if !wrote {
+					writeError(w, e)
+				}
+				rec.Err = e.Msg
+				finish(500, "error")
+			}
+		}()
+
+		ctx, cancel := s.requestContext(r)
+		defer cancel()
+
+		if faultinject.Active() {
+			faultinject.Check(faultinject.SiteServeHandler, int(s.reqSeq.Add(1))-1)
+		}
+
+		ten := s.adm.tenant(tenant)
+		tk, aerr := s.adm.admit(ctx, ten)
+		if aerr != nil {
+			switch aerr.Status {
+			case 429:
+				s.met.Shed429.Add(1)
+			case 503:
+				s.met.ShedBreaker.Add(1)
+			default:
+				s.met.Timeouts.Add(1)
+			}
+			wrote = true
+			writeError(w, aerr)
+			rec.Err = aerr.Code
+			finish(aerr.Status, "shed")
+			return
+		}
+		s.met.Admitted.Add(1)
+
+		res, err := func() (res *result, err error) {
+			defer tk.close()
+			defer func() {
+				if p := recover(); p != nil {
+					s.met.Panics.Add(1)
+					err = &Error{Status: 500, Code: "panic",
+						Msg: fmt.Sprintf("handler panicked: %v", p)}
+				}
+			}()
+			return fn(ctx, r, rec)
+		}()
+
+		// The breaker hears every executed request: served (even degraded)
+		// closes it toward health, aborts/panics/timeouts push it open.
+		ten.breaker.Record(err == nil, tk.probe)
+
+		if err != nil {
+			e := asError(err)
+			switch e.Status {
+			case 504:
+				s.met.Timeouts.Add(1)
+			default:
+				s.met.Errors.Add(1)
+			}
+			wrote = true
+			writeError(w, e)
+			rec.Err = e.Code
+			outcome := "error"
+			if e.Status == 504 {
+				outcome = "timeout"
+			}
+			finish(e.Status, outcome)
+			return
+		}
+
+		rec.Scene = res.scene
+		rec.Degraded = res.degraded
+		outcome := "ok"
+		if res.degraded != "" {
+			outcome = "degraded"
+		} else {
+			s.met.ServedOK.Add(1)
+		}
+		wrote = true
+		writeJSON(w, 200, res.body)
+		finish(200, outcome)
+	}
+}
+
+// requestContext derives the request's deadline context: X-Deadline-Ms
+// header or deadline_ms query parameter, clamped to MaxDeadline, defaulting
+// to DefaultDeadline. The http.Request context is the base, so a client
+// disconnect cancels too.
+func (s *Server) requestContext(r *http.Request) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultDeadline
+	raw := r.Header.Get("X-Deadline-Ms")
+	if raw == "" {
+		raw = r.URL.Query().Get("deadline_ms")
+	}
+	if raw != "" {
+		if ms, err := strconv.ParseInt(raw, 10, 64); err == nil && ms > 0 {
+			d = time.Duration(ms) * time.Millisecond
+		}
+	}
+	if d > s.cfg.MaxDeadline {
+		d = s.cfg.MaxDeadline
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	if t := r.URL.Query().Get("tenant"); t != "" {
+		return t
+	}
+	return "anon"
+}
+
+func asError(err error) *Error {
+	if e, ok := err.(*Error); ok {
+		return e
+	}
+	return &Error{Status: 500, Code: "internal", Msg: err.Error()}
+}
+
+func writeJSON(w http.ResponseWriter, status int, body any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(body)
+}
+
+func writeError(w http.ResponseWriter, e *Error) {
+	if e.RetryAfterMS > 0 {
+		secs := (e.RetryAfterMS + 999) / 1000
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+		w.Header().Set("Retry-After-Ms", strconv.FormatInt(e.RetryAfterMS, 10))
+	}
+	writeJSON(w, e.Status, e)
+}

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kdtune/internal/harness"
+)
+
+// Soak driver (the library behind cmd/kdsoak): a mixed-tenant, mixed-
+// endpoint client that hammers a kdserve instance and classifies every
+// single request — served, degraded, shed-and-retried, timed out, errored,
+// or hung. "Hung" is the one class that must stay at zero: a request is hung
+// when the server neither answered nor failed within deadline + grace,
+// which is exactly the invariant the service's robustness layer exists to
+// uphold.
+
+// SoakOptions configures a soak run. Zero values select the noted defaults.
+type SoakOptions struct {
+	BaseURL string // e.g. "http://127.0.0.1:7474"
+
+	Scenes  []string // scenes to request (default ["Bunny"])
+	Tenants []string // tenant mix (default alpha, beta, gamma)
+
+	Requests    int // total requests across all workers (default 200)
+	Concurrency int // parallel client workers (default 8)
+
+	DeadlineMS  int           // per-request server deadline (default 500)
+	Grace       time.Duration // client-side slack past the deadline before a request counts as hung (default 10s)
+	MaxAttempts int           // attempts per request when shed with 429/503 (default 4)
+
+	Seed int64 // RNG seed; every worker derives its own stream (default 1)
+
+	// Render shape for /render requests.
+	Width, Height, Packet int // defaults 96×72, packet 4
+
+	Client *http.Client // default: fresh client, no global timeout (per-attempt contexts bound everything)
+}
+
+func (o SoakOptions) normalized() SoakOptions {
+	if len(o.Scenes) == 0 {
+		o.Scenes = []string{"Bunny"}
+	}
+	if len(o.Tenants) == 0 {
+		o.Tenants = []string{"alpha", "beta", "gamma"}
+	}
+	if o.Requests <= 0 {
+		o.Requests = 200
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 8
+	}
+	if o.DeadlineMS <= 0 {
+		o.DeadlineMS = 500
+	}
+	if o.Grace <= 0 {
+		o.Grace = 10 * time.Second
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Width <= 0 {
+		o.Width = 96
+	}
+	if o.Height <= 0 {
+		o.Height = 72
+	}
+	if o.Packet <= 0 {
+		o.Packet = 4
+	}
+	if o.Client == nil {
+		o.Client = &http.Client{}
+	}
+	return o
+}
+
+// SoakReport is what a run produced.
+type SoakReport struct {
+	Sent      int `json:"sent"`       // requests attempted (not counting retries)
+	Attempts  int `json:"attempts"`   // HTTP attempts including retries
+	Served    int `json:"served"`     // 200, full quality
+	Degraded  int `json:"degraded"`   // 200 with a degraded marker (stale/fallback/lowres)
+	Shed      int `json:"shed"`       // requests that gave up after MaxAttempts 429/503s
+	Timeouts  int `json:"timeouts"`   // typed 504s
+	Errors    int `json:"errors"`     // typed 5xx/4xx beyond shedding
+	ClientErr int `json:"client_err"` // transport-level failures
+	Hung      int `json:"hung"`       // no answer within deadline+grace — MUST be zero
+
+	DegradedBy map[string]int `json:"degraded_by"` // rung -> count
+
+	P50 time.Duration `json:"p50"`
+	P95 time.Duration `json:"p95"`
+	P99 time.Duration `json:"p99"`
+}
+
+// String renders the report as the one-screen summary kdsoak prints.
+func (r *SoakReport) String() string {
+	return fmt.Sprintf(
+		"sent %d (attempts %d): served %d degraded %d shed %d timeout %d error %d client-err %d hung %d | p50 %v p95 %v p99 %v | degraded %v",
+		r.Sent, r.Attempts, r.Served, r.Degraded, r.Shed, r.Timeouts, r.Errors, r.ClientErr, r.Hung,
+		r.P50.Round(time.Millisecond), r.P95.Round(time.Millisecond), r.P99.Round(time.Millisecond),
+		r.DegradedBy)
+}
+
+// soakBody is the subset of every endpoint's response the classifier needs.
+type soakBody struct {
+	Degraded string `json:"degraded"`
+	Code     string `json:"code"`
+}
+
+// RunSoak drives the mixed workload until the request budget is spent or ctx
+// fires. The returned error covers only setup/ctx problems; per-request
+// failures land in the report.
+func RunSoak(ctx context.Context, opt SoakOptions) (*SoakReport, error) {
+	opt = opt.normalized()
+	rep := &SoakReport{DegradedBy: map[string]int{}}
+
+	var (
+		mu        sync.Mutex
+		latencies []time.Duration
+		next      atomic.Int64
+		attempts  atomic.Int64
+		wg        sync.WaitGroup
+	)
+	for w := 0; w < opt.Concurrency; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opt.Seed + int64(worker)*7919))
+			for {
+				n := next.Add(1)
+				if int(n) > opt.Requests || ctx.Err() != nil {
+					return
+				}
+				out := soakOne(ctx, opt, rng, &attempts)
+				mu.Lock()
+				rep.Sent++
+				switch out.class {
+				case "served":
+					rep.Served++
+					latencies = append(latencies, out.latency)
+				case "degraded":
+					rep.Degraded++
+					rep.DegradedBy[out.degraded]++
+					latencies = append(latencies, out.latency)
+				case "shed":
+					rep.Shed++
+				case "timeout":
+					rep.Timeouts++
+				case "error":
+					rep.Errors++
+				case "client-err":
+					rep.ClientErr++
+				case "hung":
+					rep.Hung++
+				}
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	rep.Attempts = int(attempts.Load())
+	rep.P50 = harness.PercentileDuration(latencies, 0.50)
+	rep.P95 = harness.PercentileDuration(latencies, 0.95)
+	rep.P99 = harness.PercentileDuration(latencies, 0.99)
+	if err := ctx.Err(); err != nil && rep.Sent < opt.Requests {
+		return rep, fmt.Errorf("soak interrupted after %d/%d requests: %w", rep.Sent, opt.Requests, err)
+	}
+	return rep, nil
+}
+
+type soakOutcome struct {
+	class    string // served | degraded | shed | timeout | error | client-err | hung
+	degraded string
+	latency  time.Duration
+}
+
+// soakOne issues one logical request, retrying shed attempts with jittered
+// backoff that honours the server's Retry-After-Ms hint.
+func soakOne(ctx context.Context, opt SoakOptions, rng *rand.Rand, attempts *atomic.Int64) soakOutcome {
+	scene := opt.Scenes[rng.Intn(len(opt.Scenes))]
+	tenant := opt.Tenants[rng.Intn(len(opt.Tenants))]
+	url := soakURL(opt, scene, rng)
+
+	for attempt := 0; attempt < opt.MaxAttempts; attempt++ {
+		attempts.Add(1)
+		status, body, latency, err := soakAttempt(ctx, opt, url, tenant)
+		switch {
+		case err != nil && errors.Is(err, context.DeadlineExceeded):
+			// The per-attempt context is deadline+grace: the server had all
+			// the time the contract allows and never answered.
+			return soakOutcome{class: "hung", latency: latency}
+		case err != nil && ctx.Err() != nil:
+			return soakOutcome{class: "client-err", latency: latency}
+		case err != nil:
+			return soakOutcome{class: "client-err", latency: latency}
+		case status == 200 && body.Degraded != "":
+			return soakOutcome{class: "degraded", degraded: body.Degraded, latency: latency}
+		case status == 200:
+			return soakOutcome{class: "served", latency: latency}
+		case status == 429 || status == 503:
+			// Shed: back off (server hint + jitter) and try again.
+			backoff := time.Duration(5+rng.Intn(10)) * time.Millisecond
+			if body.retryAfterMS > 0 {
+				backoff = time.Duration(body.retryAfterMS)*time.Millisecond +
+					time.Duration(rng.Intn(10))*time.Millisecond
+			}
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				return soakOutcome{class: "shed", latency: latency}
+			}
+		case status == 504:
+			return soakOutcome{class: "timeout", latency: latency}
+		default:
+			return soakOutcome{class: "error", latency: latency}
+		}
+	}
+	return soakOutcome{class: "shed"}
+}
+
+type soakParsedBody struct {
+	soakBody
+	retryAfterMS int64
+}
+
+// soakAttempt performs one HTTP attempt bounded by deadline+grace.
+func soakAttempt(ctx context.Context, opt SoakOptions, url, tenant string) (int, soakParsedBody, time.Duration, error) {
+	limit := time.Duration(opt.DeadlineMS)*time.Millisecond + opt.Grace
+	actx, cancel := context.WithTimeout(ctx, limit)
+	defer cancel()
+	req, err := http.NewRequestWithContext(actx, http.MethodGet, url, nil)
+	if err != nil {
+		return 0, soakParsedBody{}, 0, err
+	}
+	req.Header.Set("X-Tenant", tenant)
+	req.Header.Set("X-Deadline-Ms", strconv.Itoa(opt.DeadlineMS))
+	start := time.Now()
+	resp, err := opt.Client.Do(req)
+	latency := time.Since(start)
+	if err != nil {
+		return 0, soakParsedBody{}, latency, err
+	}
+	defer resp.Body.Close()
+	var body soakParsedBody
+	json.NewDecoder(resp.Body).Decode(&body.soakBody) // tolerate empty/odd bodies
+	latency = time.Since(start)
+	if ra := resp.Header.Get("Retry-After-Ms"); ra != "" {
+		body.retryAfterMS, _ = strconv.ParseInt(ra, 10, 64)
+	}
+	return resp.StatusCode, body, latency, nil
+}
+
+// soakURL picks an endpoint with a fixed mix: renders dominate (they
+// exercise the full ladder), with builds and both query kinds mixed in.
+func soakURL(opt SoakOptions, scene string, rng *rand.Rand) string {
+	switch p := rng.Intn(100); {
+	case p < 50:
+		return fmt.Sprintf("%s/render?scene=%s&width=%d&height=%d&packet=%d",
+			opt.BaseURL, scene, opt.Width, opt.Height, opt.Packet)
+	case p < 70:
+		return fmt.Sprintf("%s/build?scene=%s", opt.BaseURL, scene)
+	case p < 85:
+		lo, hi := rng.Float64()*5, 5+rng.Float64()*5
+		return fmt.Sprintf("%s/range?scene=%s&minx=%g&miny=%g&minz=%g&maxx=%g&maxy=%g&maxz=%g",
+			opt.BaseURL, scene, lo, lo, lo, hi, hi, hi)
+	default:
+		return fmt.Sprintf("%s/nn?scene=%s&x=%g&y=%g&z=%g",
+			opt.BaseURL, scene, rng.Float64()*10, rng.Float64()*10, rng.Float64()*10)
+	}
+}
+
+// WaitReady polls /healthz until the server answers or the timeout expires —
+// how kdsoak (and the CI soak-smoke job) synchronises with server startup.
+func WaitReady(baseURL string, timeout time.Duration) error {
+	client := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(timeout)
+	for {
+		resp, err := client.Get(baseURL + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == 200 {
+				return nil
+			}
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("server at %s not ready within %v", baseURL, timeout)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

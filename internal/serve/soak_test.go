@@ -1,0 +1,97 @@
+package serve
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"kdtune/internal/faultinject"
+)
+
+// TestSoakE2EWithDrill is the tentpole acceptance run in miniature: a mixed-
+// tenant soak against a server under an active fault plan must complete with
+// zero hung requests and nonzero degraded counters, with stale frames served
+// bitwise-identically (the stale test proves the checksum; here the plan
+// forces the stale rung and the counters prove it fired).
+func TestSoakE2EWithDrill(t *testing.T) {
+	sc := testScene("soak-test", 4000)
+	s, ts := testServer(t, sc, func(c *Config) {
+		c.DefaultDeadline = 2 * time.Second
+		c.Slots = 4
+		c.MaxQueue = 16 // soak bursts; shedding is not what this test drills
+	})
+
+	// Pre-warm a clean generation-0 tree, then invalidate it so the soak's
+	// builds run against the fault plan with a stale rung available.
+	if code := get(t, ts.URL+"/build?scene=soak-test", "warm", 0, nil); code != 200 {
+		t.Fatal("warm build failed")
+	}
+	if code := get(t, ts.URL+"/invalidate?scene=soak-test", "warm", 0, nil); code != 200 {
+		t.Fatal("invalidate failed")
+	}
+
+	// The standing drill plus an always-abort build fault: every rebuild
+	// attempt dies, so every admitted request lands on the stale rung —
+	// deterministic degraded traffic regardless of machine speed.
+	in := faultinject.Activate(append(DrillPlan(), faultinject.Fault{
+		Site: faultinject.SiteBuildNode, Index: -1, Kind: faultinject.KindPanic,
+	})...)
+	defer in.Deactivate()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	rep, err := RunSoak(ctx, SoakOptions{
+		BaseURL:     ts.URL,
+		Scenes:      []string{"soak-test"},
+		Tenants:     []string{"alpha", "beta", "gamma"},
+		Requests:    120,
+		Concurrency: 6,
+		DeadlineMS:  1500,
+		Grace:       20 * time.Second,
+		MaxAttempts: 4,
+		Seed:        42,
+		Width:       64,
+		Height:      48,
+		Packet:      4,
+	})
+	if err != nil {
+		t.Fatalf("RunSoak: %v", err)
+	}
+	t.Logf("soak report:\n%s", rep)
+
+	if rep.Hung != 0 {
+		t.Fatalf("%d hung requests — the no-hang contract is broken", rep.Hung)
+	}
+	if rep.Served+rep.Degraded == 0 {
+		t.Fatal("soak served nothing")
+	}
+	if rep.Degraded == 0 {
+		t.Fatal("no degraded responses under an always-abort build plan")
+	}
+	if got := s.met.DegradedStale.Load(); got == 0 {
+		t.Fatalf("DegradedStale = %d, want > 0", got)
+	}
+	if got := s.met.BuildsAborted.Load(); got == 0 {
+		t.Fatalf("BuildsAborted = %d, want > 0", got)
+	}
+	// Every request is accounted for: nothing vanished between admission
+	// and outcome classification.
+	if total := rep.Served + rep.Degraded + rep.Shed + rep.Timeouts + rep.Errors + rep.ClientErr; total != rep.Sent {
+		t.Fatalf("outcome accounting: %d classified of %d sent", total, rep.Sent)
+	}
+}
+
+// TestWaitReady pins the readiness poller against a live and a dead server.
+func TestWaitReady(t *testing.T) {
+	sc := testScene("ready-test", 200)
+	_, ts := testServer(t, sc, nil)
+	if err := WaitReady(ts.URL, 5*time.Second); err != nil {
+		t.Fatalf("WaitReady(live): %v", err)
+	}
+	dead := httptest.NewServer(nil)
+	dead.Close()
+	if err := WaitReady(dead.URL, 200*time.Millisecond); err == nil {
+		t.Fatal("WaitReady succeeded against a closed server")
+	}
+}
