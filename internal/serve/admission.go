@@ -91,6 +91,12 @@ func (a *admission) admit(ctx context.Context, ten *tenantState) (*ticket, *Erro
 	pending := ten.pending.Add(1)
 	if int(pending) > a.maxQueue {
 		ten.pending.Add(-1)
+		if probe {
+			// The half-open canary died in the queue without executing: hand
+			// the probe back so the breaker re-opens and re-probes later,
+			// instead of shedding the tenant forever on a probe that never ran.
+			ten.breaker.CancelProbe()
+		}
 		// The shed is not an outcome of admitted work; the breaker only
 		// hears about executed requests, so shedding cannot trip it.
 		return nil, &Error{Status: 429, Code: "queue-full",
@@ -107,6 +113,9 @@ func (a *admission) admit(ctx context.Context, ten *tenantState) (*ticket, *Erro
 	case a.slots <- struct{}{}:
 	case <-ctx.Done():
 		ten.pending.Add(-1)
+		if probe {
+			ten.breaker.CancelProbe()
+		}
 		return nil, &Error{Status: 504, Code: "deadline",
 			Msg: "deadline expired waiting for a work slot"}
 	}

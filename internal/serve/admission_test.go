@@ -1,0 +1,71 @@
+package serve
+
+import (
+	"context"
+	"testing"
+)
+
+// TestAdmitShedProbeReopensBreaker pins the wiring between admit and
+// Breaker.CancelProbe: a half-open probe shed by the queue bound (429) or
+// killed waiting for a slot (504) never reaches Record, so admit itself must
+// hand the probe back. Before that wiring the breaker stayed half-open
+// forever and every later request for the tenant was shed with 503 — exactly
+// under the saturation that sheds probes in the first place.
+func TestAdmitShedProbeReopensBreaker(t *testing.T) {
+	a := newAdmission(1, 1, 1, 1) // trip=1, cooldown=1: every open Allow probes
+	ctx := context.Background()
+	ten := a.tenant("x")
+
+	// Trip the breaker with one executed failure.
+	tk, aerr := a.admit(ctx, ten)
+	if aerr != nil {
+		t.Fatalf("initial admit: %v", aerr)
+	}
+	ten.breaker.Record(false, tk.probe)
+	tk.close()
+	if ten.breaker.State() != BreakerOpen {
+		t.Fatalf("breaker = %v after trip, want open", ten.breaker.State())
+	}
+
+	// 429 path: the tenant's queue is full when the cooldown releases the
+	// probe, so the queue bound sheds it.
+	ten.pending.Add(1)
+	if _, aerr = a.admit(ctx, ten); aerr == nil || aerr.Status != 429 {
+		t.Fatalf("admit with full queue = %v, want 429", aerr)
+	}
+	ten.pending.Add(-1)
+	if st := ten.breaker.State(); st != BreakerOpen {
+		t.Fatalf("breaker = %v after queue-shed probe, want open (not stuck half-open)", st)
+	}
+
+	// 504 path: the slot is held elsewhere and the probe's deadline expires
+	// waiting for it.
+	other, aerr := a.admit(ctx, a.tenant("y"))
+	if aerr != nil {
+		t.Fatalf("slot-holder admit: %v", aerr)
+	}
+	expired, cancel := context.WithCancel(ctx)
+	cancel()
+	if _, aerr = a.admit(expired, ten); aerr == nil || aerr.Status != 504 {
+		t.Fatalf("admit with expired ctx = %v, want 504", aerr)
+	}
+	if st := ten.breaker.State(); st != BreakerOpen {
+		t.Fatalf("breaker = %v after deadline-shed probe, want open (not stuck half-open)", st)
+	}
+	other.close()
+
+	// The tenant still recovers: the restarted cooldown releases a fresh
+	// probe and its success closes the breaker.
+	tk, aerr = a.admit(ctx, ten)
+	if aerr != nil {
+		t.Fatalf("re-probe admit: %v", aerr)
+	}
+	if !tk.probe {
+		t.Fatal("expected a fresh probe after the shed ones")
+	}
+	ten.breaker.Record(true, tk.probe)
+	tk.close()
+	if ten.breaker.State() != BreakerClosed {
+		t.Fatalf("breaker = %v after successful re-probe, want closed", ten.breaker.State())
+	}
+}

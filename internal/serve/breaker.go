@@ -61,7 +61,8 @@ func NewBreaker(trip, cooldown int) *Breaker {
 
 // Allow decides whether a request may proceed. probe marks the single
 // half-open canary; its outcome (via Record) decides whether the breaker
-// closes again or re-opens. A shed request must NOT call Record.
+// closes again or re-opens. A shed request must NOT call Record; a probe
+// that is shed downstream without executing must call CancelProbe.
 func (b *Breaker) Allow() (admit, probe bool) {
 	b.mu.Lock()
 	defer b.mu.Unlock()
@@ -78,6 +79,23 @@ func (b *Breaker) Allow() (admit, probe bool) {
 		return false, false
 	default: // BreakerHalfOpen: the probe is out; shed everyone else.
 		return false, false
+	}
+}
+
+// CancelProbe returns a half-open breaker to open when its probe was shed
+// after Allow but before executing (queue-full or deadline expiry inside
+// admission). Without it the probing flag would never clear — half-open
+// sheds every other request, so the tenant would be 503'd forever, and
+// precisely under the saturation that sheds probes in the first place.
+// Resetting rejects restarts the cooldown so a later request re-probes at a
+// deterministic ordinal.
+func (b *Breaker) CancelProbe() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == BreakerHalfOpen && b.probing {
+		b.probing = false
+		b.state = BreakerOpen
+		b.rejects = 0
 	}
 }
 

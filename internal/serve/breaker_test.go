@@ -88,6 +88,52 @@ func TestBreakerDeterministicSequence(t *testing.T) {
 	b.Record(true, probe)
 }
 
+// TestBreakerCancelProbe pins the shed-probe transition: a half-open probe
+// that dies inside admission (queue-full or deadline) without executing must
+// return the breaker to open with a fresh cooldown — never leave it stuck in
+// half-open shedding the tenant forever.
+func TestBreakerCancelProbe(t *testing.T) {
+	b := NewBreaker(1, 2)
+	_, probe := b.Allow()
+	b.Record(false, probe) // trips (trip=1)
+	if b.State() != BreakerOpen {
+		t.Fatalf("state = %v, want open", b.State())
+	}
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("open breaker admitted before cooldown")
+	}
+	admit, probe := b.Allow() // cooldown reached: probe released
+	if !admit || !probe {
+		t.Fatalf("Allow = %v,%v, want probe admission", admit, probe)
+	}
+
+	// The probe is shed downstream without executing.
+	b.CancelProbe()
+	if b.State() != BreakerOpen {
+		t.Fatalf("state after cancelled probe = %v, want open", b.State())
+	}
+
+	// The cooldown restarts deterministically: one shed, then a fresh probe,
+	// whose success still closes the breaker.
+	if admit, _ := b.Allow(); admit {
+		t.Fatal("re-opened breaker admitted before second cooldown")
+	}
+	admit, probe = b.Allow()
+	if !admit || !probe {
+		t.Fatal("no fresh probe after a cancelled one")
+	}
+	b.Record(true, true)
+	if b.State() != BreakerClosed {
+		t.Fatalf("state after successful re-probe = %v, want closed", b.State())
+	}
+
+	// Outside half-open, CancelProbe is a no-op.
+	b.CancelProbe()
+	if b.State() != BreakerClosed {
+		t.Fatalf("CancelProbe on a closed breaker changed state to %v", b.State())
+	}
+}
+
 // TestBreakerIgnoresLateNonProbeOutcomes pins that an in-flight request
 // finishing after the breaker already tripped cannot flip state — only the
 // half-open probe's outcome decides.

@@ -45,7 +45,8 @@ type cacheEntry struct {
 	gen   uint64
 	cur   *CachedTree // tree for the current generation, nil until built
 	stale *CachedTree // newest surviving tree of an older generation
-	fill  *fillState  // in-flight build for the current generation
+	fill  *fillState  // in-flight full-quality build for the current generation
+	fb    *fillState  // in-flight median-fallback build (ladder singleflight)
 }
 
 // fillState is the singleflight latch for one in-flight build: concurrent
@@ -363,32 +364,104 @@ func (c *treeCache) install(e *cacheEntry, ct *CachedTree) {
 // ladder is everything below a failed build: serve the stale generation if
 // one survives, else rebuild with the median algorithm (cheap, bounded — the
 // same fallback the bench watchdog uses) on the warm Builder the abort left
-// behind, else surface a typed error. warm may be nil when the failed build
+// behind, else surface a typed error. The fallback build is singleflighted
+// through its own fillState latch (e.fb): when a joined fill fails, every
+// waiter lands here at once, and without the latch each would run a
+// redundant median build — a thundering herd of exactly the expensive work
+// fault conditions can least afford. warm may be nil when the failed build
 // was joined rather than owned.
 func (c *treeCache) ladder(ctx context.Context, e *cacheEntry, tris []vecmath.Triangle, cfg kdtree.Config, base kdtree.Guard, warm *kdtree.Builder) (*CachedTree, TreeSource, error) {
-	e.mu.Lock()
-	if e.stale != nil {
-		t := e.stale.acquire()
+	putWarm := func() {
+		if warm != nil {
+			c.pool.Put(warm)
+			warm = nil
+		}
+	}
+	for {
+		e.mu.Lock()
+		if e.cur != nil {
+			// A concurrent waiter's fallback (or a racing full-quality build)
+			// landed while we fell: serve it rather than rebuilding.
+			t := e.cur.acquire()
+			e.mu.Unlock()
+			putWarm()
+			if t.Fallback {
+				c.met.DegradedFallback.Add(1)
+				return t, SourceFallback, nil
+			}
+			c.met.CacheHits.Add(1)
+			return t, SourceHit, nil
+		}
+		if e.stale != nil {
+			t := e.stale.acquire()
+			e.mu.Unlock()
+			putWarm()
+			c.met.DegradedStale.Add(1)
+			return t, SourceStale, nil
+		}
+		if f := e.fb; f != nil && f.gen == e.gen {
+			// Another waiter already owns the fallback build; join it.
+			e.mu.Unlock()
+			putWarm()
+			select {
+			case <-f.done:
+			case <-ctx.Done():
+				return nil, 0, &Error{Status: 504, Code: "deadline", Msg: "deadline expired waiting for fallback build"}
+			}
+			if f.err != nil {
+				return nil, 0, f.err
+			}
+			f.tree.mu.Lock()
+			retired := f.tree.retired
+			if !retired {
+				f.tree.refs++
+			}
+			f.tree.mu.Unlock()
+			if retired {
+				continue // displaced between publish and acquire; retry
+			}
+			c.met.DegradedFallback.Add(1)
+			return f.tree, SourceFallback, nil
+		}
+		if ctx.Err() != nil {
+			e.mu.Unlock()
+			putWarm()
+			return nil, 0, &Error{Status: 504, Code: "deadline", Msg: "deadline expired before fallback build"}
+		}
+		// We own the fallback build for this generation.
+		f := &fillState{gen: e.gen, done: make(chan struct{})}
+		e.fb = f
 		e.mu.Unlock()
-		if warm != nil {
-			c.pool.Put(warm)
-		}
-		c.met.DegradedStale.Add(1)
-		return t, SourceStale, nil
+		return c.fallbackFill(ctx, e, f, tris, cfg, base, warm)
 	}
-	gen := e.gen
-	e.mu.Unlock()
+}
 
-	if err := ctx.Err(); err != nil {
-		if warm != nil {
-			c.pool.Put(warm)
-		}
-		return nil, 0, &Error{Status: 504, Code: "deadline", Msg: "deadline expired before fallback build"}
-	}
+// fallbackFill runs the median-algorithm rebuild this request owns and
+// publishes the outcome to every ladder waiter joined on e.fb. Like fill, a
+// panic releases the latch before unwinding so joiners can never hang.
+func (c *treeCache) fallbackFill(ctx context.Context, e *cacheEntry, f *fillState, tris []vecmath.Triangle, cfg kdtree.Config, base kdtree.Guard, warm *kdtree.Builder) (t *CachedTree, src TreeSource, err error) {
 	b := warm
 	if b == nil {
 		b = c.pool.Get()
 	}
+	published := false
+	publish := func(tree *CachedTree, ferr error) {
+		f.tree, f.err = tree, ferr
+		published = true
+		e.mu.Lock()
+		if e.fb == f {
+			e.fb = nil
+		}
+		e.mu.Unlock()
+		close(f.done)
+	}
+	defer func() {
+		if !published {
+			c.pool.Put(b)
+			publish(nil, &Error{Status: 500, Code: "panic", Msg: "fallback build panicked"})
+		}
+	}()
+
 	mcfg := cfg
 	mcfg.Algorithm = kdtree.AlgoMedian
 	start := time.Now()
@@ -396,13 +469,15 @@ func (c *treeCache) ladder(ctx context.Context, e *cacheEntry, tris []vecmath.Tr
 	if berr != nil {
 		c.met.BuildsAborted.Add(1)
 		c.pool.Put(b)
-		return nil, 0, &Error{Status: 503, Code: "build-aborted",
+		aborted := &Error{Status: 503, Code: "build-aborted",
 			Msg: fmt.Sprintf("build and median fallback both aborted: %v", berr)}
+		publish(nil, aborted)
+		return nil, 0, aborted
 	}
 	c.met.BuildsOK.Add(1)
 	c.met.DegradedFallback.Add(1)
 	ct := &CachedTree{
-		Tree: tree, Gen: gen, Algo: kdtree.AlgoMedian, Fallback: true,
+		Tree: tree, Gen: f.gen, Algo: kdtree.AlgoMedian, Fallback: true,
 		BuildNS: time.Since(start).Nanoseconds(),
 		pool:    c.pool, builder: b,
 		refs: 1,
@@ -412,9 +487,17 @@ func (c *treeCache) ladder(ctx context.Context, e *cacheEntry, tris []vecmath.Tr
 	// un-retired state, not a reference count — a later successful
 	// full-quality build (after faults clear) displaces it via install/retire.
 	e.mu.Lock()
-	if ct.Gen == e.gen && e.cur == nil {
+	installed := ct.Gen == e.gen && e.cur == nil
+	if installed {
 		e.cur = ct
 	}
 	e.mu.Unlock()
+	publish(ct, nil)
+	if !installed {
+		// Lost the install race (generation moved, or a racing build landed
+		// first): retire now so the caller's Release returns the warm Builder
+		// to the pool instead of leaking it to the garbage collector.
+		ct.retire()
+	}
 	return ct, SourceFallback, nil
 }

@@ -1,0 +1,131 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kdtune/internal/kdtree"
+)
+
+// TestLadderFallbackSingleflight pins that concurrent requests falling to
+// the median rung join one in-flight fallback build through the e.fb latch
+// instead of each running their own — the thundering-herd guard for fault
+// conditions where every waiter of a failed fill lands on the ladder at once.
+func TestLadderFallbackSingleflight(t *testing.T) {
+	sc := testScene("ladder-sf", 1500)
+	tris := sc.Triangles(0)
+	pool := NewBuilderPool(2)
+	c := newTreeCache(pool, NewMetrics())
+	e := c.entry("k")
+	cfg := kdtree.BaseConfig(kdtree.AlgoInPlace)
+
+	// Hold the fallback latch as if another waiter owned the build.
+	f := &fillState{gen: 0, done: make(chan struct{})}
+	e.mu.Lock()
+	e.fb = f
+	e.mu.Unlock()
+
+	type out struct {
+		tree *CachedTree
+		src  TreeSource
+		err  error
+	}
+	const waiters = 4
+	results := make(chan out, waiters)
+	for i := 0; i < waiters; i++ {
+		go func() {
+			tr, src, err := c.ladder(context.Background(), e, tris, cfg, kdtree.Guard{}, nil)
+			results <- out{tr, src, err}
+		}()
+	}
+
+	// While the latch is held, joiners must wait — not build their own trees.
+	time.Sleep(50 * time.Millisecond)
+	if got := c.met.BuildsOK.Load() + c.met.BuildsAborted.Load(); got != 0 {
+		t.Fatalf("joiners ran %d builds while the fallback latch was held, want 0", got)
+	}
+
+	// Publish an owner-built fallback tree, as fallbackFill does.
+	mcfg := cfg
+	mcfg.Algorithm = kdtree.AlgoMedian
+	b := pool.Get()
+	tree, err := b.BuildGuarded(tris, mcfg, kdtree.Guard{})
+	if err != nil {
+		t.Fatalf("owner build: %v", err)
+	}
+	ct := &CachedTree{Tree: tree, Gen: 0, Algo: kdtree.AlgoMedian, Fallback: true,
+		pool: pool, builder: b, refs: 0}
+	e.mu.Lock()
+	e.cur = ct
+	e.mu.Unlock()
+	f.tree = ct
+	e.mu.Lock()
+	e.fb = nil
+	e.mu.Unlock()
+	close(f.done)
+
+	for i := 0; i < waiters; i++ {
+		r := <-results
+		if r.err != nil {
+			t.Fatalf("waiter %d: %v", i, r.err)
+		}
+		if r.src != SourceFallback {
+			t.Fatalf("waiter %d source = %v, want fallback", i, r.src)
+		}
+		if r.tree != ct {
+			t.Fatalf("waiter %d got a different tree than the published fallback", i)
+		}
+		r.tree.Release()
+	}
+	if got := c.met.BuildsOK.Load() + c.met.BuildsAborted.Load(); got != 0 {
+		t.Fatalf("joiners ran %d redundant builds, want 0", got)
+	}
+	if got := c.met.DegradedFallback.Load(); got != waiters {
+		t.Fatalf("DegradedFallback = %d, want %d (one per served waiter)", got, waiters)
+	}
+}
+
+// TestFallbackLostInstallRaceRetires pins that a median-fallback tree which
+// loses the install race (the generation moved while it built) is retired,
+// so the caller's Release returns its Builder to the pool instead of leaking
+// the warm scratch to the garbage collector.
+func TestFallbackLostInstallRaceRetires(t *testing.T) {
+	sc := testScene("ladder-race", 1500)
+	tris := sc.Triangles(0)
+	pool := NewBuilderPool(1)
+	c := newTreeCache(pool, NewMetrics())
+	e := c.entry("k")
+	cfg := kdtree.BaseConfig(kdtree.AlgoInPlace)
+
+	// The generation moves (an Invalidate) after the fallback claimed its
+	// latch at gen 0 but before it installs.
+	c.Invalidate("k")
+
+	f := &fillState{gen: 0, done: make(chan struct{})}
+	e.mu.Lock()
+	e.fb = f
+	e.mu.Unlock()
+
+	ct, src, err := c.fallbackFill(context.Background(), e, f, tris, cfg, kdtree.Guard{}, nil)
+	if err != nil {
+		t.Fatalf("fallbackFill: %v", err)
+	}
+	if src != SourceFallback {
+		t.Fatalf("source = %v, want fallback", src)
+	}
+
+	// The tree still serves this request, but it must not occupy the cache…
+	e.mu.Lock()
+	cur := e.cur
+	e.mu.Unlock()
+	if cur == ct {
+		t.Fatal("stale-generation fallback installed as current")
+	}
+
+	// …and the last Release must return the Builder to the pool.
+	ct.Release()
+	if got := pool.Size(); got != 1 {
+		t.Fatalf("pool size after Release = %d, want 1 (race-losing fallback must retire its Builder)", got)
+	}
+}

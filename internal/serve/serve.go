@@ -235,12 +235,18 @@ func (s *Server) wrap(path string, fn handlerFunc) http.HandlerFunc {
 			return fn(ctx, r, rec)
 		}()
 
-		// The breaker hears every executed request: served (even degraded)
-		// closes it toward health, aborts/panics/timeouts push it open.
-		ten.breaker.Record(err == nil, tk.probe)
-
+		var e *Error
 		if err != nil {
-			e := asError(err)
+			e = asError(err)
+		}
+		// The breaker hears every executed request: served (even degraded)
+		// closes it toward health, server-side failures (5xx: aborts,
+		// panics, timeouts) push it open. Client errors (4xx: bad-algo,
+		// no-scene, …) count as successes — a tenant's malformed requests
+		// must not open their breaker against subsequent valid ones.
+		ten.breaker.Record(e == nil || e.Status < 500, tk.probe)
+
+		if e != nil {
 			switch e.Status {
 			case 504:
 				s.met.Timeouts.Add(1)

@@ -360,6 +360,33 @@ func TestBreakerTripsAndRecoversE2E(t *testing.T) {
 	}
 }
 
+// TestClientErrorsDoNotTripBreaker pins the breaker's failure definition:
+// 4xx responses are the requester's fault, not a service failure, so a burst
+// of malformed requests far past the trip threshold must leave the breaker
+// closed and valid requests unharmed.
+func TestClientErrorsDoNotTripBreaker(t *testing.T) {
+	sc := testScene("fourxx-test", 1500)
+	s, ts := testServer(t, sc, func(c *Config) { c.BreakerTrip = 2; c.BreakerCooldown = 2 })
+
+	if code := get(t, ts.URL+"/build?scene=fourxx-test", "c", 0, nil); code != 200 {
+		t.Fatalf("warm build status %d", code)
+	}
+	for i := 0; i < 6; i++ {
+		if code := get(t, ts.URL+"/build?scene=no-such-scene", "c", 0, nil); code != 404 {
+			t.Fatalf("bad request #%d status %d, want 404", i, code)
+		}
+	}
+	if st := s.adm.tenant("c").breaker.State(); st != BreakerClosed {
+		t.Fatalf("breaker %v after client-error burst, want closed", st)
+	}
+	if code := get(t, ts.URL+"/build?scene=fourxx-test", "c", 0, nil); code != 200 {
+		t.Fatalf("valid request after 4xx burst: status %d, want 200", code)
+	}
+	if got := s.met.ShedBreaker.Load(); got != 0 {
+		t.Fatalf("ShedBreaker = %d, want 0", got)
+	}
+}
+
 // TestQueryEndpoints smoke-tests /range and /nn through the cache, plus the
 // /metrics and /log observability surfaces.
 func TestQueryEndpoints(t *testing.T) {
