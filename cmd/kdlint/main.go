@@ -6,115 +6,18 @@
 //
 // Usage:
 //
-//	kdlint [-json] [-tests] [packages]
+//	kdlint [-json|-sarif] [-tests] [-rules fam,...] [packages]
 //	kdlint -escapes [-baseline lint/escapes.baseline] [-update] [-hot pkg,...]
 //
 // Exit status: 0 when clean, 1 when findings (or new escapes) are reported,
-// 2 on a load or usage error.
+// 2 on a load or usage error. The implementation lives in
+// internal/lint/driver so the exit-code contract is covered by tests.
 package main
 
 import (
-	"flag"
-	"fmt"
 	"os"
-	"strings"
 
-	"kdtune/internal/lint"
-	"kdtune/internal/lint/arena"
-	"kdtune/internal/lint/determinism"
-	"kdtune/internal/lint/escapes"
-	"kdtune/internal/lint/guard"
-	"kdtune/internal/lint/hotpath"
-	"kdtune/internal/lint/tunable"
+	"kdtune/internal/lint/driver"
 )
 
-// defaultHot are the packages whose allocations the cost model treats as
-// per-ray or per-node costs; the escape gate holds their heap behavior to
-// the committed baseline.
-var defaultHot = []string{
-	"kdtune/internal/kdtree",
-	"kdtune/internal/sah",
-	"kdtune/internal/render",
-	"kdtune/internal/vecmath",
-}
-
-func main() { os.Exit(run()) }
-
-func run() int {
-	jsonOut := flag.Bool("json", false, "emit findings as a JSON array")
-	tests := flag.Bool("tests", false, "also lint _test.go files (loads test variants)")
-	escapesMode := flag.Bool("escapes", false, "run the escape-analysis gate instead of the AST rules")
-	baseline := flag.String("baseline", "lint/escapes.baseline", "escape baseline file (with -escapes)")
-	update := flag.Bool("update", false, "rewrite the baseline from the current escape set (with -escapes)")
-	hot := flag.String("hot", strings.Join(defaultHot, ","), "comma-separated hot packages to gate (with -escapes)")
-	flag.Parse()
-
-	if *escapesMode {
-		return runEscapes(*baseline, *update, strings.Split(*hot, ","))
-	}
-
-	patterns := flag.Args()
-	if len(patterns) == 0 {
-		patterns = []string{"./..."}
-	}
-	cfg := lint.DefaultConfig()
-	cfg.IncludeTests = *tests
-	pkgs, err := lint.Load("", patterns, cfg.IncludeTests)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "kdlint:", err)
-		return 2
-	}
-	rules := []lint.Rule{determinism.Rule(), guard.Rule(), arena.Rule(), hotpath.Rule(), tunable.Rule()}
-	diags := lint.Run(pkgs, cfg, rules)
-	if cwd, err := os.Getwd(); err == nil {
-		lint.Relativize(diags, cwd)
-	}
-	if *jsonOut {
-		if err := lint.WriteJSON(os.Stdout, diags); err != nil {
-			fmt.Fprintln(os.Stderr, "kdlint:", err)
-			return 2
-		}
-	} else {
-		for _, d := range diags {
-			fmt.Println(d)
-		}
-	}
-	if len(diags) > 0 {
-		return 1
-	}
-	return 0
-}
-
-func runEscapes(baseline string, update bool, hot []string) int {
-	esc, err := escapes.Collect(escapes.Options{Packages: hot})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "kdlint:", err)
-		return 2
-	}
-	if update {
-		if err := escapes.WriteBaseline(baseline, esc); err != nil {
-			fmt.Fprintln(os.Stderr, "kdlint:", err)
-			return 2
-		}
-		fmt.Printf("kdlint: baseline %s updated: %d escapes across %s\n", baseline, len(esc), strings.Join(hot, ", "))
-		return 0
-	}
-	base, err := escapes.ReadBaseline(baseline)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "kdlint:", err)
-		return 2
-	}
-	news, stale := escapes.Diff(esc, base)
-	for _, e := range news {
-		fmt.Printf("%s: new heap escape: %s (in %s, %s)\n", e.Pos, e.Msg, e.Func, e.Pkg)
-	}
-	for _, k := range stale {
-		fmt.Printf("kdlint: note: baseline entry no longer observed: %s (fold in with -escapes -update)\n", k)
-	}
-	if len(news) > 0 {
-		fmt.Printf("kdlint: %d new escape(s) not in %s; fix them or regenerate the baseline with -escapes -update\n", len(news), baseline)
-		return 1
-	}
-	fmt.Printf("kdlint: escape gate clean: %d baselined escapes, %d observed\n", len(base), len(esc))
-	return 0
-}
+func main() { os.Exit(driver.Main(os.Args[1:], os.Stdout, os.Stderr)) }

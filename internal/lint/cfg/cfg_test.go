@@ -1,0 +1,314 @@
+package cfg
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parse builds the CFG of the first function declaration in src.
+func parse(t *testing.T, src string) *Graph {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", "package x\n"+src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fn, ok := d.(*ast.FuncDecl); ok && fn.Body != nil {
+			return New(fn.Body, nil)
+		}
+	}
+	t.Fatal("no function in source")
+	return nil
+}
+
+// hasNode reports whether any block node's source rendering contains frag.
+func findNode(g *Graph, frag string) (Point, bool) {
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			if strings.Contains(render(n), frag) {
+				return Point{Block: b, Node: i}, true
+			}
+		}
+	}
+	return Point{}, false
+}
+
+func render(n ast.Node) string {
+	switch n := n.(type) {
+	case *ast.ExprStmt:
+		return render(n.X)
+	case *ast.CallExpr:
+		return render(n.Fun) + "()"
+	case *ast.SelectorExpr:
+		return render(n.X) + "." + n.Sel.Name
+	case *ast.Ident:
+		return n.Name
+	case *ast.AssignStmt:
+		out := ""
+		for _, l := range n.Lhs {
+			out += render(l) + ","
+		}
+		out += "="
+		for _, r := range n.Rhs {
+			out += render(r) + ","
+		}
+		return out
+	case *ast.ReturnStmt:
+		return "return"
+	case *ast.BinaryExpr:
+		return render(n.X) + n.Op.String() + render(n.Y)
+	case *ast.SelectStmt:
+		return "select"
+	case *ast.DeferStmt:
+		return "defer " + render(n.Call)
+	case *ast.UnaryExpr:
+		return n.Op.String() + render(n.X)
+	case *ast.SendStmt:
+		return render(n.Chan) + "<-"
+	case *ast.BasicLit:
+		return n.Value
+	}
+	return "?"
+}
+
+func TestIfDominance(t *testing.T) {
+	g := parse(t, `func f(c bool) {
+		setup()
+		if c {
+			a()
+		} else {
+			b()
+		}
+		after()
+	}`)
+	setup, ok := findNode(g, "setup()")
+	if !ok {
+		t.Fatal("setup not found")
+	}
+	a, _ := findNode(g, "a()")
+	bb, _ := findNode(g, "b()")
+	after, _ := findNode(g, "after()")
+	for _, q := range []Point{a, bb, after} {
+		if !g.Dominates(setup, q) {
+			t.Errorf("setup should dominate %v", render(q.Block.Nodes[q.Node]))
+		}
+	}
+	if g.Dominates(a, after) || g.Dominates(bb, after) {
+		t.Error("neither branch arm may dominate the merge")
+	}
+	if g.Dominates(a, bb) || g.Dominates(bb, a) {
+		t.Error("branch arms must not dominate each other")
+	}
+}
+
+func TestShortCircuitSplitsOperands(t *testing.T) {
+	g := parse(t, `func f(p bool) {
+		if p && q() {
+			a()
+		}
+		after()
+	}`)
+	q, ok := findNode(g, "q()")
+	if !ok {
+		t.Fatal("q() not found as its own node")
+	}
+	after, _ := findNode(g, "after()")
+	// q() only evaluates when p is true: it must not dominate after().
+	if g.Dominates(q, after) {
+		t.Error("short-circuit RHS must not dominate the merge")
+	}
+	a, _ := findNode(g, "a()")
+	if !g.Dominates(q, a) {
+		t.Error("short-circuit RHS dominates the then-branch")
+	}
+}
+
+func TestLoopBackEdgeAndBreak(t *testing.T) {
+	g := parse(t, `func f(n int) {
+		for i := 0; i < n; i++ {
+			if bad() {
+				break
+			}
+			body()
+		}
+		after()
+	}`)
+	body, ok := findNode(g, "body()")
+	if !ok {
+		t.Fatal("body not found")
+	}
+	after, _ := findNode(g, "after()")
+	if g.Dominates(body, after) {
+		t.Error("loop body must not dominate the loop exit (break skips it)")
+	}
+	cond, ok := findNode(g, "i<n")
+	if !ok {
+		t.Fatal("loop condition not found")
+	}
+	if !g.Dominates(cond, body) {
+		t.Error("loop condition dominates the body")
+	}
+	// The condition block must be reachable from the body (back edge).
+	seen := map[*Block]bool{}
+	var walk func(b *Block) bool
+	walk = func(b *Block) bool {
+		if seen[b] {
+			return false
+		}
+		seen[b] = true
+		if b == cond.Block {
+			return true
+		}
+		for _, s := range b.Succs {
+			if walk(s) {
+				return true
+			}
+		}
+		return false
+	}
+	if !walk(body.Block) {
+		t.Error("no back edge from loop body to condition")
+	}
+}
+
+func TestReturnReachesExitOnly(t *testing.T) {
+	g := parse(t, `func f(c bool) {
+		if c {
+			return
+		}
+		after()
+	}`)
+	after, _ := findNode(g, "after()")
+	ret, _ := findNode(g, "return")
+	// The return's block reaches Exit directly and must not flow to after().
+	for _, s := range ret.Block.Succs {
+		if s == after.Block {
+			t.Error("return must not fall through to the next statement")
+		}
+	}
+	if len(ret.Block.Succs) != 1 || ret.Block.Succs[0] != g.Exit {
+		t.Errorf("return block's successor should be Exit, got %d succs", len(ret.Block.Succs))
+	}
+}
+
+func TestPanicEdge(t *testing.T) {
+	g := parse(t, `func f(c bool) {
+		if c {
+			panic("boom")
+		}
+		after()
+	}`)
+	p, ok := findNode(g, "panic()")
+	if !ok {
+		t.Fatal("panic call not found")
+	}
+	if len(p.Block.Succs) != 1 || p.Block.Succs[0] != g.Panic {
+		t.Error("panic call should edge to the Panic exit only")
+	}
+	if len(g.Panic.Succs) != 0 {
+		t.Error("Panic exit must have no successors")
+	}
+}
+
+func TestSelectClausesAndMarker(t *testing.T) {
+	g := parse(t, `func f(ch chan int, done chan struct{}) {
+		select {
+		case v := <-ch:
+			use(v)
+		case <-done:
+			quit()
+		}
+		after()
+	}`)
+	sel, ok := findNode(g, "select")
+	if !ok {
+		t.Fatal("select marker not found")
+	}
+	use, _ := findNode(g, "use()")
+	quit, _ := findNode(g, "quit()")
+	after, _ := findNode(g, "after()")
+	if use.Block == sel.Block || quit.Block == sel.Block {
+		t.Error("clause bodies must live in their own blocks, not the select's")
+	}
+	if !g.Dominates(sel, use) || !g.Dominates(sel, quit) || !g.Dominates(sel, after) {
+		t.Error("the select marker dominates its clauses and the merge")
+	}
+	if g.Dominates(use, after) || g.Dominates(quit, after) {
+		t.Error("no single clause dominates the merge")
+	}
+}
+
+func TestDefersRecorded(t *testing.T) {
+	g := parse(t, `func f() {
+		defer cleanup()
+		work()
+	}`)
+	if len(g.Defers) != 1 {
+		t.Fatalf("got %d defers, want 1", len(g.Defers))
+	}
+	if _, ok := findNode(g, "defer cleanup()"); !ok {
+		t.Error("defer statement should also appear as a block node")
+	}
+}
+
+func TestLabeledBreak(t *testing.T) {
+	g := parse(t, `func f(n int) {
+	outer:
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if stop() {
+					break outer
+				}
+				inner()
+			}
+		}
+		after()
+	}`)
+	inner, ok := findNode(g, "inner()")
+	if !ok {
+		t.Fatal("inner not found")
+	}
+	after, _ := findNode(g, "after()")
+	if g.Dominates(inner, after) {
+		t.Error("inner body must not dominate after (labeled break skips it)")
+	}
+	stop, _ := findNode(g, "stop()")
+	if !g.Dominates(stop, inner) {
+		t.Error("inner-loop condition path: stop() dominates inner()")
+	}
+}
+
+func TestSwitchFallthrough(t *testing.T) {
+	g := parse(t, `func f(x int) {
+		switch x {
+		case 1:
+			a()
+			fallthrough
+		case 2:
+			b()
+		default:
+			c()
+		}
+		after()
+	}`)
+	a, _ := findNode(g, "a()")
+	bb, _ := findNode(g, "b()")
+	after, _ := findNode(g, "after()")
+	// a's block must reach b's block via the fallthrough edge.
+	reach := false
+	for _, s := range a.Block.Succs {
+		if s == bb.Block {
+			reach = true
+		}
+	}
+	if !reach {
+		t.Error("fallthrough must edge into the next case body")
+	}
+	if g.Dominates(a, after) || g.Dominates(bb, after) {
+		t.Error("no case body dominates the merge when a default exists")
+	}
+}

@@ -1,0 +1,454 @@
+// Package ctxflow checks that every blocking operation in a
+// request-serving package is dominated by the request's context: the
+// termination guarantee ("every admitted request terminates by its
+// deadline") only holds if nothing on the request path can block past it.
+//
+// Three categories, all scoped to Config.CtxFlowPackages:
+//
+//   - ctxflow.block: a raw channel send/receive, a select with neither a
+//     default nor a <-ctx.Done() case, a range over a channel, time.Sleep,
+//     or a WaitGroup/Pool wait. None of these can observe the deadline, so
+//     each needs either a context-aware rewrite or a //kdlint:noctx pragma
+//     explaining why it cannot block (e.g. a buffered-semaphore token
+//     return).
+//
+//   - ctxflow.guard: a call to the guarded build entry (Config.GuardedEntry)
+//     whose Guard argument does not trace to Config.CtxGuardFunc — the
+//     build would not abort when the request's deadline expires.
+//
+//   - ctxflow.link: a Canceler (Config.CancelerType) handed to a dispatch
+//     or options literal without a dominating Config.CtxLinkFunc call on
+//     the same variable — the kernel polls a flag nothing ever sets.
+//
+// The analysis is intraprocedural over the cfg package's graphs; a
+// Canceler or Guard received as a parameter is trusted to have been linked
+// by the caller (the rule fires where the value is created).
+package ctxflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kdtune/internal/lint"
+	"kdtune/internal/lint/cfg"
+)
+
+// Rule is the ctxflow rule.
+var Rule = lint.Rule{
+	Name:  "ctxflow",
+	Doc:   "blocking operations on request paths must be dominated by the request context",
+	Check: check,
+}
+
+func check(p *lint.Pass) {
+	if !p.InCtxFlowScope() {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, fn := range cfg.Functions(f) {
+			checkFunc(p, fn)
+		}
+	}
+}
+
+func checkFunc(p *lint.Pass, fn cfg.Func) {
+	info := p.Pkg.Info
+	g := cfg.New(fn.Body, info)
+
+	// Comm statements of selects are mediated by the select itself (the
+	// blocking point the rule judges); their channel operations are not
+	// raw. Range statements are caught here too: the CFG decomposes them
+	// into loop blocks and only their X expression survives as a node.
+	comms := map[ast.Node]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // a separate function with its own graph
+		case *ast.SelectStmt:
+			for _, cl := range n.Body.List {
+				if comm := cl.(*ast.CommClause).Comm; comm != nil {
+					comms[comm] = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					p.Reportf("ctxflow.block", n.X.Pos(),
+						"range over a channel cannot observe the request deadline")
+				}
+			}
+		}
+		return true
+	})
+
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			if comms[n] {
+				continue
+			}
+			if sel, ok := n.(*ast.SelectStmt); ok {
+				if !selectIsBounded(info, sel) {
+					p.Reportf("ctxflow.block", sel.Pos(),
+						"select has neither a default nor a <-ctx.Done() case; it can block past the request deadline")
+				}
+				continue
+			}
+			pt, _ := g.PointOf(n)
+			cfg.Shallow(n, func(m ast.Node) bool {
+				return visit(p, fn, g, pt, m)
+			})
+		}
+	}
+}
+
+// visit inspects one leaf node of a block; pt is the node's graph point,
+// used for dominance queries by the guard and link checks.
+func visit(p *lint.Pass, fn cfg.Func, g *cfg.Graph, pt cfg.Point, m ast.Node) bool {
+	info := p.Pkg.Info
+	switch m := m.(type) {
+	case *ast.GoStmt:
+		// Launching a goroutine does not block; its body is a separate
+		// function with its own graph.
+		return false
+	case *ast.SendStmt:
+		p.Reportf("ctxflow.block", m.Pos(),
+			"channel send outside select cannot observe the request deadline")
+		return true
+	case *ast.UnaryExpr:
+		if m.Op == token.ARROW {
+			p.Reportf("ctxflow.block", m.Pos(),
+				"channel receive outside select cannot observe the request deadline")
+		}
+		return true
+	case *ast.CallExpr:
+		callee := lint.Callee(info, m)
+		key := lint.CalleeKey(callee)
+		switch key {
+		case "time.Sleep":
+			p.Reportf("ctxflow.block", m.Pos(),
+				"time.Sleep on a request path ignores the deadline; derive the wait from the context")
+		case "sync.WaitGroup.Wait":
+			p.Reportf("ctxflow.block", m.Pos(),
+				"WaitGroup.Wait cannot observe the request deadline")
+		}
+		if callee != nil && callee.Name() == p.Cfg.GuardedEntry &&
+			lint.FuncPkgPath(callee) == p.Cfg.KDTreePackage {
+			checkGuardArg(p, fn, g, pt, m)
+			return true
+		}
+		if key != "" && key != p.Cfg.CtxLinkFunc {
+			checkCancelerArgs(p, fn, g, pt, m.Args)
+		}
+		if inList(key, p.Cfg.BlockingFuncs) && !hasCancelArg(info, p.Cfg, m) &&
+			(callee == nil || callee.Name() != p.Cfg.GuardedEntry) {
+			p.Reportf("ctxflow.block", m.Pos(),
+				"%s can block past the request deadline and no Canceler is threaded", key)
+		}
+		return true
+	case *ast.CompositeLit:
+		checkCancelerFields(p, fn, g, pt, m)
+		return true
+	}
+	return true
+}
+
+// selectIsBounded reports whether sel has a default clause (non-blocking
+// poll) or a case receiving from a context's Done channel.
+func selectIsBounded(info *types.Info, sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		comm := cl.(*ast.CommClause)
+		if comm.Comm == nil {
+			return true // default clause
+		}
+		var recv ast.Expr
+		switch c := comm.Comm.(type) {
+		case *ast.ExprStmt:
+			recv = c.X
+		case *ast.AssignStmt:
+			if len(c.Rhs) == 1 {
+				recv = c.Rhs[0]
+			}
+		}
+		ue, ok := ast.Unparen(recv).(*ast.UnaryExpr)
+		if !ok || ue.Op != token.ARROW {
+			continue
+		}
+		call, ok := ast.Unparen(ue.X).(*ast.CallExpr)
+		if !ok {
+			continue
+		}
+		selx, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok || selx.Sel.Name != "Done" {
+			continue
+		}
+		if isContext(info.TypeOf(selx.X)) {
+			return true
+		}
+	}
+	return false
+}
+
+func isContext(t types.Type) bool {
+	n := lint.NamedOf(t)
+	return n != nil && n.Obj().Pkg() != nil &&
+		n.Obj().Pkg().Path() == "context" && n.Obj().Name() == "Context"
+}
+
+// checkGuardArg verifies the Guard argument of a guarded-entry call traces
+// to Config.CtxGuardFunc: directly in the argument expression, through a
+// variable whose dominating assignment derives it, or as a parameter the
+// caller composed.
+func checkGuardArg(p *lint.Pass, fn cfg.Func, g *cfg.Graph, pt cfg.Point, call *ast.CallExpr) {
+	info := p.Pkg.Info
+	guardType := p.Cfg.KDTreePackage + ".Guard"
+	var arg ast.Expr
+	for _, a := range call.Args {
+		if n := lint.NamedOf(info.TypeOf(a)); n != nil && typeKey(n) == guardType {
+			arg = a
+		}
+	}
+	if arg == nil {
+		return // signature mismatch; nothing to judge
+	}
+	if containsCall(info, arg, p.Cfg.CtxGuardFunc) {
+		return
+	}
+	if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+		obj := info.Uses[id]
+		if obj != nil && isParam(info, fn, obj) {
+			return // composed by the caller
+		}
+		if obj != nil && hasDominatingAssign(p, g, pt, obj, func(rhs ast.Expr) bool {
+			return containsCall(info, rhs, p.Cfg.CtxGuardFunc)
+		}) {
+			return
+		}
+	}
+	p.Reportf("ctxflow.guard", arg.Pos(),
+		"guard for %s does not derive from %s; the build cannot abort on deadline expiry",
+		p.Cfg.GuardedEntry, p.Cfg.CtxGuardFunc)
+}
+
+// checkCancelerArgs audits Canceler-typed values among call arguments.
+func checkCancelerArgs(p *lint.Pass, fn cfg.Func, g *cfg.Graph, pt cfg.Point, args []ast.Expr) {
+	for _, a := range args {
+		if isCanceler(p, a) {
+			checkCancelerUse(p, fn, g, pt, a)
+		}
+	}
+}
+
+// checkCancelerFields audits Canceler-typed values stored into composite
+// literal fields (e.g. render.Options{Cancel: &cc}).
+func checkCancelerFields(p *lint.Pass, fn cfg.Func, g *cfg.Graph, pt cfg.Point, lit *ast.CompositeLit) {
+	for _, el := range lit.Elts {
+		v := el
+		if kv, ok := el.(*ast.KeyValueExpr); ok {
+			v = kv.Value
+		}
+		if isCanceler(p, v) {
+			checkCancelerUse(p, fn, g, pt, v)
+		}
+	}
+}
+
+func isCanceler(p *lint.Pass, e ast.Expr) bool {
+	if lint.IsNilIdent(p.Pkg.Info, e) {
+		return false
+	}
+	n := lint.NamedOf(p.Pkg.Info.TypeOf(e))
+	return n != nil && typeKey(n) == p.Cfg.CancelerType
+}
+
+// checkCancelerUse requires the Canceler behind e to be a parameter
+// (linked by the caller) or covered by a dominating CtxLinkFunc call on
+// the same variable.
+func checkCancelerUse(p *lint.Pass, fn cfg.Func, g *cfg.Graph, pt cfg.Point, e ast.Expr) {
+	info := p.Pkg.Info
+	obj := cancelerObject(info, e)
+	if obj == nil {
+		return // field or element; provenance is out of intraprocedural reach
+	}
+	if isParam(info, fn, obj) {
+		return
+	}
+	if dominatingLink(p, fn, g, pt, obj) {
+		return
+	}
+	p.Reportf("ctxflow.link", e.Pos(),
+		"Canceler %s reaches a dispatch without a dominating %s; the kernel polls a flag nothing sets",
+		obj.Name(), p.Cfg.CtxLinkFunc)
+}
+
+// cancelerObject resolves the local variable behind a Canceler expression:
+// &cc or cc. Field selectors return nil.
+func cancelerObject(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.Uses[id]
+}
+
+// dominatingLink reports whether a CtxLinkFunc call referencing obj sits
+// at a point dominating pt within fn's body.
+func dominatingLink(p *lint.Pass, fn cfg.Func, g *cfg.Graph, pt cfg.Point, obj types.Object) bool {
+	info := p.Pkg.Info
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if lint.CalleeKey(lint.Callee(info, call)) != p.Cfg.CtxLinkFunc {
+			return true
+		}
+		if !mentionsObject(info, call, obj) {
+			return true
+		}
+		if lp, ok := g.PointOf(call); ok && g.Dominates(lp, pt) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// hasDominatingAssign reports whether an assignment to obj whose RHS
+// satisfies pred dominates pt.
+func hasDominatingAssign(p *lint.Pass, g *cfg.Graph, pt cfg.Point, obj types.Object, pred func(ast.Expr) bool) bool {
+	info := p.Pkg.Info
+	for _, b := range g.Blocks {
+		for i, n := range b.Nodes {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || len(as.Lhs) != len(as.Rhs) {
+				continue
+			}
+			for j, lhs := range as.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok {
+					continue
+				}
+				if o := objectOf(info, id); o != obj {
+					continue
+				}
+				if pred(as.Rhs[j]) && g.Dominates(cfg.Point{Block: b, Node: i}, pt) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func objectOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// mentionsObject reports whether any identifier under n resolves to obj.
+func mentionsObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// containsCall reports whether e contains a call to the function with the
+// given callee key.
+func containsCall(info *types.Info, e ast.Expr, key string) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if lint.CalleeKey(lint.Callee(info, call)) == key {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// hasCancelArg reports whether any argument subtree carries a non-nil
+// Canceler — directly or inside an options literal.
+func hasCancelArg(info *types.Info, c *lint.Config, call *ast.CallExpr) bool {
+	found := false
+	for _, a := range call.Args {
+		ast.Inspect(a, func(n ast.Node) bool {
+			e, ok := n.(ast.Expr)
+			if !ok || found {
+				return !found
+			}
+			if id, ok := e.(*ast.Ident); ok {
+				if _, isNil := info.Uses[id].(*types.Nil); isNil {
+					return true
+				}
+			}
+			if nt := lint.NamedOf(info.TypeOf(e)); nt != nil && typeKey(nt) == c.CancelerType {
+				found = true
+			}
+			return !found
+		})
+	}
+	return found
+}
+
+// isParam reports whether obj is a parameter (or named result) of fn.
+func isParam(info *types.Info, fn cfg.Func, obj types.Object) bool {
+	var ft *ast.FuncType
+	if fn.Decl != nil {
+		ft = fn.Decl.Type
+	} else {
+		ft = fn.Lit.Type
+	}
+	match := false
+	check := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			for _, name := range f.Names {
+				if info.Defs[name] == obj {
+					match = true
+				}
+			}
+		}
+	}
+	check(ft.Params)
+	check(ft.Results)
+	if fn.Decl != nil {
+		check(fn.Decl.Recv)
+	}
+	return match
+}
+
+func typeKey(n *types.Named) string {
+	if n.Obj().Pkg() == nil {
+		return n.Obj().Name()
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+func inList(s string, list []string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -71,6 +71,20 @@ func NamedOf(t types.Type) *types.Named {
 	return n
 }
 
+// CalleeKey renders fn in the form the dataflow rule tables use:
+// "<pkgpath>.<Func>" for package-level functions and
+// "<pkgpath>.<Type>.<Method>" for methods (pointer receivers stripped).
+// It returns "" for nil and for functions without a package.
+func CalleeKey(fn *types.Func) string {
+	if fn == nil || fn.Pkg() == nil {
+		return ""
+	}
+	if recv := RecvTypeName(fn); recv != "" {
+		return fn.Pkg().Path() + "." + recv + "." + fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
 // IsNilIdent reports whether e is the predeclared nil (after parens) — used
 // to flag dispatch calls that formally accept a Canceler but thread none.
 func IsNilIdent(info *types.Info, e ast.Expr) bool {

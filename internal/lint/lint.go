@@ -120,6 +120,93 @@ type Config struct {
 
 	// IncludeTests selects whether _test.go files are loaded and linted.
 	IncludeTests bool
+
+	// --- dataflow rules (ctxflow, atomics, locks, resource) ---
+
+	// CtxFlowPackages are the request-serving packages whose blocking
+	// operations must be dominated by the request context; ctxflow.* rules
+	// apply inside them.
+	CtxFlowPackages []string
+
+	// CtxGuardFunc derives a build Guard from a context, as
+	// "<pkgpath>.<Func>". GuardedEntry calls inside CtxFlowPackages must
+	// thread a guard produced by it.
+	CtxGuardFunc string
+
+	// CtxLinkFunc links a Canceler to a context, as "<pkgpath>.<Func>".
+	// A Canceler handed to a dispatch inside CtxFlowPackages must first
+	// flow through it (or arrive as a parameter, linked by the caller).
+	CtxLinkFunc string
+
+	// CancelerType is the cooperative-cancellation flag type the parallel
+	// substrate polls, as "<pkgpath>.<Type>".
+	CancelerType string
+
+	// BlockingFuncs are calls the ctxflow and locks rules treat as
+	// potentially blocking, as "<pkgpath>.<Func>" or
+	// "<pkgpath>.<Type>.<Method>", beyond the built-in channel, select
+	// and sync cases.
+	BlockingFuncs []string
+
+	// AtomicsPackages are the packages subject to atomics.* rules: a
+	// field accessed through sync/atomic anywhere must be accessed
+	// atomically everywhere.
+	AtomicsPackages []string
+
+	// LocksPackages are the packages subject to locks.* rules: no
+	// blocking operation while a mutex is held, and only declared lock
+	// nesting.
+	LocksPackages []string
+
+	// LockOrder declares the sanctioned mutex nesting as "outer<inner"
+	// pairs of lock classes ("<pkgpath>.<Type>.<field>"). Nesting
+	// observed in the code but not declared here — in either direction —
+	// is a locks.order finding.
+	LockOrder []string
+
+	// LockMethods maps callee keys to the lock class the callee acquires
+	// (and releases) internally, so nesting through accessor methods is
+	// visible without interprocedural analysis.
+	LockMethods map[string]string
+
+	// ResourcePackages are the packages subject to resource.* rules.
+	ResourcePackages []string
+
+	// Resources are the acquire/release protocols the resource rule
+	// enforces inside ResourcePackages.
+	Resources []ResourceSpec
+
+	// Latches are the latch types whose publish obligation the resource
+	// rule enforces inside ResourcePackages.
+	Latches []LatchSpec
+}
+
+// ResourceSpec is one acquire/release protocol: a value bound from an
+// Acquire call must, on every path out of the binding function — panic
+// edges included — reach a Release call, be handed off per the consume
+// flags, or be waived by an error-result check on the acquiring call.
+type ResourceSpec struct {
+	Name    string   // short name used in messages, e.g. "Builder"
+	Acquire []string // callee keys whose bound results create the obligation
+	Release []string // callee keys that discharge it (value as receiver or argument)
+
+	// ConsumeOnStore discharges the obligation when the value is stored
+	// into a composite literal or struct field, or returned — ownership
+	// transferred to another holder.
+	ConsumeOnStore bool
+
+	// ConsumeOnCall discharges the obligation when the value is passed
+	// as an argument to any call — ownership transferred to the callee.
+	ConsumeOnCall bool
+}
+
+// LatchSpec is one latch protocol: binding a composite literal of Type
+// obliges the function to publish the latch on every path out — by
+// closing one of its channel fields, calling one of the Fill callees on
+// it, or handing it to the callee that will (any call argument).
+type LatchSpec struct {
+	Type string   // latch type, as "<pkgpath>.<Type>"
+	Fill []string // callee keys that publish the latch
 }
 
 // DefaultConfig returns the scoping for this repository.
@@ -145,6 +232,79 @@ func DefaultConfig() *Config {
 		TunablePackages: []string{
 			"kdtune/internal/kdtree",
 			"kdtune/internal/sah",
+		},
+		CtxFlowPackages: []string{"kdtune/internal/serve"},
+		CtxGuardFunc:    "kdtune/internal/kdtree.GuardFromContext",
+		CtxLinkFunc:     "kdtune/internal/parallel.LinkContext",
+		CancelerType:    "kdtune/internal/parallel.Canceler",
+		BlockingFuncs: []string{
+			"kdtune/internal/kdtree.Builder.BuildGuarded",
+			"kdtune/internal/render.RenderInto",
+			"kdtune/internal/parallel.For",
+			"kdtune/internal/parallel.ForCancel",
+			"kdtune/internal/parallel.ForGrain",
+			"kdtune/internal/parallel.ForGrainCancel",
+			"kdtune/internal/parallel.ForChunks",
+			"kdtune/internal/parallel.ForChunksCancel",
+			"kdtune/internal/parallel.ForEach",
+			"kdtune/internal/parallel.Pool.Wait",
+		},
+		AtomicsPackages: []string{
+			"kdtune/internal/serve",
+			"kdtune/internal/parallel",
+			"kdtune/internal/harness",
+		},
+		LocksPackages: []string{
+			"kdtune/internal/serve",
+			"kdtune/internal/parallel",
+			"kdtune/internal/harness",
+		},
+		LockOrder: []string{
+			"kdtune/internal/serve.cacheEntry.mu<kdtune/internal/serve.CachedTree.mu",
+			"kdtune/internal/serve.admission.mu<kdtune/internal/serve.Breaker.mu",
+		},
+		LockMethods: map[string]string{
+			"kdtune/internal/serve.CachedTree.acquire":   "kdtune/internal/serve.CachedTree.mu",
+			"kdtune/internal/serve.CachedTree.Release":   "kdtune/internal/serve.CachedTree.mu",
+			"kdtune/internal/serve.CachedTree.retire":    "kdtune/internal/serve.CachedTree.mu",
+			"kdtune/internal/serve.Breaker.Allow":        "kdtune/internal/serve.Breaker.mu",
+			"kdtune/internal/serve.Breaker.CancelProbe":  "kdtune/internal/serve.Breaker.mu",
+			"kdtune/internal/serve.Breaker.Record":       "kdtune/internal/serve.Breaker.mu",
+			"kdtune/internal/serve.Breaker.State":        "kdtune/internal/serve.Breaker.mu",
+			"kdtune/internal/serve.BuilderPool.Get":      "kdtune/internal/serve.poolShard.mu",
+			"kdtune/internal/serve.BuilderPool.Put":      "kdtune/internal/serve.poolShard.mu",
+			"kdtune/internal/serve.BuilderPool.Size":     "kdtune/internal/serve.poolShard.mu",
+			"kdtune/internal/serve.treeCache.entry":      "kdtune/internal/serve.treeCache.mu",
+			"kdtune/internal/serve.treeCache.Invalidate": "kdtune/internal/serve.cacheEntry.mu",
+			"kdtune/internal/serve.treeCache.Generation": "kdtune/internal/serve.cacheEntry.mu",
+		},
+		ResourcePackages: []string{"kdtune/internal/serve"},
+		Resources: []ResourceSpec{
+			{
+				Name:           "Builder",
+				Acquire:        []string{"kdtune/internal/serve.BuilderPool.Get"},
+				Release:        []string{"kdtune/internal/serve.BuilderPool.Put"},
+				ConsumeOnStore: true,
+			},
+			{
+				Name: "CachedTree",
+				Acquire: []string{
+					"kdtune/internal/serve.CachedTree.acquire",
+					"kdtune/internal/serve.treeCache.Get",
+					"kdtune/internal/serve.treeCache.fill",
+					"kdtune/internal/serve.treeCache.ladder",
+					"kdtune/internal/serve.treeCache.fallbackFill",
+					"kdtune/internal/serve.Server.tree",
+				},
+				Release: []string{
+					"kdtune/internal/serve.CachedTree.Release",
+					"kdtune/internal/serve.CachedTree.retire",
+				},
+				ConsumeOnStore: true,
+			},
+		},
+		Latches: []LatchSpec{
+			{Type: "kdtune/internal/serve.fillState"},
 		},
 	}
 }
@@ -175,6 +335,30 @@ func (p *Pass) InArenaScope() bool {
 // tunable.* rules.
 func (p *Pass) InTunableScope() bool {
 	return inList(p.Pkg.PkgPath(), p.Cfg.TunablePackages)
+}
+
+// InCtxFlowScope reports whether the pass's package is subject to
+// ctxflow.* rules.
+func (p *Pass) InCtxFlowScope() bool {
+	return inList(p.Pkg.PkgPath(), p.Cfg.CtxFlowPackages)
+}
+
+// InAtomicsScope reports whether the pass's package is subject to
+// atomics.* rules.
+func (p *Pass) InAtomicsScope() bool {
+	return inList(p.Pkg.PkgPath(), p.Cfg.AtomicsPackages)
+}
+
+// InLocksScope reports whether the pass's package is subject to locks.*
+// rules.
+func (p *Pass) InLocksScope() bool {
+	return inList(p.Pkg.PkgPath(), p.Cfg.LocksPackages)
+}
+
+// InResourceScope reports whether the pass's package is subject to
+// resource.* rules.
+func (p *Pass) InResourceScope() bool {
+	return inList(p.Pkg.PkgPath(), p.Cfg.ResourcePackages)
 }
 
 // GoroutinesAllowed reports whether raw go statements are allowlisted in

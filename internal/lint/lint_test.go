@@ -8,10 +8,14 @@ import (
 
 	"kdtune/internal/lint"
 	"kdtune/internal/lint/arena"
+	"kdtune/internal/lint/atomics"
+	"kdtune/internal/lint/ctxflow"
 	"kdtune/internal/lint/determinism"
 	"kdtune/internal/lint/guard"
 	"kdtune/internal/lint/hotpath"
 	"kdtune/internal/lint/linttest"
+	"kdtune/internal/lint/locks"
+	"kdtune/internal/lint/resource"
 	"kdtune/internal/lint/tunable"
 )
 
@@ -19,7 +23,35 @@ const fixtureRoot = "kdtune/internal/lint/testdata/src/"
 
 // AllRules assembles the production rule set, mirroring cmd/kdlint.
 func allRules() []lint.Rule {
-	return []lint.Rule{determinism.Rule(), guard.Rule(), arena.Rule(), hotpath.Rule(), tunable.Rule()}
+	return []lint.Rule{
+		determinism.Rule(), guard.Rule(), arena.Rule(), hotpath.Rule(), tunable.Rule(),
+		ctxflow.Rule, atomics.Rule, locks.Rule, resource.Rule,
+	}
+}
+
+// dataflowConfig rescopes the four CFG/dataflow rules onto their fixture
+// packages, with the same protocol tables the fixture comments describe.
+func dataflowConfig() *lint.Config {
+	const lockfx = fixtureRoot + "lockfx"
+	const resfx = fixtureRoot + "resfx"
+	cfg := lint.DefaultConfig()
+	cfg.CtxFlowPackages = []string{fixtureRoot + "ctxfx"}
+	cfg.AtomicsPackages = []string{fixtureRoot + "atomfx"}
+	cfg.LocksPackages = []string{lockfx}
+	cfg.LockOrder = []string{lockfx + ".outer.mu<" + lockfx + ".inner.mu"}
+	cfg.LockMethods = map[string]string{lockfx + ".table.get": lockfx + ".table.mu"}
+	cfg.ResourcePackages = []string{resfx}
+	cfg.Resources = []lint.ResourceSpec{{
+		Name:           "conn",
+		Acquire:        []string{resfx + ".pool.Get", resfx + ".pool.GetErr"},
+		Release:        []string{resfx + ".pool.Put", resfx + ".conn.Close"},
+		ConsumeOnStore: true,
+	}}
+	cfg.Latches = []lint.LatchSpec{{
+		Type: resfx + ".latch",
+		Fill: []string{resfx + ".latch.publish"},
+	}}
+	return cfg
 }
 
 func TestDeterminismRule(t *testing.T) {
@@ -115,6 +147,79 @@ func TestLoadTestVariant(t *testing.T) {
 	}
 	if !hasTestFile {
 		t.Error("test variant does not include sah_test.go")
+	}
+}
+
+// TestCtxflowRule: the fixture imports the real parallel and kdtree
+// packages, so the default guard/link tables apply; only the scope is
+// moved onto the fixture.
+func TestCtxflowRule(t *testing.T) {
+	linttest.Run(t, fixtureRoot+"ctxfx", dataflowConfig(), []lint.Rule{ctxflow.Rule})
+}
+
+func TestAtomicsRule(t *testing.T) {
+	linttest.Run(t, fixtureRoot+"atomfx", dataflowConfig(), []lint.Rule{atomics.Rule})
+}
+
+func TestLocksRule(t *testing.T) {
+	linttest.Run(t, fixtureRoot+"lockfx", dataflowConfig(), []lint.Rule{locks.Rule})
+}
+
+func TestResourceRule(t *testing.T) {
+	linttest.Run(t, fixtureRoot+"resfx", dataflowConfig(), []lint.Rule{resource.Rule})
+}
+
+// TestDataflowRulesOutOfScope pins the scoping: under the default config
+// (whose scopes point at the real repo packages) all four fixtures are
+// silent no matter what their code does.
+func TestDataflowRulesOutOfScope(t *testing.T) {
+	pkgs, err := lint.Load("", []string{
+		fixtureRoot + "ctxfx", fixtureRoot + "atomfx",
+		fixtureRoot + "lockfx", fixtureRoot + "resfx",
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []lint.Rule{ctxflow.Rule, atomics.Rule, locks.Rule, resource.Rule}
+	for _, d := range lint.Run(pkgs, lint.DefaultConfig(), rules) {
+		t.Errorf("out-of-scope finding: %s", d)
+	}
+}
+
+// TestDataflowJSONGolden pins the machine output for the dataflow rule
+// names (ctxflow.*, atomics.*, locks.*, resource.*) the same way
+// TestJSONGolden does for the AST rules.
+func TestDataflowJSONGolden(t *testing.T) {
+	pkgs, err := lint.Load("", []string{
+		fixtureRoot + "ctxfx", fixtureRoot + "atomfx",
+		fixtureRoot + "lockfx", fixtureRoot + "resfx",
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rules := []lint.Rule{ctxflow.Rule, atomics.Rule, locks.Rule, resource.Rule}
+	diags := lint.Run(pkgs, dataflowConfig(), rules)
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lint.Relativize(diags, root)
+	var buf bytes.Buffer
+	if err := lint.WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "dataflowfx.golden.json")
+	if os.Getenv("KDLINT_UPDATE_GOLDEN") != "" {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with KDLINT_UPDATE_GOLDEN=1)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("JSON output differs from golden file %s:\ngot:\n%s\nwant:\n%s\n(regenerate with KDLINT_UPDATE_GOLDEN=1)", golden, buf.Bytes(), want)
 	}
 }
 

@@ -1,0 +1,327 @@
+// Package locks runs a may-held mutex analysis over each function's CFG
+// and enforces two invariants inside Config.LocksPackages:
+//
+//   - locks.blocked: no potentially blocking operation — raw channel
+//     send/receive, a select without a default, time.Sleep, a
+//     WaitGroup/Pool wait, or any Config.BlockingFuncs call — while a
+//     sync.Mutex or RWMutex may be held. Parking a goroutine that holds a
+//     lock starves every other waiter of that lock for the duration of
+//     the park; with a latch in the cycle it is a deadlock (the exact
+//     e.mu shape fixed in PR 9's review).
+//
+//   - locks.order: every observed nesting of lock classes must be
+//     declared in Config.LockOrder as "outer<inner". Nesting that is
+//     reversed or simply undeclared is flagged, so the sanctioned order
+//     is a reviewed table in one place rather than folklore.
+//
+// A lock class is "<pkgpath>.<Type>.<field>" — the field holding the
+// mutex. Held-ness is tracked per instance (the expression the mutex was
+// locked through), so two instances of one class are distinct; order
+// checks compare classes. Calls listed in Config.LockMethods acquire (and
+// release) their class internally: they participate in order checks
+// against the held set without extending it. A deferred Unlock does NOT
+// release for this analysis — the lock is held to function exit, which is
+// precisely the window locks.blocked polices.
+package locks
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+
+	"kdtune/internal/lint"
+	"kdtune/internal/lint/cfg"
+)
+
+// Rule is the locks rule.
+var Rule = lint.Rule{
+	Name:  "locks",
+	Doc:   "no blocking operation while a mutex is held; lock nesting must follow the declared order",
+	Check: check,
+}
+
+func check(p *lint.Pass) {
+	if !p.InLocksScope() {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, fn := range cfg.Functions(f) {
+			checkFunc(p, fn)
+		}
+	}
+}
+
+// heldLock is one possibly-held mutex instance.
+type heldLock struct {
+	class string // lock class, "" when the instance has no named field
+	pos   token.Pos
+}
+
+// state maps instance keys to held info.
+type state map[string]heldLock
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s state) equal(o state) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFunc(p *lint.Pass, fn cfg.Func) {
+	g := cfg.New(fn.Body, p.Pkg.Info)
+	comms := commStmts(fn.Body)
+
+	// Fixpoint over block-entry states (may analysis: union join).
+	in := make([]state, len(g.Blocks))
+	for i := range in {
+		in[i] = state{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			out := transfer(p, fn, b, in[b.Index].clone(), comms, nil)
+			for _, succ := range b.Succs {
+				merged := in[succ.Index].clone()
+				for k, v := range out {
+					if _, ok := merged[k]; !ok {
+						merged[k] = v
+					}
+				}
+				if !merged.equal(in[succ.Index]) {
+					in[succ.Index] = merged
+					changed = true
+				}
+			}
+		}
+	}
+
+	// Reporting pass with the converged entry states. Findings are
+	// deduped: a node reachable with the same lock held along several
+	// paths is one finding, not one per path.
+	seen := map[string]bool{}
+	report := func(rule string, pos token.Pos, msg string) {
+		key := fmt.Sprintf("%s|%d|%s", rule, pos, msg)
+		if !seen[key] {
+			seen[key] = true
+			p.Reportf(rule, pos, "%s", msg)
+		}
+	}
+	for _, b := range g.Blocks {
+		transfer(p, fn, b, in[b.Index].clone(), comms, report)
+	}
+}
+
+// commStmts collects the comm statements of every select, whose channel
+// operations are mediated by the select rather than raw.
+func commStmts(body *ast.BlockStmt) map[ast.Node]bool {
+	out := map[ast.Node]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			for _, cl := range sel.Body.List {
+				if comm := cl.(*ast.CommClause).Comm; comm != nil {
+					out[comm] = true
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// transfer runs one block's nodes over the state. With report non-nil it
+// also emits findings; the same function drives both the fixpoint and the
+// reporting pass so they cannot diverge.
+func transfer(p *lint.Pass, fn cfg.Func, b *cfg.Block, st state, comms map[ast.Node]bool, report func(rule string, pos token.Pos, msg string)) state {
+	info := p.Pkg.Info
+	emit := func(rule string, pos token.Pos, format string, args ...any) {
+		if report != nil {
+			report(rule, pos, fmt.Sprintf(format, args...))
+		}
+	}
+	blockedOn := func(pos token.Pos, what string) {
+		for _, h := range st {
+			name := h.class
+			if name == "" {
+				name = "a mutex"
+			}
+			lp := p.Pkg.Fset.Position(h.pos)
+			emit("locks.blocked", pos, "%s while %s is held (locked at %s:%d)",
+				what, name, filepath.Base(lp.Filename), lp.Line)
+		}
+	}
+	orderCheck := func(pos token.Pos, class string) {
+		if class == "" {
+			return
+		}
+		for _, h := range st {
+			outer := h.class
+			if outer == "" || outer == class {
+				if outer == class && !declared(p.Cfg.LockOrder, outer, class) {
+					emit("locks.order", pos,
+						"acquires %s while another instance of the same class is held; self-nesting must be declared in LockOrder", class)
+				}
+				continue
+			}
+			switch {
+			case declared(p.Cfg.LockOrder, outer, class):
+				// sanctioned
+			case declared(p.Cfg.LockOrder, class, outer):
+				emit("locks.order", pos,
+					"acquires %s while %s is held, reversing the declared order %q",
+					class, outer, class+"<"+outer)
+			default:
+				emit("locks.order", pos,
+					"undeclared lock nesting: %s acquired while %s is held; declare %q in LockOrder",
+					class, outer, outer+"<"+class)
+			}
+		}
+	}
+
+	for _, n := range b.Nodes {
+		if comms[n] {
+			continue
+		}
+		if _, ok := n.(*ast.DeferStmt); ok {
+			// Deferred calls run at exit; a deferred Unlock keeps the lock
+			// held through the rest of the body for this analysis.
+			continue
+		}
+		if sel, ok := n.(*ast.SelectStmt); ok {
+			if !hasDefault(sel) && len(st) > 0 {
+				blockedOn(sel.Pos(), "select")
+			}
+			continue
+		}
+		cfg.Shallow(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.GoStmt:
+				return false
+			case *ast.SendStmt:
+				if len(st) > 0 {
+					blockedOn(m.Pos(), "channel send")
+				}
+				return true
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW && len(st) > 0 {
+					blockedOn(m.Pos(), "channel receive")
+				}
+				return true
+			case *ast.CallExpr:
+				callee := lint.Callee(info, m)
+				key := lint.CalleeKey(callee)
+				switch key {
+				case "sync.Mutex.Lock", "sync.RWMutex.Lock", "sync.RWMutex.RLock":
+					inst, class := mutexOperand(info, m)
+					orderCheck(m.Pos(), class)
+					if inst != "" {
+						st[inst] = heldLock{class: class, pos: m.Pos()}
+					}
+					return true
+				case "sync.Mutex.Unlock", "sync.RWMutex.Unlock", "sync.RWMutex.RUnlock":
+					inst, _ := mutexOperand(info, m)
+					delete(st, inst)
+					return true
+				case "time.Sleep":
+					if len(st) > 0 {
+						blockedOn(m.Pos(), "time.Sleep")
+					}
+					return true
+				case "sync.WaitGroup.Wait":
+					if len(st) > 0 {
+						blockedOn(m.Pos(), "WaitGroup.Wait")
+					}
+					return true
+				}
+				if class, ok := p.Cfg.LockMethods[key]; ok {
+					orderCheck(m.Pos(), class)
+				}
+				if len(st) > 0 && inList(key, p.Cfg.BlockingFuncs) {
+					blockedOn(m.Pos(), key)
+				}
+				return true
+			}
+			return true
+		})
+	}
+	return st
+}
+
+func hasDefault(sel *ast.SelectStmt) bool {
+	for _, cl := range sel.Body.List {
+		if cl.(*ast.CommClause).Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// mutexOperand resolves the instance key and lock class of a Lock/Unlock
+// receiver: for e.mu.Lock(), the instance is "e.mu" disambiguated by e's
+// object, and the class is "<pkg>.<TypeOf e>.mu".
+func mutexOperand(info *types.Info, call *ast.CallExpr) (instance, class string) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	mutex := ast.Unparen(sel.X) // the mutex-valued expression
+	instance = exprKey(info, mutex)
+	if fsel, ok := mutex.(*ast.SelectorExpr); ok {
+		if base := lint.NamedOf(info.TypeOf(fsel.X)); base != nil && base.Obj().Pkg() != nil {
+			class = base.Obj().Pkg().Path() + "." + base.Obj().Name() + "." + fsel.Sel.Name
+		}
+	}
+	return instance, class
+}
+
+// exprKey renders a stable key for an ident/selector chain, anchored at
+// the base identifier's object so shadowed names stay distinct. Other
+// shapes key on their position (unique, so they never alias).
+func exprKey(info *types.Info, e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Uses[e]; obj != nil {
+			return fmt.Sprintf("%s@%d", e.Name, obj.Pos())
+		}
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprKey(info, e.X) + "." + e.Sel.Name
+	}
+	return fmt.Sprintf("expr@%d", e.Pos())
+}
+
+// declared reports whether LockOrder sanctions acquiring inner while
+// outer is held.
+func declared(order []string, outer, inner string) bool {
+	return inListString(order, outer+"<"+inner)
+}
+
+func inListString(list []string, s string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func inList(s string, list []string) bool {
+	if s == "" {
+		return false
+	}
+	return inListString(list, s)
+}

@@ -11,6 +11,7 @@ import (
 //
 //	//kdlint:nocancel <reason>      suppress guard.cancel
 //	//kdlint:noguard <reason>       suppress guard.entry
+//	//kdlint:noctx <reason>         suppress ctxflow.* (context-dominance)
 //	//kdlint:allow <rule> <reason>  suppress any rule category by name
 //	//kdlint:hotpath                mark a function as a hot path (not a
 //	                                suppression; read by the hotpath rule)
@@ -74,6 +75,8 @@ func parsePragmas(pkg *Package) (pragmaIndex, []Diagnostic) {
 					rule = "guard.cancel"
 				case "noguard":
 					rule = "guard.entry"
+				case "noctx":
+					rule = "ctxflow"
 				case "allow":
 					fields := strings.Fields(args)
 					if len(fields) < 2 {
@@ -83,7 +86,7 @@ func parsePragmas(pkg *Package) (pragmaIndex, []Diagnostic) {
 					rule = fields[0]
 					args = strings.TrimSpace(args[strings.Index(args, fields[0])+len(fields[0]):])
 				default:
-					report("pragma.unknown", c, "unknown kdlint directive "+strconv.Quote(name)+"; known: nocancel, noguard, allow, hotpath")
+					report("pragma.unknown", c, "unknown kdlint directive "+strconv.Quote(name)+"; known: nocancel, noguard, noctx, allow, hotpath")
 					continue
 				}
 				if args == "" {

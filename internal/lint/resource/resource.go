@@ -1,0 +1,575 @@
+// Package resource is a must-analysis over acquire/release protocols: a
+// value bound from a declared Acquire call, or a latch built from a
+// declared latch type, must be discharged on every path out of the
+// function — normal returns and explicit panic edges alike. PR 9's
+// review found both shapes in the wild: a pooled Builder leaked on one
+// branch of the fallback ladder, and a singleflight latch a panic could
+// leave unpublished, stranding every waiter parked on it.
+//
+// Obligations are discharged by:
+//
+//   - a Release call with the value as receiver or argument;
+//   - for ConsumeOnStore specs, storing the value into a composite
+//     literal or struct field, or returning it (ownership transferred);
+//   - for ConsumeOnCall specs and all latches, passing the value as a
+//     call argument (the callee now owes the release/publish);
+//   - for latches, closing one of the latch's channel fields or calling
+//     a declared Fill function on it;
+//   - a deferred function that does any of the above (credited on every
+//     exit, panic edges included; local closures invoked by the deferred
+//     function are scanned one level deep, covering the
+//     defer-publish-on-panic idiom).
+//
+// When the acquiring call also returns an error bound in the same
+// assignment, the obligation is waived on the error path: the branch
+// taken when that error is non-nil has no resource to release.
+//
+// Categories: resource.leak (acquired value not released on some path),
+// resource.latch (latch not published on some path), resource.drop
+// (acquire result discarded outright).
+package resource
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"kdtune/internal/lint"
+	"kdtune/internal/lint/cfg"
+)
+
+// Rule is the resource rule.
+var Rule = lint.Rule{
+	Name:  "resource",
+	Doc:   "acquired resources and latches must be released/published on every path out, panic edges included",
+	Check: check,
+}
+
+func check(p *lint.Pass) {
+	if !p.InResourceScope() {
+		return
+	}
+	if len(p.Cfg.Resources) == 0 && len(p.Cfg.Latches) == 0 {
+		return
+	}
+	for _, f := range p.Pkg.Files {
+		for _, fn := range cfg.Functions(f) {
+			checkFunc(p, fn)
+		}
+	}
+}
+
+// obligation is one live duty: release obj per spec (spec != nil) or
+// publish obj per latch (latch != nil).
+type obligation struct {
+	obj   types.Object
+	spec  *lint.ResourceSpec
+	latch *lint.LatchSpec
+	birth token.Pos
+	// errObj, when non-nil, is the error bound by the acquiring
+	// assignment; the obligation dies on the branch where it is non-nil.
+	errObj types.Object
+}
+
+func (o *obligation) key() string {
+	return fmt.Sprintf("%d", o.birth)
+}
+
+func (o *obligation) name() string {
+	if o.spec != nil {
+		return o.spec.Name
+	}
+	return o.latch.Type
+}
+
+type state map[string]*obligation
+
+func (s state) clone() state {
+	out := make(state, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+func (s state) equal(o state) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for k := range s {
+		if _, ok := o[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func checkFunc(p *lint.Pass, fn cfg.Func) {
+	info := p.Pkg.Info
+	g := cfg.New(fn.Body, info)
+	covered := deferCovered(p, fn, g)
+
+	// Fixpoint: union join (an obligation live on any incoming path is
+	// live), edge-sensitive error-branch kills.
+	in := make([]state, len(g.Blocks))
+	for i := range in {
+		in[i] = state{}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range g.Blocks {
+			out := transfer(p, b, in[b.Index].clone(), covered, false)
+			for si, succ := range b.Succs {
+				merged := in[succ.Index].clone()
+				for k, v := range out {
+					if killedOnEdge(info, b, si, v) {
+						continue
+					}
+					if _, ok := merged[k]; !ok {
+						merged[k] = v
+					}
+				}
+				if !merged.equal(in[succ.Index]) {
+					in[succ.Index] = merged
+					changed = true
+				}
+			}
+		}
+	}
+
+	// One reporting sweep for drop findings (discarded acquire results).
+	for _, b := range g.Blocks {
+		transfer(p, b, in[b.Index].clone(), covered, true)
+	}
+
+	// Obligations alive at an exit leak. Report each once, at its birth.
+	reported := map[string]bool{}
+	for _, exit := range []*cfg.Block{g.Exit, g.Panic} {
+		via := "an early return or fall-through"
+		if exit == g.Panic {
+			via = "a panic edge"
+		}
+		for _, o := range in[exit.Index] {
+			if reported[o.key()] {
+				continue
+			}
+			reported[o.key()] = true
+			if o.latch != nil {
+				p.Reportf("resource.latch", o.birth,
+					"latch %s bound to %s is not published on every path out (%s escapes it); waiters would strand",
+					o.latch.Type, o.obj.Name(), via)
+			} else {
+				p.Reportf("resource.leak", o.birth,
+					"%s bound to %s does not reach a release on every path out (%s escapes it)",
+					o.spec.Name, o.obj.Name(), via)
+			}
+		}
+	}
+}
+
+// killedOnEdge reports whether o's error-waiver applies to the edge from
+// b to its si-th successor: the branch taken when the acquiring call's
+// error is non-nil carries no resource.
+func killedOnEdge(info *types.Info, b *cfg.Block, si int, o *obligation) bool {
+	if o.errObj == nil || b.Cond == nil {
+		return false
+	}
+	be, ok := ast.Unparen(b.Cond).(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	var other ast.Expr
+	if isObj(info, be.X, o.errObj) {
+		other = be.Y
+	} else if isObj(info, be.Y, o.errObj) {
+		other = be.X
+	} else {
+		return false
+	}
+	if !isNil(info, other) {
+		return false
+	}
+	switch be.Op {
+	case token.NEQ: // err != nil: true edge (si 0) is the error path
+		return si == 0
+	case token.EQL: // err == nil: false edge (si 1) is the error path
+		return si == 1
+	}
+	return false
+}
+
+func isObj(info *types.Info, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && info.Uses[id] == obj
+}
+
+func isNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isN := info.Uses[id].(*types.Nil)
+	return isN
+}
+
+// transfer runs one block over the state: births add obligations,
+// discharges remove them. With report set it also emits resource.drop
+// for discarded acquire results.
+func transfer(p *lint.Pass, b *cfg.Block, st state, covered map[types.Object]bool, report bool) state {
+	info := p.Pkg.Info
+	for _, n := range b.Nodes {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			discharge(p, st, n)
+			births(p, st, n, covered)
+		case *ast.ExprStmt:
+			if report {
+				if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+					if spec := acquireSpec(p, info, call); spec != nil {
+						p.Reportf("resource.drop", call.Pos(),
+							"result of %s acquire is discarded; the value can never be released", spec.Name)
+					}
+				}
+			}
+			discharge(p, st, n)
+		case *ast.DeferStmt:
+			// Deferred discharges are handled by deferCovered; the defer
+			// statement itself neither births nor discharges here.
+		default:
+			discharge(p, st, n)
+		}
+	}
+	return st
+}
+
+// births adds obligations for acquire-call and latch-literal bindings.
+func births(p *lint.Pass, st state, as *ast.AssignStmt, covered map[types.Object]bool) {
+	info := p.Pkg.Info
+
+	// Acquire call: resource in result 0, error (if any) in the last.
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			spec := acquireSpec(p, info, call)
+			if spec == nil {
+				return
+			}
+			obj := lhsObject(info, as.Lhs[0])
+			if obj == nil || covered[obj] {
+				return
+			}
+			var errObj types.Object
+			if last := lhsObject(info, as.Lhs[len(as.Lhs)-1]); last != nil && len(as.Lhs) > 1 {
+				if named, ok := last.Type().(*types.Named); ok && named.Obj().Name() == "error" {
+					errObj = last
+				}
+			}
+			o := &obligation{obj: obj, spec: spec, birth: obj.Pos(), errObj: errObj}
+			st[o.key()] = o
+			return
+		}
+	}
+
+	// Latch literal: one obligation per bound composite literal.
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		lt := latchSpec(p, info, rhs)
+		if lt == nil {
+			continue
+		}
+		obj := lhsObject(info, as.Lhs[i])
+		if obj == nil || covered[obj] {
+			continue
+		}
+		o := &obligation{obj: obj, latch: lt, birth: obj.Pos()}
+		st[o.key()] = o
+	}
+}
+
+// acquireSpec returns the ResourceSpec whose Acquire list names the
+// call's callee, or nil.
+func acquireSpec(p *lint.Pass, info *types.Info, call *ast.CallExpr) *lint.ResourceSpec {
+	key := lint.CalleeKey(lint.Callee(info, call))
+	if key == "" {
+		return nil
+	}
+	for i := range p.Cfg.Resources {
+		if inList(key, p.Cfg.Resources[i].Acquire) {
+			return &p.Cfg.Resources[i]
+		}
+	}
+	return nil
+}
+
+// latchSpec returns the LatchSpec matching a composite-literal expression
+// (&T{...} or T{...}), or nil.
+func latchSpec(p *lint.Pass, info *types.Info, e ast.Expr) *lint.LatchSpec {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	cl, ok := e.(*ast.CompositeLit)
+	if !ok {
+		return nil
+	}
+	n := lint.NamedOf(info.TypeOf(cl))
+	if n == nil || n.Obj().Pkg() == nil {
+		return nil
+	}
+	key := n.Obj().Pkg().Path() + "." + n.Obj().Name()
+	for i := range p.Cfg.Latches {
+		if p.Cfg.Latches[i].Type == key {
+			return &p.Cfg.Latches[i]
+		}
+	}
+	return nil
+}
+
+// discharge removes obligations the node settles: release calls, consume
+// stores/returns/args, latch closes and fills.
+func discharge(p *lint.Pass, st state, n ast.Node) {
+	if len(st) == 0 {
+		return
+	}
+	info := p.Pkg.Info
+	cfg.Shallow(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.CallExpr:
+			dischargeCall(p, st, m)
+			return true
+		case *ast.CompositeLit:
+			for _, el := range m.Elts {
+				v := el
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				removeIf(info, st, v, func(o *obligation) bool {
+					return o.latch == nil && o.spec.ConsumeOnStore
+				})
+			}
+			return true
+		case *ast.ReturnStmt:
+			for _, r := range m.Results {
+				removeIf(info, st, r, func(o *obligation) bool {
+					return o.latch != nil || o.spec.ConsumeOnStore
+				})
+			}
+			return true
+		case *ast.AssignStmt:
+			// A store into a field or element transfers ownership for
+			// ConsumeOnStore specs (e.g. srv.tree = t). Plain local
+			// rebinding does not.
+			for i, lhs := range m.Lhs {
+				if i >= len(m.Rhs) {
+					break
+				}
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr:
+					removeIf(info, st, m.Rhs[i], func(o *obligation) bool {
+						return o.latch == nil && o.spec.ConsumeOnStore
+					})
+				}
+			}
+			return true
+		}
+		return true
+	})
+}
+
+// dischargeCall settles obligations a single call can: a declared release
+// (receiver or argument), a latch close/fill, or an ownership-transferring
+// argument pass.
+func dischargeCall(p *lint.Pass, st state, call *ast.CallExpr) {
+	info := p.Pkg.Info
+	callee := lint.Callee(info, call)
+	key := lint.CalleeKey(callee)
+
+	// close(latch.done)
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "close" && len(call.Args) == 1 {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+				removeIf(info, st, sel.X, func(o *obligation) bool { return o.latch != nil })
+			}
+		}
+		return
+	}
+
+	isRelease := func(o *obligation) bool {
+		if o.latch != nil {
+			return inList(key, o.latch.Fill)
+		}
+		return inList(key, o.spec.Release)
+	}
+
+	// Receiver: b.Release().
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		removeIf(info, st, sel.X, isRelease)
+	}
+	for _, a := range call.Args {
+		removeIf(info, st, a, func(o *obligation) bool {
+			if isRelease(o) {
+				return true
+			}
+			// Ownership transfer: latches always, resources per spec.
+			return o.latch != nil || o.spec.ConsumeOnCall
+		})
+	}
+}
+
+// removeIf drops every obligation whose object is the expression's base
+// identifier and for which keep returns true.
+func removeIf(info *types.Info, st state, e ast.Expr, match func(*obligation) bool) {
+	obj := baseObject(info, e)
+	if obj == nil {
+		return
+	}
+	for k, o := range st {
+		if o.obj == obj && match(o) {
+			delete(st, k)
+		}
+	}
+}
+
+// baseObject resolves the identifier behind e, looking through parens and
+// a single address-of.
+func baseObject(info *types.Info, e ast.Expr) types.Object {
+	e = ast.Unparen(e)
+	if ue, ok := e.(*ast.UnaryExpr); ok && ue.Op == token.AND {
+		e = ast.Unparen(ue.X)
+	}
+	if id, ok := e.(*ast.Ident); ok {
+		return info.Uses[id]
+	}
+	return nil
+}
+
+func lhsObject(info *types.Info, e ast.Expr) types.Object {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// deferCovered collects the objects whose obligations a deferred function
+// settles. The deferred callee's body is scanned directly; calls from it
+// to local closures (publish := func(...){...}) are followed one level,
+// which covers the defer-publish-on-panic idiom.
+func deferCovered(p *lint.Pass, fn cfg.Func, g *cfg.Graph) map[types.Object]bool {
+	info := p.Pkg.Info
+	covered := map[types.Object]bool{}
+	if len(g.Defers) == 0 {
+		return covered
+	}
+
+	// Local closures by object, for one-level resolution.
+	closures := map[types.Object]*ast.FuncLit{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			if lit, ok := ast.Unparen(rhs).(*ast.FuncLit); ok {
+				if obj := lhsObject(info, as.Lhs[i]); obj != nil {
+					closures[obj] = lit
+				}
+			}
+		}
+		return true
+	})
+
+	// scan marks the discharging operations inside body.
+	var scan func(n ast.Node, depth int)
+	scan = func(n ast.Node, depth int) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			// close(x.done)
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+				if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin && id.Name == "close" && len(call.Args) == 1 {
+					if sel, ok := ast.Unparen(call.Args[0]).(*ast.SelectorExpr); ok {
+						if obj := baseObject(info, sel.X); obj != nil {
+							covered[obj] = true
+						}
+					}
+					return true
+				}
+				// A call to a local closure: follow one level.
+				if lit := closures[info.Uses[id]]; lit != nil && depth == 0 {
+					scan(lit.Body, depth+1)
+					return true
+				}
+			}
+			key := lint.CalleeKey(lint.Callee(info, call))
+			if key == "" {
+				return true
+			}
+			releases := releaseKeys(p)
+			if !releases[key] {
+				return true
+			}
+			if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+				if obj := baseObject(info, sel.X); obj != nil {
+					covered[obj] = true
+				}
+			}
+			for _, a := range call.Args {
+				if obj := baseObject(info, a); obj != nil {
+					covered[obj] = true
+				}
+			}
+			return true
+		})
+	}
+
+	for _, d := range g.Defers {
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			scan(lit.Body, 0)
+			continue
+		}
+		// defer obj.Release() / defer pool.Put(b): the call itself is the
+		// discharging operation.
+		scan(d.Call, 0)
+		if id, ok := ast.Unparen(d.Call.Fun).(*ast.Ident); ok {
+			if lit := closures[info.Uses[id]]; lit != nil {
+				scan(lit.Body, 0)
+			}
+		}
+	}
+	return covered
+}
+
+// releaseKeys is the union of every Release and Fill callee key.
+func releaseKeys(p *lint.Pass) map[string]bool {
+	out := map[string]bool{}
+	for i := range p.Cfg.Resources {
+		for _, k := range p.Cfg.Resources[i].Release {
+			out[k] = true
+		}
+	}
+	for i := range p.Cfg.Latches {
+		for _, k := range p.Cfg.Latches[i].Fill {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func inList(s string, list []string) bool {
+	for _, x := range list {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// SARIF 2.1.0 output, the minimal subset GitHub code scanning ingests:
+// one run, one result per diagnostic, rule metadata derived from the
+// categories present in the findings. -json remains the stable machine
+// format; SARIF exists so CI can annotate PR diffs inline.
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string    `json:"id"`
+	ShortDescription sarifText `json:"shortDescription"`
+}
+
+type sarifText struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	Level     string          `json:"level"`
+	Message   sarifText       `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysical `json:"physicalLocation"`
+}
+
+type sarifPhysical struct {
+	ArtifactLocation sarifArtifact `json:"artifactLocation"`
+	Region           sarifRegion   `json:"region"`
+}
+
+type sarifArtifact struct {
+	URI string `json:"uri"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn"`
+}
+
+// WriteSARIF renders diags as a SARIF 2.1.0 log. ruleDocs maps rule
+// family names to their one-line descriptions; categories not covered
+// fall back to their own name.
+func WriteSARIF(w io.Writer, diags []Diagnostic, ruleDocs map[string]string) error {
+	cats := map[string]bool{}
+	for _, d := range diags {
+		cats[d.Rule] = true
+	}
+	var ids []string
+	for id := range cats {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+
+	var rules []sarifRule
+	for _, id := range ids {
+		doc := ruleDocs[familyOf(id)]
+		if doc == "" {
+			doc = id
+		}
+		rules = append(rules, sarifRule{ID: id, ShortDescription: sarifText{Text: doc}})
+	}
+
+	results := make([]sarifResult, 0, len(diags))
+	for _, d := range diags {
+		results = append(results, sarifResult{
+			RuleID:  d.Rule,
+			Level:   "error",
+			Message: sarifText{Text: d.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysical{
+					ArtifactLocation: sarifArtifact{URI: d.Pos.Filename},
+					Region:           sarifRegion{StartLine: d.Pos.Line, StartColumn: d.Pos.Column},
+				},
+			}},
+		})
+	}
+	if rules == nil {
+		rules = []sarifRule{}
+	}
+
+	log := sarifLog{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []sarifRun{{
+			Tool: sarifTool{Driver: sarifDriver{
+				Name:           "kdlint",
+				InformationURI: "https://github.com/kdtune/kdtune",
+				Rules:          rules,
+			}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "\t")
+	return enc.Encode(log)
+}
+
+// familyOf strips the category suffix: "guard.cancel" -> "guard".
+func familyOf(rule string) string {
+	for i := 0; i < len(rule); i++ {
+		if rule[i] == '.' {
+			return rule[:i]
+		}
+	}
+	return rule
+}

@@ -74,7 +74,7 @@ func (tk *ticket) close() {
 	if !tk.done.CompareAndSwap(false, true) {
 		return
 	}
-	<-tk.adm.slots
+	<-tk.adm.slots //kdlint:noctx buffered-semaphore token return: admit sent on slots before handing out the ticket, so this receive cannot block
 	tk.ten.pending.Add(-1)
 }
 

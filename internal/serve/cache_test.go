@@ -36,12 +36,12 @@ func TestLadderFallbackSingleflight(t *testing.T) {
 	for i := 0; i < waiters; i++ {
 		go func() {
 			tr, src, err := c.ladder(context.Background(), e, tris, cfg, kdtree.Guard{}, nil)
-			results <- out{tr, src, err}
+			results <- out{tr, src, err} //kdlint:noctx test goroutine reports into a results channel buffered to the waiter count
 		}()
 	}
 
 	// While the latch is held, joiners must wait — not build their own trees.
-	time.Sleep(50 * time.Millisecond)
+	time.Sleep(50 * time.Millisecond) //kdlint:noctx deliberate settle: the test binary owns the clock, no request deadline applies
 	if got := c.met.BuildsOK.Load() + c.met.BuildsAborted.Load(); got != 0 {
 		t.Fatalf("joiners ran %d builds while the fallback latch was held, want 0", got)
 	}
@@ -50,7 +50,7 @@ func TestLadderFallbackSingleflight(t *testing.T) {
 	mcfg := cfg
 	mcfg.Algorithm = kdtree.AlgoMedian
 	b := pool.Get()
-	tree, err := b.BuildGuarded(tris, mcfg, kdtree.Guard{})
+	tree, err := b.BuildGuarded(tris, mcfg, kdtree.Guard{}) //kdlint:noctx reference build is intentionally unguarded; latch semantics, not deadlines, are under test
 	if err != nil {
 		t.Fatalf("owner build: %v", err)
 	}
@@ -66,7 +66,7 @@ func TestLadderFallbackSingleflight(t *testing.T) {
 	close(f.done)
 
 	for i := 0; i < waiters; i++ {
-		r := <-results
+		r := <-results //kdlint:noctx joins the waiter goroutines above; every one sends exactly once
 		if r.err != nil {
 			t.Fatalf("waiter %d: %v", i, r.err)
 		}

@@ -71,9 +71,9 @@ func TestRequestLogConcurrent(t *testing.T) {
 			}
 		}(w)
 	}
-	writerWG.Wait()
+	writerWG.Wait() //kdlint:noctx test joins its own writer goroutines
 	close(stop)
-	readerWG.Wait()
+	readerWG.Wait() //kdlint:noctx test joins its own reader goroutines
 
 	if l.Len() != writers*per {
 		t.Fatalf("Len = %d, want %d", l.Len(), writers*per)

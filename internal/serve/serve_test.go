@@ -106,12 +106,12 @@ func TestStaleGenerationBitwiseIdentical(t *testing.T) {
 	// 2. Offline reference: BuildGuarded + RenderInto with the server's
 	// exact configuration must produce the same checksum.
 	cfg := kdtree.BaseConfig(kdtree.AlgoInPlace)
-	tree, err := kdtree.NewBuilder().BuildGuarded(sc.Triangles(0), cfg, kdtree.Guard{})
+	tree, err := kdtree.NewBuilder().BuildGuarded(sc.Triangles(0), cfg, kdtree.Guard{}) //kdlint:noctx offline reference build is intentionally unguarded; checksum parity is under test
 	if err != nil {
 		t.Fatalf("offline build: %v", err)
 	}
 	im := render.NewImage(96, 72)
-	render.RenderInto(im, tree, sc.ViewAt(0), sc.Lights, render.Options{Width: 96, Height: 72})
+	render.RenderInto(im, tree, sc.ViewAt(0), sc.Lights, render.Options{Width: 96, Height: 72}) //kdlint:noctx offline reference render in a test binary; nothing to cancel
 	offline := fmt.Sprintf("%016x", FrameChecksum(im))
 	if first.Checksum != offline {
 		t.Fatalf("served frame %s != offline frame %s", first.Checksum, offline)
@@ -281,7 +281,7 @@ func TestQueueShed429(t *testing.T) {
 	defer in.Deactivate()
 	done := make(chan int)
 	go func() {
-		done <- get(t, ts.URL+"/render?scene=shed-test&width=64&height=48", "t", 0, nil)
+		done <- get(t, ts.URL+"/render?scene=shed-test&width=64&height=48", "t", 0, nil) //kdlint:noctx test goroutine hands its status to the receive at the end of the test
 	}()
 	// Wait until the slow request is admitted (pending=1).
 	deadline := time.Now().Add(5 * time.Second)
@@ -289,7 +289,7 @@ func TestQueueShed429(t *testing.T) {
 		if time.Now().After(deadline) {
 			t.Fatal("slow request never became pending")
 		}
-		time.Sleep(time.Millisecond)
+		time.Sleep(time.Millisecond) //kdlint:noctx bounded poll: the deadline check above fails the test after 5s
 	}
 
 	req, _ := http.NewRequest(http.MethodGet, ts.URL+"/render?scene=shed-test", nil)
@@ -309,7 +309,7 @@ func TestQueueShed429(t *testing.T) {
 	if s.met.Shed429.Load() != 1 {
 		t.Fatalf("Shed429 = %d, want 1", s.met.Shed429.Load())
 	}
-	if code := <-done; code != 200 {
+	if code := <-done; code != 200 { //kdlint:noctx joins the slow-request goroutine launched above
 		t.Fatalf("slow request finished with %d", code)
 	}
 }
